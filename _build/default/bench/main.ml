@@ -1,0 +1,182 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` first regenerates every evaluation
+   artifact of the paper (Tables 1 and 2, the section-4 area discussion and
+   the figs. 1-4 fault-coverage comparison - see EXPERIMENTS.md), then runs
+   Bechamel micro-benchmarks, one per experiment family plus the hot
+   kernels.
+
+   `dune exec bench/main.exe -- quick` skips the slow artifact
+   regeneration; `-- tables` skips the micro-benchmarks. *)
+
+module Machine = Stc_fsm.Machine
+module Kiss = Stc_fsm.Kiss
+module Zoo = Stc_fsm.Zoo
+module Suite = Stc_benchmarks.Suite
+module Partition = Stc_partition.Partition
+module Pair = Stc_partition.Pair
+module Solver = Stc_core.Solver
+module Realization = Stc_core.Realization
+module Tables = Stc_encoding.Tables
+module Minimize = Stc_logic.Minimize
+module Arch = Stc_faultsim.Arch
+module Experiments = Stc_report.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Artifact regeneration (the paper's tables and figures)              *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables () =
+  Format.printf
+    "=== Table 1: factors and flip-flop counts (paper values for comparison) ===@.@.";
+  let entries = Experiments.table1 ~timeout:120.0 () in
+  print_string (Experiments.render_table1 entries);
+  Format.printf
+    "@.=== Table 2: search space vs nodes investigated (Lemma-1 pruning) ===@.@.";
+  print_string (Experiments.render_table2 entries);
+  Format.printf
+    "@.=== Section 4: two-level area, block C vs blocks C1+C2+Lambda vs doubling ===@.@.";
+  print_string (Experiments.render_area (Experiments.area ()));
+  Format.printf
+    "@.=== Figs. 1-4: stuck-at coverage of the self-testable structures ===@.@.";
+  print_string (Experiments.render_coverage (Experiments.coverage ()));
+  Format.printf
+    "@.(fig2 = conventional BIST with test register; fig3 = doubled;\n\
+     fig4 = the paper's pipeline structure.  'escaped fb' counts the\n\
+     undetected faults on the R-to-C feedback path of fig. 2.)@.";
+  Format.printf
+    "@.=== Section 1 motivation: test length by strategy ===@.@.";
+  print_string (Experiments.render_strategies (Experiments.strategies ()));
+  Format.printf
+    "@.=== Extensions: state splitting (the paper's future work) and 3-stage chains ===@.@.";
+  print_string (Experiments.render_extensions (Experiments.extensions ()));
+  Format.printf
+    "@.=== Baseline: classical parallel/serial decomposition [16,3,15] ===@.@.";
+  print_string (Experiments.render_decomposition (Experiments.decomposition ()));
+  Format.printf
+    "@.=== MISR aliasing on the fig. 4 structure (ideal-compaction check) ===@.@.";
+  print_string (Experiments.render_aliasing (Experiments.aliasing ()))
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let benchmark_machine name =
+  match Suite.find name with
+  | Some spec -> Suite.machine spec
+  | None -> invalid_arg name
+
+let solver_tests =
+  (* One Test per Table-1/Table-2 row that solves in well under a second;
+     the slow rows (dk16, dk512, tbk) are covered by the artifact run. *)
+  let machines =
+    [ "bbara"; "bbtas"; "dk14"; "dk15"; "dk17"; "dk27"; "mc"; "s1";
+      "shiftreg"; "tav" ]
+  in
+  List.map
+    (fun name ->
+      let m = benchmark_machine name in
+      Test.make ~name:("table1/" ^ name)
+        (Staged.stage (fun () -> ignore (Solver.solve m))))
+    machines
+
+let kernel_tests =
+  let dk16 = benchmark_machine "dk16" in
+  let next = dk16.Machine.next in
+  let pi =
+    Partition.of_class_map
+      (Array.init dk16.Machine.num_states (fun s -> s mod 5))
+  in
+  let basis = Pair.basis ~next in
+  let some_basis = List.filteri (fun i _ -> i < 8) basis in
+  let dk27 = benchmark_machine "dk27" in
+  let enc = Tables.encode dk27 in
+  let on, dc = Tables.conventional enc in
+  let shiftreg = Zoo.shift_register ~bits:3 in
+  let shiftreg_pipeline = Arch.pipeline_of_machine ~cycles:256 shiftreg in
+  let fig5_text = Kiss.print (Zoo.paper_fig5 ()) in
+  [
+    Test.make ~name:"kernel/m-operator(dk16)"
+      (Staged.stage (fun () -> ignore (Pair.m ~next pi)));
+    Test.make ~name:"kernel/M-operator(dk16)"
+      (Staged.stage (fun () -> ignore (Pair.big_m ~next pi)));
+    Test.make ~name:"kernel/basis(dk16)"
+      (Staged.stage (fun () -> ignore (Pair.basis ~next)));
+    Test.make ~name:"kernel/joins(dk16)"
+      (Staged.stage (fun () ->
+           ignore (List.fold_left Partition.join pi some_basis)));
+    Test.make ~name:"kernel/espresso(dk27-C)"
+      (Staged.stage (fun () -> ignore (Minimize.minimize ~dc on)));
+    Test.make ~name:"kernel/realization(fig5)"
+      (Staged.stage (fun () ->
+           let m = Zoo.paper_fig5 () in
+           let pi = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+           let rho = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+           ignore (Realization.build m ~pi ~rho)));
+    Test.make ~name:"kernel/fault-grade(shiftreg-fig4)"
+      (Staged.stage (fun () -> ignore (Arch.grade shiftreg_pipeline)));
+    Test.make ~name:"kernel/kiss-parse(fig5)"
+      (Staged.stage (fun () -> ignore (Kiss.parse fig5_text)));
+    Test.make ~name:"kernel/seqtest(counter8)"
+      (Staged.stage (fun () ->
+           ignore
+             (Stc_faultsim.Seqtest.run_conventional ~cycles:256
+                (Zoo.counter ~modulus:8))));
+    Test.make ~name:"ext/multiway-3(shiftreg)"
+      (Staged.stage (fun () ->
+           ignore
+             (Stc_core.Multiway.solve ~timeout:5.0 ~stages:3
+                (Zoo.shift_register ~bits:3))));
+    Test.make ~name:"ext/split-improve(fig5)"
+      (Staged.stage (fun () ->
+           ignore (Stc_core.Split.improve ~max_rounds:1 (Zoo.paper_fig5 ()))));
+  ]
+
+let run_benchmarks () =
+  let tests = Test.make_grouped ~name:"stc" (solver_tests @ kernel_tests) in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> Float.nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+        in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  Format.printf "@.=== micro-benchmarks (monotonic clock, OLS) ===@.@.";
+  print_string
+    (Stc_report.Table.render
+       ~header:[ "benchmark"; "time/run"; "r^2" ]
+       (List.map
+          (fun (name, ns, r2) ->
+            let time =
+              if Float.is_nan ns then "n/a"
+              else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; time; Printf.sprintf "%.3f" r2 ])
+          rows))
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode <> "quick" then print_tables ();
+  if mode <> "tables" then run_benchmarks ()

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Stc_core Stc_encoding Stc_fsm Stc_logic Stc_partition String

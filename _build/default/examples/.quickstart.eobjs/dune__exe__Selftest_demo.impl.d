@@ -1,0 +1,1 @@
+examples/selftest_demo.ml: Array Bool Format List Printf Stc_bist Stc_core Stc_encoding Stc_fsm Stc_logic Stc_netlist

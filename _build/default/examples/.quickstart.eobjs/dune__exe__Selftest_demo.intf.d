@@ -1,0 +1,1 @@
+examples/selftest_demo.mli:

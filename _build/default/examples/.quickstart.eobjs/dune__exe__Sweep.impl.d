@@ -1,0 +1,1 @@
+examples/sweep.ml: Format List Printf Stc_core Stc_fsm Stc_report Stc_util

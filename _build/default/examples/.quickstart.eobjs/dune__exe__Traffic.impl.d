@@ -1,0 +1,1 @@
+examples/traffic.ml: Format List Stc_benchmarks Stc_core Stc_encoding Stc_faultsim Stc_fsm Stc_logic Stc_netlist

@@ -1,0 +1,94 @@
+(* Workload sweep: how common are nontrivial self-testable realizations?
+
+   The paper finds nontrivial OSTR solutions for 8 of 13 benchmark
+   machines.  This sweep quantifies the phenomenon on synthetic workloads:
+   for purely random machines a nontrivial symmetric partition pair is
+   rare, while machines built from interacting submachines (the block
+   product of DESIGN.md) always factor - and the search statistics show how
+   Lemma 1 keeps the tree small either way.
+
+   Run with: dune exec examples/sweep.exe *)
+
+module Machine = Stc_fsm.Machine
+module Generate = Stc_fsm.Generate
+module Solver = Stc_core.Solver
+module Rng = Stc_util.Rng
+module Table = Stc_report.Table
+
+let solve_stats machines =
+  let nontrivial = ref 0 and investigated = ref 0 and bits_saved = ref 0 in
+  List.iter
+    (fun (m : Machine.t) ->
+      let r = Solver.solve ~timeout:10.0 m in
+      if not (Solver.is_trivial m r.Solver.best) then incr nontrivial;
+      investigated := !investigated + r.Solver.stats.Solver.investigated;
+      bits_saved :=
+        !bits_saved
+        + (2 * Machine.bits_for m.Machine.num_states)
+        - r.Solver.best.Solver.cost.Solver.bits)
+    machines;
+  let n = List.length machines in
+  ( !nontrivial,
+    float_of_int !investigated /. float_of_int n,
+    float_of_int !bits_saved /. float_of_int n )
+
+let () =
+  let trials = 20 in
+  let rng = Rng.create 2024 in
+  Format.printf "Random reduced machines (%d trials per row):@.@." trials;
+  let rows =
+    List.map
+      (fun n ->
+        let machines =
+          List.init trials (fun _ ->
+              Generate.random ~rng ~name:"rnd" ~num_states:n ~num_inputs:4
+                ~num_outputs:4 ())
+        in
+        let nontrivial, avg_nodes, avg_saved = solve_stats machines in
+        [
+          string_of_int n;
+          Printf.sprintf "%d/%d" nontrivial trials;
+          Printf.sprintf "%.1f" avg_nodes;
+          Printf.sprintf "%.2f" avg_saved;
+        ])
+      [ 4; 6; 8; 10; 12 ]
+  in
+  print_string
+    (Table.render
+       ~header:[ "|S|"; "nontrivial"; "avg nodes"; "avg FFs saved vs conv. BIST" ]
+       rows);
+
+  Format.printf "@.Product-structured machines (factors planted, %d trials per row):@.@."
+    trials;
+  let rows =
+    List.map
+      (fun (blocks, label) ->
+        let machines =
+          List.init trials (fun _ ->
+              (Generate.block_product ~rng ~name:"bp" ~blocks ~num_inputs:4
+                 ~num_outputs:4 ())
+                .Generate.machine)
+        in
+        let nontrivial, avg_nodes, avg_saved = solve_stats machines in
+        [
+          label;
+          Printf.sprintf "%d/%d" nontrivial trials;
+          Printf.sprintf "%.1f" avg_nodes;
+          Printf.sprintf "%.2f" avg_saved;
+        ])
+      [
+        ([ (2, 2) ], "4 = 2x2");
+        ([ (2, 2); (1, 1) ], "5 = 2x2 + 1");
+        ([ (2, 2); (2, 2) ], "8 = 2(2x2)");
+        ([ (2, 2); (2, 1); (1, 2) ], "8 mixed");
+        ([ (2, 2); (2, 2); (2, 2) ], "12 = 3(2x2)");
+      ]
+  in
+  print_string
+    (Table.render
+       ~header:[ "structure"; "nontrivial"; "avg nodes"; "avg FFs saved vs conv. BIST" ]
+       rows);
+  Format.printf
+    "@.Random control logic almost never factors; controllers composed of\n\
+     interacting units factor by construction, and the OSTR search finds\n\
+     the decomposition in a handful of nodes (Lemma-1 pruning).@."

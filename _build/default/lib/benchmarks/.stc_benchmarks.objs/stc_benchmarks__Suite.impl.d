@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: List Stc_fsm Stc_util

@@ -1,0 +1,48 @@
+type mode = System | Scan | Pattern_gen | Signature
+
+type t = {
+  width : int;
+  polynomial : int;
+  mask : int;
+  mutable mode : mode;
+  mutable state : int;
+}
+
+let create ?polynomial ~width () =
+  if width < 1 || width > 32 then invalid_arg "Bilbo.create: width in [1,32]";
+  let polynomial =
+    match polynomial with
+    | Some p -> p
+    | None -> Lfsr.primitive_polynomial width
+  in
+  let mask = if width = 32 then 0xFFFFFFFF else (1 lsl width) - 1 in
+  { width; polynomial = polynomial land mask; mask; mode = System; state = 0 }
+
+let width t = t.width
+
+let mode t = t.mode
+
+let set_mode t m = t.mode <- m
+
+let state t = t.state
+
+let load t word = t.state <- word land t.mask
+
+let parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+  go v 0
+
+let clock t ~parallel ~serial =
+  let feedback = parity (t.state land t.polynomial) in
+  let next =
+    match t.mode with
+    | System -> parallel
+    | Scan -> (t.state lsr 1) lor (Bool.to_int serial lsl (t.width - 1))
+    | Pattern_gen -> (t.state lsr 1) lor (feedback lsl (t.width - 1))
+    | Signature ->
+      ((t.state lsr 1) lor (feedback lsl (t.width - 1))) lxor parallel
+  in
+  t.state <- next land t.mask;
+  t.state
+
+let scan_out t = t.state land 1 = 1

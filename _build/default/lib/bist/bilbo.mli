@@ -1,0 +1,39 @@
+(** BILBO - built-in logic block observation register (Koenemann, Mucha &
+    Zwiehoff 1979), the classical multifunctional test register the paper's
+    introduction builds on.  One register implements four modes selected by
+    two control bits:
+
+    - {b System}: an ordinary parallel-load register;
+    - {b Scan}: a serial shift path;
+    - {b Pattern_gen}: autonomous LFSR (inputs ignored);
+    - {b Signature}: MISR compressing the parallel inputs.
+
+    In the paper's fig. 4 architecture, R1 and R2 are registers of this
+    kind: during session 1 one works in [Pattern_gen] and the other in
+    [Signature]; during session 2 the roles swap; in normal operation both
+    are in [System] mode. *)
+
+type mode = System | Scan | Pattern_gen | Signature
+
+type t
+
+val create : ?polynomial:int -> width:int -> unit -> t
+
+val width : t -> int
+
+val mode : t -> mode
+
+val set_mode : t -> mode -> unit
+
+val state : t -> int
+
+(** [load t word] forces the register contents (e.g. system reset). *)
+val load : t -> int -> unit
+
+(** [clock t ~parallel ~serial] advances one cycle: [parallel] is the word
+    at the D inputs (used in System and Signature modes), [serial] the scan
+    input bit (Scan mode).  Returns the new contents. *)
+val clock : t -> parallel:int -> serial:bool -> int
+
+(** [scan_out t] is the serial output (LSB stage). *)
+val scan_out : t -> bool

@@ -1,0 +1,95 @@
+type t = { width : int; polynomial : int; mutable state : int }
+
+(* One primitive polynomial per degree, from the standard tables (Golomb;
+   Bardell/McAnney/Savir).  Mask bit k is the coefficient of x^k; the x^w
+   term is implicit.  With the right-shift recurrence
+   new_bit = parity(state land mask) this realizes
+   a(t+w) = sum_k mask_k * a(t+k), so a primitive polynomial yields the
+   full period 2^w - 1. *)
+let primitive_polynomials =
+  [|
+    (* x^1 + 1 *) 0x1;
+    (* x^2 + x + 1 *) 0x3;
+    (* x^3 + x + 1 *) 0x3;
+    (* x^4 + x + 1 *) 0x3;
+    (* x^5 + x^2 + 1 *) 0x5;
+    (* x^6 + x + 1 *) 0x3;
+    (* x^7 + x + 1 *) 0x3;
+    (* x^8 + x^4 + x^3 + x^2 + 1 *) 0x1D;
+    (* x^9 + x^4 + 1 *) 0x11;
+    (* x^10 + x^3 + 1 *) 0x9;
+    (* x^11 + x^2 + 1 *) 0x5;
+    (* x^12 + x^6 + x^4 + x + 1 *) 0x53;
+    (* x^13 + x^4 + x^3 + x + 1 *) 0x1B;
+    (* x^14 + x^10 + x^6 + x + 1 *) 0x443;
+    (* x^15 + x + 1 *) 0x3;
+    (* x^16 + x^12 + x^3 + x + 1 *) 0x100B;
+    (* x^17 + x^3 + 1 *) 0x9;
+    (* x^18 + x^7 + 1 *) 0x81;
+    (* x^19 + x^5 + x^2 + x + 1 *) 0x27;
+    (* x^20 + x^3 + 1 *) 0x9;
+    (* x^21 + x^2 + 1 *) 0x5;
+    (* x^22 + x + 1 *) 0x3;
+    (* x^23 + x^5 + 1 *) 0x21;
+    (* x^24 + x^7 + x^2 + x + 1 *) 0x87;
+    (* x^25 + x^3 + 1 *) 0x9;
+    (* x^26 + x^6 + x^2 + x + 1 *) 0x47;
+    (* x^27 + x^5 + x^2 + x + 1 *) 0x27;
+    (* x^28 + x^3 + 1 *) 0x9;
+    (* x^29 + x^2 + 1 *) 0x5;
+    (* x^30 + x^23 + x^2 + x + 1 *) 0x800007;
+    (* x^31 + x^3 + 1 *) 0x9;
+    (* x^32 + x^22 + x^2 + x + 1 *) 0x400007;
+  |]
+
+let primitive_polynomial w =
+  if w < 1 || w > 32 then invalid_arg "Lfsr.primitive_polynomial: width in [1,32]";
+  primitive_polynomials.(w - 1)
+
+let create ?polynomial ~width ~seed () =
+  if width < 1 || width > 32 then invalid_arg "Lfsr.create: width in [1,32]";
+  let polynomial =
+    match polynomial with Some p -> p | None -> primitive_polynomial width
+  in
+  let mask = if width = 32 then 0xFFFFFFFF else (1 lsl width) - 1 in
+  if polynomial land mask = 0 then invalid_arg "Lfsr.create: empty polynomial";
+  let state = seed land mask in
+  if state = 0 then invalid_arg "Lfsr.create: seed must be non-zero (mod 2^width)";
+  { width; polynomial = polynomial land mask; state }
+
+let width l = l.width
+
+let state l = l.state
+
+let parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+  go v 0
+
+(* Fibonacci style: feedback bit = parity of tapped stages, shifted in at
+   the top. *)
+let step l =
+  let feedback = parity (l.state land l.polynomial) in
+  l.state <- (l.state lsr 1) lor (feedback lsl (l.width - 1));
+  l.state
+
+let next_pattern l =
+  let current = l.state in
+  ignore (step l);
+  current
+
+let sequence l n = Array.init n (fun _ -> next_pattern l)
+
+let period l =
+  let initial = l.state in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    ignore (step l);
+    incr count;
+    if l.state = initial then continue := false
+    else if !count > 1 lsl l.width then
+      invalid_arg "Lfsr.period: no recurrence (non-invertible polynomial?)"
+  done;
+  !count
+
+let bit l k = (l.state lsr k) land 1 = 1

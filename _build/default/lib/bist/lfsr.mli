@@ -1,0 +1,40 @@
+(** Linear feedback shift registers for built-in test pattern generation.
+
+    A width-[w] Fibonacci LFSR with a primitive feedback polynomial cycles
+    through all [2^w - 1] non-zero states, providing the pseudo-random
+    patterns the paper's registers generate during a self-test session. *)
+
+type t
+
+(** [primitive_polynomial w] is a known primitive polynomial of degree [w]
+    as a tap mask: bit [k] is the coefficient of [x^k]; the leading [x^w]
+    term is implicit.  Available for [1 <= w <= 32]. *)
+val primitive_polynomial : int -> int
+
+(** [create ?polynomial ~width ~seed ()] builds an LFSR.  [seed] must be
+    non-zero modulo [2^width] (it is masked to the width); [polynomial]
+    defaults to {!primitive_polynomial}. *)
+val create : ?polynomial:int -> width:int -> seed:int -> unit -> t
+
+val width : t -> int
+
+(** [state l] is the current register contents. *)
+val state : t -> int
+
+(** [step l] advances one clock and returns the new state. *)
+val step : t -> int
+
+(** [next_pattern l] returns the current state, then advances - the usual
+    "one pattern per clock" usage. *)
+val next_pattern : t -> int
+
+(** [sequence l n] returns the next [n] patterns (advancing [n] times). *)
+val sequence : t -> int -> int array
+
+(** [period l] steps until the initial state recurs and returns the count;
+    [2^width - 1] for a primitive polynomial.  Intended for small
+    widths. *)
+val period : t -> int
+
+(** [bit l k] is bit [k] of the current state ([k = 0] is the LSB). *)
+val bit : t -> int -> bool

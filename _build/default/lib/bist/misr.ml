@@ -1,0 +1,31 @@
+type t = { width : int; polynomial : int; mask : int; mutable state : int }
+
+let create ?polynomial ~width ~seed () =
+  if width < 1 || width > 32 then invalid_arg "Misr.create: width in [1,32]";
+  let polynomial =
+    match polynomial with
+    | Some p -> p
+    | None -> Lfsr.primitive_polynomial width
+  in
+  let mask = if width = 32 then 0xFFFFFFFF else (1 lsl width) - 1 in
+  { width; polynomial = polynomial land mask; mask; state = seed land mask }
+
+let width m = m.width
+
+let signature m = m.state
+
+let parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+  go v 0
+
+let absorb m word =
+  let feedback = parity (m.state land m.polynomial) in
+  let shifted = (m.state lsr 1) lor (feedback lsl (m.width - 1)) in
+  m.state <- (shifted lxor word) land m.mask;
+  m.state
+
+let absorb_all m words =
+  Array.iter (fun w -> ignore (absorb m w)) words;
+  m.state
+
+let reset m seed = m.state <- seed land m.mask

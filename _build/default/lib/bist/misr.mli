@@ -1,0 +1,25 @@
+(** Multiple-input signature registers: the response-compression mode of a
+    self-test register.  Each clock the register shifts (with the LFSR
+    feedback) and XORs one parallel input word into its stages. *)
+
+type t
+
+(** [create ?polynomial ~width ~seed ()] - like {!Lfsr.create} but a zero
+    seed is allowed (signature registers commonly start at 0). *)
+val create : ?polynomial:int -> width:int -> seed:int -> unit -> t
+
+val width : t -> int
+
+(** [signature m] is the current register contents. *)
+val signature : t -> int
+
+(** [absorb m word] clocks the register once with parallel input [word]
+    (masked to the width); returns the new signature. *)
+val absorb : t -> int -> int
+
+(** [absorb_all m words] clocks once per word and returns the final
+    signature. *)
+val absorb_all : t -> int array -> int
+
+(** [reset m seed] restarts the register. *)
+val reset : t -> int -> unit

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Hashtbl List Option Partition Queue Stc_fsm Stc_partition

@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Partition Stc_fsm

@@ -1,0 +1,1 @@
+lib/core/multiway.mli: Partition Stc_fsm

@@ -1,0 +1,1 @@
+lib/core/ostr.ml: Format Partition Realization Solver Stc_fsm

@@ -1,0 +1,1 @@
+lib/core/ostr.mli: Format Realization Solver Stc_fsm

@@ -1,0 +1,1 @@
+lib/core/realization.ml: Array Format Partition Printf Solver Stc_fsm Stc_partition

@@ -1,0 +1,1 @@
+lib/core/realization.mli: Format Partition Solver Stc_fsm

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Float Int List Partition Stc_fsm Stc_partition Sys

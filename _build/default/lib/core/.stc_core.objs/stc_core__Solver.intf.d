@@ -1,0 +1,1 @@
+lib/core/solver.mli: Partition Stc_fsm Stdlib

@@ -1,0 +1,59 @@
+(** Multi-stage pipeline realizations - a generalization of the paper's
+    two-register structure to a ring of [m >= 2] registers.
+
+    A {e partition chain} of length [m] is a tuple (pi_0, ..., pi_(m-1))
+    of partitions with
+
+    {v (s,t) in pi_k  ==>  (delta(s,i), delta(t,i)) in pi_(k+1 mod m) v}
+
+    for all inputs [i].  For [m = 2] this is exactly a symmetric partition
+    pair.  When additionally the meet of all pi_k refines state
+    equivalence, the machine factors into [m] registers R_0..R_(m-1) in a
+    ring: block C_k computes R_(k+1)'s next value from R_k and the inputs,
+    so there is still no direct feedback loop around any block, and the
+    self-test runs in [m] sessions with each register in turn generating
+    patterns while its successor compresses.
+
+    Total flip-flops are never below the two-stage optimum (the bit counts
+    add), but more stages can give smaller, more balanced blocks with
+    fewer transitions each - e.g. the 6-bit shift register factors into
+    three 4-state stages. *)
+
+type chain = {
+  parts : Partition.t array;  (** the partitions pi_0 .. pi_(m-1) *)
+  bits : int;  (** total flip-flops: sum of ceil(log2 classes) *)
+  factor_states : int;  (** sum of class counts *)
+}
+
+(** [is_chain ~next parts] checks the defining condition. *)
+val is_chain : next:int array array -> Partition.t array -> bool
+
+(** [admissible machine parts] additionally checks that the meet of all
+    parts refines state equivalence. *)
+val admissible : Stc_fsm.Machine.t -> Partition.t array -> bool
+
+(** [solve ?timeout ~stages machine] searches for the best admissible
+    chain of length [stages >= 2] with the same basis-join tree as the
+    OSTR solver: at each candidate pi the chain
+    (M-closure, pi, m pi, m (m pi), ...) is evaluated.  Cost order: bits,
+    then total factor states, then imbalance.  Always returns at least the
+    trivial chain (identity everywhere). *)
+val solve : ?timeout:float -> stages:int -> Stc_fsm.Machine.t -> chain
+
+(** [realize machine chain] constructs the ring product machine [M*]: a
+    state is a tuple of classes (mixed-radix encoded), with
+
+    {v delta*((x_0..x_(m-1)), i) = (d_(m-1)(x_(m-1),i), d_0(x_0,i), ...) v}
+
+    where [d_k : classes_k x I -> classes_(k+1)] is the induced factor
+    map, and the output is taken from any specification state in the
+    intersection of the classes (filler output elsewhere).  Returns the
+    product machine together with the state homomorphism alpha.
+
+    @raise Invalid_argument if the chain is not admissible. *)
+val realize :
+  Stc_fsm.Machine.t -> Partition.t array -> Stc_fsm.Machine.t * int array
+
+(** [realizes machine parts] builds the realization and checks the
+    Definition-3 homomorphism - the test oracle. *)
+val realizes : Stc_fsm.Machine.t -> Partition.t array -> bool

@@ -1,0 +1,25 @@
+(** One-call facade: solve OSTR and construct the optimal self-testable
+    realization.  This is the entry point most examples and tools use. *)
+
+type outcome = {
+  machine : Stc_fsm.Machine.t;  (** the specification that was solved *)
+  solution : Solver.solution;
+  realization : Realization.t;
+  stats : Solver.stats;
+}
+
+(** [run ?timeout machine] solves OSTR for [machine] (pruned depth-first
+    search) and builds the Theorem-1 realization of the optimum. *)
+val run : ?timeout:float -> Stc_fsm.Machine.t -> outcome
+
+(** [nontrivial outcome] holds when at least one factor is smaller than the
+    state set - the "nontrivial solution" notion of section 4. *)
+val nontrivial : outcome -> bool
+
+(** [reaches_lower_bound outcome] holds when [|S1| * |S2| = |S|], the lower
+    bound achieved by [shiftreg] and [tav] in Table 1. *)
+val reaches_lower_bound : outcome -> bool
+
+(** [pp_summary] prints a human-readable report: factor sizes, flip-flop
+    counts (conventional vs pipeline), search statistics. *)
+val pp_summary : Format.formatter -> outcome -> unit

@@ -1,0 +1,3 @@
+(* Re-export so that [Stc_core.Partition] is the partition type appearing
+   in this library's interfaces. *)
+include Stc_partition.Partition

@@ -1,0 +1,252 @@
+module Machine = Stc_fsm.Machine
+module Equiv = Stc_fsm.Equiv
+module Pair = Stc_partition.Pair
+
+type cost = { bits : int; imbalance : float; factor_states : int }
+
+let compare_cost a b =
+  let c = Int.compare a.bits b.bits in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.factor_states b.factor_states in
+    if c <> 0 then c else Float.compare a.imbalance b.imbalance
+
+type solution = { pi : Partition.t; rho : Partition.t; cost : cost }
+
+let is_trivial (machine : Machine.t) sol =
+  Partition.num_classes sol.pi = machine.num_states
+  && Partition.num_classes sol.rho = machine.num_states
+
+type stats = {
+  basis_size : int;
+  search_space : float;
+  investigated : int;
+  pruned : int;
+  solutions : int;
+  elapsed : float;
+  timed_out : bool;
+}
+
+type result = { best : solution; stats : stats }
+
+let cost_of (_machine : Machine.t) ~pi ~rho =
+  let k1 = Partition.num_classes pi and k2 = Partition.num_classes rho in
+  let bits = Machine.bits_for k1 + Machine.bits_for k2 in
+  let hi = float_of_int (max k1 k2) and lo = float_of_int (min k1 k2) in
+  { bits; imbalance = (hi /. lo) -. 1.0; factor_states = k1 + k2 }
+
+let equivalence_partition machine = Partition.of_class_map (Equiv.classes machine)
+
+let validate (machine : Machine.t) sol =
+  let next = machine.next in
+  let equiv = equivalence_partition machine in
+  if not (Pair.is_pair ~next sol.pi sol.rho) then
+    Error "(pi, rho) is not a partition pair"
+  else if not (Pair.is_pair ~next sol.rho sol.pi) then
+    Error "(rho, pi) is not a partition pair"
+  else if not (Partition.subseteq (Partition.meet sol.pi sol.rho) equiv) then
+    Error "pi /\\ rho does not refine state equivalence"
+  else Ok ()
+
+exception Timeout
+
+let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
+    (machine : Machine.t) =
+  let next = machine.next in
+  let n = machine.num_states in
+  let equiv = equivalence_partition machine in
+  let basis = Array.of_list (Pair.basis ~next) in
+  let num_basis = Array.length basis in
+  let start = Sys.time () in
+  let investigated = ref 0 and pruned = ref 0 and solutions = ref 0 in
+  let best = ref None in
+  let timed_out = ref false in
+  let admissible candidate_pi candidate_rho =
+    Pair.is_symmetric_pair ~next candidate_pi candidate_rho
+    && Partition.subseteq (Partition.meet candidate_pi candidate_rho) equiv
+  in
+  (* Alternately coarsen each side with the M operator while the pair stays
+     admissible.  If (pi, rho) is a symmetric pair then so is (M rho, rho):
+     (M rho, rho) is a pair by definition of M, and (rho, M rho) is one
+     because (rho, pi) is and pi is a subset of M rho.  Coarsening can only
+     shrink class counts, so this is a monotone improvement. *)
+  let rec polish candidate_pi candidate_rho =
+    let pi' = Pair.big_m ~next candidate_rho in
+    if
+      (not (Partition.equal pi' candidate_pi))
+      && admissible pi' candidate_rho
+    then polish pi' candidate_rho
+    else begin
+      let rho' = Pair.big_m ~next candidate_pi in
+      if
+        (not (Partition.equal rho' candidate_rho))
+        && admissible candidate_pi rho'
+      then polish candidate_pi rho'
+      else (candidate_pi, candidate_rho)
+    end
+  in
+  (* Besides the single best solution, keep a small pool of the best
+     distinct candidates as starting points for the final hill climb. *)
+  let pool_capacity = 16 in
+  let pool = ref [] in
+  let pool_add sol =
+    let known existing =
+      Partition.equal existing.pi sol.pi && Partition.equal existing.rho sol.rho
+    in
+    if not (List.exists known !pool) then begin
+      let sorted =
+        List.sort (fun a b -> compare_cost a.cost b.cost) (sol :: !pool)
+      in
+      pool := List.filteri (fun i _ -> i < pool_capacity) sorted
+    end
+  in
+  let record candidate_pi candidate_rho =
+    if admissible candidate_pi candidate_rho then begin
+      incr solutions;
+      let candidate_pi, candidate_rho = polish candidate_pi candidate_rho in
+      let cost = cost_of machine ~pi:candidate_pi ~rho:candidate_rho in
+      let sol = { pi = candidate_pi; rho = candidate_rho; cost } in
+      pool_add sol;
+      match !best with
+      | None -> best := Some sol
+      | Some b -> if compare_cost cost b.cost < 0 then best := Some sol
+    end
+  in
+  (* Depth-first walk over subsets of the basis, each node carrying the join
+     [pi] of its subset.  Children extend the subset with a strictly larger
+     basis index, exactly as in the paper's (V, E) definition. *)
+  let rec visit pi from_index =
+    (* The root always runs to completion so that the trivial solution is
+       recorded even under a zero timeout. *)
+    if !investigated > 0 then begin
+      if !investigated >= max_nodes then raise Timeout;
+      if Sys.time () -. start > timeout then raise Timeout
+    end;
+    incr investigated;
+    let mpi = Pair.m ~next pi in
+    let big_mpi = Pair.big_m ~next pi in
+    (* Candidate 1: the Mm-pair (M(pi), pi). *)
+    record big_mpi pi;
+    (* Candidate 2: (m(pi), pi), whose intersection with pi is minimal
+       among all pairs bracketed by the Mm-pair (Theorem 2 discussion). *)
+    if not (Partition.equal mpi big_mpi) then record mpi pi;
+    (* Lemma 1: if m(pi) /\ pi does not refine equivalence, no successor
+       can yield an admissible pair with right member above pi. *)
+    let viable = Partition.subseteq (Partition.meet mpi pi) equiv in
+    if prune && not viable then incr pruned
+    else
+      for j = from_index to num_basis - 1 do
+        let pi' = Partition.join pi basis.(j) in
+        visit pi' (j + 1)
+      done
+  in
+  begin
+    try visit (Partition.identity n) 0 with Timeout -> timed_out := true
+  end;
+  let best =
+    match !best with
+    | Some sol -> sol
+    | None ->
+      (* The root always records (M(identity), identity); unreachable. *)
+      assert false
+  in
+  (* Post-search refinement.  The paper's candidate set (M(pi), pi) /
+     (m(pi), pi) can miss optima whose right member is not a join of basis
+     elements; a greedy class-merge hill climb recovers them.  [close_pair]
+     computes the least symmetric partition pair above a seed pair by
+     alternating joins with the m images. *)
+  let rec close_pair pi rho =
+    let rho' = Partition.join rho (Pair.m ~next pi) in
+    let pi' = Partition.join pi (Pair.m ~next rho') in
+    if Partition.equal pi pi' && Partition.equal rho rho' then (pi, rho')
+    else close_pair pi' rho'
+  in
+  let merge_candidates partition =
+    let reps = Partition.representatives partition in
+    let k = Array.length reps in
+    let acc = ref [] in
+    for c = 0 to k - 1 do
+      for d = c + 1 to k - 1 do
+        acc := (reps.(c), reps.(d)) :: !acc
+      done
+    done;
+    !acc
+  in
+  let try_merge sol (side : [ `Left | `Right ]) (s, t) =
+    let seed = Partition.pair_relation ~n s t in
+    let pi0, rho0 =
+      match side with
+      | `Left -> (Partition.join sol.pi seed, sol.rho)
+      | `Right -> (sol.pi, Partition.join sol.rho seed)
+    in
+    let pi', rho' = close_pair pi0 rho0 in
+    if admissible pi' rho' then begin
+      let pi', rho' = polish pi' rho' in
+      let cost = cost_of machine ~pi:pi' ~rho:rho' in
+      if compare_cost cost sol.cost < 0 then Some { pi = pi'; rho = rho'; cost }
+      else None
+    end
+    else None
+  in
+  let rec hill_climb sol =
+    let moves =
+      List.map (fun p -> (`Left, p)) (merge_candidates sol.pi)
+      @ List.map (fun p -> (`Right, p)) (merge_candidates sol.rho)
+    in
+    let improved =
+      List.fold_left
+        (fun acc (side, p) ->
+          match acc with Some _ -> acc | None -> try_merge sol side p)
+        None moves
+    in
+    match improved with None -> sol | Some better -> hill_climb better
+  in
+  let best =
+    List.fold_left
+      (fun acc sol ->
+        let sol = hill_climb sol in
+        if compare_cost sol.cost acc.cost < 0 then sol else acc)
+      (hill_climb best) !pool
+  in
+  (match validate machine best with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Solver.solve: internal error: " ^ msg));
+  {
+    best;
+    stats =
+      {
+        basis_size = num_basis;
+        search_space = Float.pow 2.0 (float_of_int num_basis);
+        investigated = !investigated;
+        pruned = !pruned;
+        solutions = !solutions;
+        elapsed = Sys.time () -. start;
+        timed_out = !timed_out;
+      };
+  }
+
+let solve_exhaustive (machine : Machine.t) =
+  let next = machine.next in
+  let n = machine.num_states in
+  let equiv = equivalence_partition machine in
+  let all = Stc_partition.Enumerate.all n in
+  let best = ref None in
+  List.iter
+    (fun pi ->
+      List.iter
+        (fun rho ->
+          if
+            Pair.is_symmetric_pair ~next pi rho
+            && Partition.subseteq (Partition.meet pi rho) equiv
+          then begin
+            let cost = cost_of machine ~pi ~rho in
+            let sol = { pi; rho; cost } in
+            match !best with
+            | None -> best := Some sol
+            | Some b -> if compare_cost cost b.cost < 0 then best := Some sol
+          end)
+        all)
+    all;
+  match !best with
+  | Some sol -> sol
+  | None -> assert false (* (identity, identity) is always admissible *)

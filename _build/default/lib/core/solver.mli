@@ -1,0 +1,79 @@
+(** The OSTR search procedure (section 3 of the paper).
+
+    Given a fully specified machine [M], find a symmetric partition pair
+    [(pi, rho)] with [pi /\ rho] refining state equivalence, minimizing
+
+    + (i) [ceil(log2 |S/pi|) + ceil(log2 |S/rho|)] (total flip-flops of the
+      pipeline structure), then
+    + (ii) the imbalance of the two factors, then
+    + (iii) the total number of factor states [|S/pi| + |S/rho|] (fewer
+      state transitions to implement, cf. the remark below Table 1).
+
+    The search walks a tree whose nodes are subsets of the basis
+    [MM = {m(p_{s,t})}]; at each node [pi = join of the subset], the
+    candidates [(M(pi), pi)] and [(m(pi), pi)] are examined, and Lemma 1
+    prunes the subtree whenever [m(pi) /\ pi] does not refine state
+    equivalence.  The unpruned tree has [2^|MM|] nodes - the [|V|] column
+    of Table 2. *)
+
+type cost = {
+  bits : int;  (** criterion (i): flip-flops of the pipeline realization *)
+  imbalance : float;  (** criterion (ii): [max/min - 1] of the factor sizes *)
+  factor_states : int;  (** criterion (iii): [|S1| + |S2|] *)
+}
+
+(** [compare_cost] orders costs lexicographically, smaller = better. *)
+val compare_cost : cost -> cost -> int
+
+type solution = {
+  pi : Partition.t;  (** left factor: [S1 = S/pi], register R1 *)
+  rho : Partition.t;  (** right factor: [S2 = S/rho], register R2 *)
+  cost : cost;
+}
+
+(** [is_trivial machine solution] holds when both factors have as many
+    states as the (possibly unreduced) machine itself - i.e. the solution
+    is no better than doubling the machine (fig. 3). *)
+val is_trivial : Stc_fsm.Machine.t -> solution -> bool
+
+type stats = {
+  basis_size : int;  (** [|MM|] after deduplication *)
+  search_space : float;  (** [2^basis_size], the [|V|] of Table 2 *)
+  investigated : int;  (** nodes actually expanded (Table 2, last column) *)
+  pruned : int;  (** subtrees cut by Lemma 1 *)
+  solutions : int;  (** candidate solutions that passed all checks *)
+  elapsed : float;  (** CPU seconds *)
+  timed_out : bool;
+}
+
+type result = { best : solution; stats : stats }
+
+(** [solve ?timeout ?prune ?max_nodes machine] runs the depth-first search.
+
+    - [timeout] (CPU seconds): on expiry the best solution found so far is
+      returned with [timed_out = true] (the paper does the same for [tbk]).
+    - [prune] (default [true]): disable to measure the effect of Lemma 1
+      (only feasible for very small machines).
+    - [max_nodes]: hard cap on investigated nodes, a safety net for
+      experiments.
+
+    The search always returns at least the trivial solution found at the
+    tree root, so [best] is total.  Every returned solution is validated:
+    symmetric partition pair with intersection refining equivalence. *)
+val solve :
+  ?timeout:float -> ?prune:bool -> ?max_nodes:int -> Stc_fsm.Machine.t -> result
+
+(** [solve_exhaustive machine] enumerates {e all} partition pairs by brute
+    force over every partition of the state set (Bell-number cost!) and
+    returns the optimum.  Oracle for testing [solve] on machines with at
+    most ~8 states. *)
+val solve_exhaustive : Stc_fsm.Machine.t -> solution
+
+(** [cost_of machine ~pi ~rho] computes the cost record of a candidate
+    pair. *)
+val cost_of : Stc_fsm.Machine.t -> pi:Partition.t -> rho:Partition.t -> cost
+
+(** [validate machine solution] re-checks that the solution is a symmetric
+    partition pair whose intersection refines state equivalence; returns an
+    error message otherwise. *)
+val validate : Stc_fsm.Machine.t -> solution -> (unit, string) Stdlib.result

@@ -1,0 +1,104 @@
+module Machine = Stc_fsm.Machine
+
+type improvement = {
+  machine : Machine.t;
+  solution : Solver.solution;
+  splits : (int * (int * int) list) list;
+}
+
+let incoming (m : Machine.t) state =
+  let edges = ref [] in
+  for s = m.num_states - 1 downto 0 do
+    for i = m.num_inputs - 1 downto 0 do
+      if m.next.(s).(i) = state then edges := (s, i) :: !edges
+    done
+  done;
+  !edges
+
+let split (m : Machine.t) ~state ~moved =
+  if state < 0 || state >= m.num_states then
+    invalid_arg "Split.split: state out of range";
+  List.iter
+    (fun (s, i) ->
+      if s = -1 then () (* the reset pseudo-edge *)
+      else if s < 0 || s >= m.num_states || i < 0 || i >= m.num_inputs then
+        invalid_arg "Split.split: edge out of range"
+      else if m.next.(s).(i) <> state then
+        invalid_arg "Split.split: edge does not lead to the split state")
+    moved;
+  let n = m.num_states in
+  let copy = n in
+  let next = Array.init (n + 1) (fun s -> Array.copy m.next.(min s (n - 1))) in
+  let output = Array.init (n + 1) (fun s -> Array.copy m.output.(min s (n - 1))) in
+  (* The copy gets the original's outgoing rows. *)
+  next.(copy) <- Array.copy m.next.(state);
+  output.(copy) <- Array.copy m.output.(state);
+  List.iter
+    (fun (s, i) -> if s >= 0 then next.(s).(i) <- copy)
+    moved;
+  let reset =
+    if List.mem (-1, 0) moved && m.reset = state then copy else m.reset
+  in
+  let state_names =
+    Array.append m.state_names [| m.state_names.(state) ^ "'" |]
+  in
+  Machine.make ~name:m.name ~num_states:(n + 1) ~num_inputs:m.num_inputs
+    ~num_outputs:m.num_outputs ~next ~output ~reset ~state_names
+    ~input_names:m.input_names ~output_names:m.output_names ()
+
+(* Proper bipartitions of an edge list: subsets 1 .. 2^(d-1) - 1 (fixing
+   the first edge on the original side halves the symmetric space). *)
+let bipartitions edges =
+  match edges with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+    let rest = Array.of_list rest in
+    let d = Array.length rest in
+    ignore first;
+    List.init ((1 lsl d) - 1) (fun mask ->
+        let mask = mask + 1 in
+        let moved = ref [] in
+        Array.iteri
+          (fun k edge -> if mask land (1 lsl k) <> 0 then moved := edge :: !moved)
+          rest;
+        !moved)
+
+let improve ?(timeout = 10.0) ?(max_in_degree = 10) ?(max_rounds = 3)
+    ?max_states (m : Machine.t) =
+  let max_states =
+    match max_states with Some v -> v | None -> 2 * m.num_states
+  in
+  let solve machine = (Solver.solve ~timeout machine).Solver.best in
+  let rec round machine solution splits rounds_left =
+    if rounds_left = 0 || machine.Machine.num_states >= max_states then
+      { machine; solution; splits }
+    else begin
+      let found = ref None in
+      let state = ref 0 in
+      while !found = None && !state < machine.Machine.num_states do
+        let edges = incoming machine !state in
+        let d = List.length edges in
+        if d >= 2 && d <= max_in_degree then begin
+          let candidates = bipartitions edges in
+          let rec try_candidates = function
+            | [] -> ()
+            | moved :: rest ->
+              let candidate = split machine ~state:!state ~moved in
+              let sol = solve candidate in
+              if Solver.compare_cost sol.Solver.cost solution.Solver.cost < 0
+              then found := Some (candidate, sol, (!state, moved))
+              else try_candidates rest
+          in
+          try_candidates candidates
+        end;
+        incr state
+      done;
+      match !found with
+      | None -> { machine; solution; splits }
+      | Some (candidate, sol, applied) ->
+        (* Splitting must never change behaviour; guard against bugs. *)
+        assert (Machine.equal_behaviour m candidate);
+        round candidate sol (applied :: splits) (rounds_left - 1)
+    end
+  in
+  round m (solve m) [] max_rounds

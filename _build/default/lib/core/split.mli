@@ -1,0 +1,59 @@
+(** State splitting - the paper's future work (section 5):
+
+    "Future work will concentrate on modifying the state transition
+    diagram to obtain functionally equivalent machines whose self-testable
+    realizations lead to better solutions of problem OSTR."
+
+    Splitting a state [s] into two copies with identical outgoing rows and
+    an arbitrary redistribution of the incoming transitions preserves the
+    machine's behaviour exactly (the copies are equivalent states), but it
+    can create symmetric partition pairs that do not exist in the merged
+    machine: state minimization can destroy product structure, and
+    splitting recovers it.
+
+    {!improve} is a greedy first-improvement search over single-state
+    splits, evaluating each candidate with the OSTR solver. *)
+
+type improvement = {
+  machine : Stc_fsm.Machine.t;  (** the (possibly split) machine *)
+  solution : Solver.solution;  (** OSTR optimum of [machine] *)
+  splits : (int * (int * int) list) list;
+      (** the splits applied, outermost last: state index (in the machine
+          at the time of the split) and the incoming edges (source, input)
+          moved to the new copy *)
+}
+
+(** [split machine ~state ~moved] returns a machine with one extra state:
+    a copy of [state] with the same outgoing transitions; each incoming
+    edge [(source, input)] listed in [moved] is redirected to the copy.
+    Behaviour is preserved ([Machine.equal_behaviour] holds).
+
+    @raise Invalid_argument if an edge in [moved] does not lead to
+    [state], or if [state] is out of range.  Moving the implicit "reset
+    enters here" edge is expressed by [moved] containing [(-1, 0)]. *)
+val split :
+  Stc_fsm.Machine.t -> state:int -> moved:(int * int) list -> Stc_fsm.Machine.t
+
+(** [incoming machine state] lists the edges [(source, input)] with
+    [delta source input = state]. *)
+val incoming : Stc_fsm.Machine.t -> int -> (int * int) list
+
+(** [improve ?timeout ?max_in_degree ?max_rounds ?max_states machine] runs
+    the greedy search:
+
+    - solve OSTR for the current machine;
+    - for every state whose in-degree is at most [max_in_degree] (default
+      10), enumerate all proper bipartitions of its incoming edges, split,
+      re-solve, and accept the first split that strictly improves the
+      solver cost;
+    - repeat for up to [max_rounds] (default 3) or until [max_states]
+      (default [2 * num_states]) is reached or no split helps.
+
+    The result's machine always behaves exactly like the input. *)
+val improve :
+  ?timeout:float ->
+  ?max_in_degree:int ->
+  ?max_rounds:int ->
+  ?max_states:int ->
+  Stc_fsm.Machine.t ->
+  improvement

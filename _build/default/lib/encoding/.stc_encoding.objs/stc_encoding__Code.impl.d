@@ -1,0 +1,1 @@
+lib/encoding/code.ml: Array Hashtbl Stc_fsm

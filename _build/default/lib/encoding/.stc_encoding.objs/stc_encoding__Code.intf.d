@@ -1,0 +1,1 @@
+lib/encoding/code.mli: Stc_fsm

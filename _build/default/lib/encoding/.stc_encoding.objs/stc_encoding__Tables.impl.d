@@ -1,0 +1,1 @@
+lib/encoding/tables.ml: Array Code List Stc_core Stc_fsm Stc_logic Stc_partition String

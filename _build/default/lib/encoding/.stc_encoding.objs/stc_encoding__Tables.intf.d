@@ -1,0 +1,1 @@
+lib/encoding/tables.mli: Code Stc_core Stc_fsm Stc_logic

@@ -1,0 +1,78 @@
+module Machine = Stc_fsm.Machine
+
+type t = { width : int; codes : int array }
+
+let make ~width codes =
+  let n = Array.length codes in
+  if n = 0 then invalid_arg "Code.make: no states";
+  if width < 1 || width > 30 then invalid_arg "Code.make: width out of range";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= 1 lsl width then invalid_arg "Code.make: code out of range";
+      if Hashtbl.mem seen c then invalid_arg "Code.make: duplicate code";
+      Hashtbl.replace seen c ())
+    codes;
+  { width; codes = Array.copy codes }
+
+let binary ~num_states =
+  let width = max 1 (Machine.bits_for num_states) in
+  { width; codes = Array.init num_states (fun s -> s) }
+
+let gray ~num_states =
+  let width = max 1 (Machine.bits_for num_states) in
+  { width; codes = Array.init num_states (fun s -> s lxor (s lsr 1)) }
+
+let one_hot ~num_states =
+  if num_states > 30 then invalid_arg "Code.one_hot: too many states";
+  { width = num_states; codes = Array.init num_states (fun s -> 1 lsl s) }
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let adjacency_cost (m : Machine.t) code =
+  let total = ref 0 in
+  Machine.iter_transitions m (fun s _ s' _ ->
+      total := !total + popcount (code.codes.(s) lxor code.codes.(s')));
+  !total
+
+let heuristic (m : Machine.t) =
+  let code = binary ~num_states:m.num_states in
+  let codes = Array.copy code.codes in
+  let current = ref (adjacency_cost m { code with codes }) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for s = 0 to m.num_states - 1 do
+      for t = s + 1 to m.num_states - 1 do
+        let tmp = codes.(s) in
+        codes.(s) <- codes.(t);
+        codes.(t) <- tmp;
+        let cost = adjacency_cost m { code with codes } in
+        if cost < !current then begin
+          current := cost;
+          improved := true
+        end
+        else begin
+          let tmp = codes.(s) in
+          codes.(s) <- codes.(t);
+          codes.(t) <- tmp
+        end
+      done
+    done
+  done;
+  { code with codes }
+
+let bit code ~state ~k =
+  code.codes.(state) land (1 lsl (code.width - 1 - k)) <> 0
+
+let used code =
+  let u = Array.make (1 lsl code.width) false in
+  Array.iter (fun c -> u.(c) <- true) code.codes;
+  u
+
+let decode code word =
+  let found = ref None in
+  Array.iteri (fun s c -> if c = word && !found = None then found := Some s) code.codes;
+  !found

@@ -1,0 +1,39 @@
+(** State assignments: injective maps from states to binary codes. *)
+
+type t = private {
+  width : int;  (** code length in bits *)
+  codes : int array;  (** [codes.(s)] is the code of state [s], < 2^width *)
+}
+
+(** [make ~width codes] validates injectivity and range. *)
+val make : width:int -> int array -> t
+
+(** [binary ~num_states] assigns codes 0, 1, 2, ... with minimal width. *)
+val binary : num_states:int -> t
+
+(** [gray ~num_states] assigns consecutive Gray codes with minimal
+    width. *)
+val gray : num_states:int -> t
+
+(** [one_hot ~num_states] assigns one bit per state. *)
+val one_hot : num_states:int -> t
+
+(** [heuristic machine] starts from the binary assignment and hill-climbs
+    code swaps to minimize the transition-weighted Hamming distance - a
+    light-weight stand-in for MUSTANG/NOVA-style encoding. *)
+val heuristic : Stc_fsm.Machine.t -> t
+
+(** [bit code ~state ~k] is bit [k] (MSB first) of the state's code. *)
+val bit : t -> state:int -> k:int -> bool
+
+(** [used code] marks which code words are taken; length [2^width].
+    Unused words become don't-cares of the synthesized tables. *)
+val used : t -> bool array
+
+(** [decode code word] is the state with code [word], if any. *)
+val decode : t -> int -> int option
+
+(** [adjacency_cost machine code] is the sum over transitions of the
+    Hamming distance between the source and target codes (the objective of
+    {!heuristic}). *)
+val adjacency_cost : Stc_fsm.Machine.t -> t -> int

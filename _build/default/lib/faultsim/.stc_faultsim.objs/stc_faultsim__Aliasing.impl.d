@@ -1,0 +1,1 @@
+lib/faultsim/aliasing.ml: Arch Array List Netlist Stc_bist

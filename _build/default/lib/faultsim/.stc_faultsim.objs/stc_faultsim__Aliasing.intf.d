@@ -1,0 +1,1 @@
+lib/faultsim/aliasing.mli: Arch

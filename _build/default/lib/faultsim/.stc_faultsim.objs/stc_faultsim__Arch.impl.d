@@ -1,0 +1,1 @@
+lib/faultsim/arch.ml: Array Hashtbl List Netlist Option Printf Session Stc_bist Stc_encoding Stc_fsm Stc_logic

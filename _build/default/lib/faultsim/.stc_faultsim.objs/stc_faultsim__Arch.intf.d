@@ -1,0 +1,1 @@
+lib/faultsim/arch.mli: Netlist Session Stc_encoding Stc_fsm

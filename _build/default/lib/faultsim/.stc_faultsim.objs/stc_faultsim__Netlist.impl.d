@@ -1,0 +1,1 @@
+lib/faultsim/netlist.ml: Stc_netlist

@@ -1,0 +1,1 @@
+lib/faultsim/scan.ml: Arch Array Netlist Session Stc_bist Stc_encoding Stc_fsm

@@ -1,0 +1,1 @@
+lib/faultsim/scan.mli: Session Stc_fsm

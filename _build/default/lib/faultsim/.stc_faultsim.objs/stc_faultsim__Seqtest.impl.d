@@ -1,0 +1,1 @@
+lib/faultsim/seqtest.ml: Arch Array Int64 List Netlist Stc_encoding Stc_fsm Stc_util

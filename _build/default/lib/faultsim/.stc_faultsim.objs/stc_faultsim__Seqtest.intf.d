@@ -1,0 +1,1 @@
+lib/faultsim/seqtest.mli: Netlist Stc_fsm

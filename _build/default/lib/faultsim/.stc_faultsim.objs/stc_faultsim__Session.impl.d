@@ -1,0 +1,1 @@
+lib/faultsim/session.ml: Array List Netlist

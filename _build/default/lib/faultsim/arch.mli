@@ -1,0 +1,63 @@
+(** Gate-level models of the paper's four controller structures (figs. 1-4)
+    and their self-test sessions.
+
+    All blocks are two-level networks synthesized from espresso-minimized
+    covers.  Registers are part of the test-equipment model: the stimulus
+    generator replays LFSR patterns into the register-output nets and
+    records what the MISRs would compress, so each architecture reduces to
+    a combinational netlist plus per-session (stimuli, observed) pairs -
+    see {!Session}.
+
+    What the structures demonstrate (section 1 of the paper):
+    - fig. 2 (conventional BIST): the test register T drives C through a
+      multiplexer during self-test, so the feedback lines from R and the
+      R-side multiplexer pins are never exercised - their faults escape;
+    - fig. 3 (doubled): full coverage, but two full-width registers and two
+      copies of C;
+    - fig. 4 (pipeline): full coverage with the factored blocks C1/C2 and
+      registers sized by the OSTR factors. *)
+
+type built = {
+  label : string;
+  netlist : Netlist.t;
+  sessions : (Session.stimuli * int array) list;
+      (** one (stimuli, observed gates) pair per self-test session *)
+  tags : (string * int list) list;
+      (** named gate groups, e.g. "feedback", "mux", "c1" - for classifying
+          undetected faults *)
+  flipflops : int;  (** register bits of the full structure *)
+}
+
+(** [conventional machine] is the plain fig. 1 structure (block C plus
+    feedback buffers).  It has no self-test session; useful for area
+    stats. *)
+val conventional : Stc_fsm.Machine.t -> built
+
+(** [conventional_bist ?cycles machine] is the fig. 2 structure: C,
+    feedback buffers from R, a test-mode multiplexer column, and the test
+    register T.  One session: T and the primary inputs run as LFSRs, the
+    next-state and output lines are observed (R and an output MISR
+    compress them).  [cycles] defaults to 1024. *)
+val conventional_bist : ?cycles:int -> Stc_fsm.Machine.t -> built
+
+(** [doubled ?cycles machine] is the fig. 3 structure: two copies of C in a
+    ring.  Two sessions, each testing one copy. *)
+val doubled : ?cycles:int -> Stc_fsm.Machine.t -> built
+
+(** [pipeline ?cycles tables] is the fig. 4 structure built from the OSTR
+    realization's minimized C1/C2/Lambda blocks.  Two sessions: R1
+    generates while R2 compresses, then the roles swap. *)
+val pipeline : ?cycles:int -> Stc_encoding.Tables.pipeline -> built
+
+(** [pipeline_of_machine ?cycles ?timeout machine] runs the OSTR solver,
+    minimizes the factor blocks and builds the fig. 4 model. *)
+val pipeline_of_machine :
+  ?cycles:int -> ?timeout:float -> Stc_fsm.Machine.t -> built
+
+(** [grade built] runs all sessions and merges the verdicts
+    ({!Session.run_sessions}). *)
+val grade : built -> Session.report
+
+(** [undetected_by_tag built report] buckets the undetected faults by tag
+    name ("other" when untagged). *)
+val undetected_by_tag : built -> Session.report -> (string * int) list

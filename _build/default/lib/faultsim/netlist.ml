@@ -1,0 +1,3 @@
+(* Re-export so that [Stc_faultsim.Netlist] is the netlist type appearing
+   in this library's interfaces. *)
+include Stc_netlist.Netlist

@@ -1,0 +1,34 @@
+module Tables = Stc_encoding.Tables
+module Lfsr = Stc_bist.Lfsr
+
+type result = {
+  report : Session.report;
+  patterns : int;
+  chain_length : int;
+  test_cycles : int;
+  extra_muxes : int;
+}
+
+let run ?(patterns = 1024) machine =
+  let built = Arch.conventional machine in
+  let net = built.Arch.netlist in
+  let enc = Tables.encode machine in
+  let w = enc.Tables.state_code.Stc_encoding.Code.width in
+  let iw = enc.Tables.input_width in
+  (* Pseudo-random (input, scanned state) patterns from one wide LFSR, as
+     in Arch's session generators. *)
+  let gen = Lfsr.create ~width:(min 32 (max 8 (iw + w + 2))) ~seed:0b1011 () in
+  let stimuli =
+    Array.init patterns (fun _ ->
+        let v = Lfsr.next_pattern gen in
+        Array.init (iw + w) (fun k -> (v lsr k) land 1))
+  in
+  let observed = Array.map snd net.Netlist.outputs in
+  let report = Session.run ~label:(machine.Stc_fsm.Machine.name ^ " scan") net ~stimuli ~observed in
+  {
+    report;
+    patterns;
+    chain_length = w;
+    test_cycles = patterns * (w + 1);
+    extra_muxes = w;
+  }

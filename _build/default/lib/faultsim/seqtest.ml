@@ -1,0 +1,121 @@
+module Rng = Stc_util.Rng
+module Tables = Stc_encoding.Tables
+
+type result = {
+  total : int;
+  detected : int;
+  coverage : float;
+  detection_cycles : int array;
+  cycles : int;
+}
+
+let lane_mask = (1 lsl Netlist.word_bits) - 1
+
+(* Spread bit [k] (MSB first, width [w]) of [code] to all lanes. *)
+let code_bit_word ~width code k =
+  if code land (1 lsl (width - 1 - k)) <> 0 then lane_mask else 0
+
+let run ?(seed = 20240705) ~cycles ~state_width ~reset_code (net : Netlist.t) =
+  let num_inputs = Array.length net.Netlist.inputs in
+  if num_inputs <= state_width then
+    invalid_arg "Seqtest.run: netlist has no primary inputs beside the state";
+  let primary = num_inputs - state_width in
+  let num_outputs = Array.length net.Netlist.outputs in
+  if num_outputs <= state_width then
+    invalid_arg "Seqtest.run: netlist has no primary outputs beside next-state";
+  let ns_gates =
+    Array.init state_width (fun k -> snd net.Netlist.outputs.(k))
+  in
+  let po_gates =
+    Array.init (num_outputs - state_width) (fun k ->
+        snd net.Netlist.outputs.(state_width + k))
+  in
+  (* One independent random input stream per lane: pre-draw a word per
+     primary input per cycle. *)
+  let rng = Rng.create seed in
+  let stimulus =
+    Array.init cycles (fun _ ->
+        Array.init primary (fun _ ->
+            Int64.to_int (Int64.logand (Rng.bits64 rng) 0x3FFFFFFFFFFFFFFFL)
+            land lane_mask))
+  in
+  let initial_state =
+    Array.init state_width (code_bit_word ~width:state_width reset_code)
+  in
+  let simulate ?fault ~observe () =
+    (* [observe cycle po_words] may stop the run by returning true. *)
+    let state = Array.copy initial_state in
+    let stopped = ref None in
+    let cycle = ref 0 in
+    while !stopped = None && !cycle < cycles do
+      let inputs = Array.append stimulus.(!cycle) state in
+      let values = Netlist.eval ?fault net ~inputs in
+      let po = Array.map (fun g -> values.(g)) po_gates in
+      if observe !cycle po then stopped := Some !cycle
+      else begin
+        Array.iteri (fun k g -> state.(k) <- values.(g) land lane_mask) ns_gates;
+        incr cycle
+      end
+    done;
+    !stopped
+  in
+  (* Golden primary-output trace. *)
+  let golden = Array.make cycles [||] in
+  ignore
+    (simulate ~observe:(fun cycle po ->
+         golden.(cycle) <- po;
+         false)
+       ());
+  let faults = Netlist.fault_sites net in
+  let detections = ref [] in
+  let detected = ref 0 in
+  List.iter
+    (fun fault ->
+      let hit =
+        simulate ~fault
+          ~observe:(fun cycle po ->
+            let differs = ref false in
+            Array.iteri
+              (fun k v ->
+                if (v lxor golden.(cycle).(k)) land lane_mask <> 0 then
+                  differs := true)
+              po;
+            !differs)
+          ()
+      in
+      match hit with
+      | Some cycle ->
+        incr detected;
+        detections := cycle :: !detections
+      | None -> ())
+    faults;
+  let detection_cycles = Array.of_list !detections in
+  Array.sort compare detection_cycles;
+  let total = List.length faults in
+  {
+    total;
+    detected = !detected;
+    coverage =
+      (if total = 0 then 1.0 else float_of_int !detected /. float_of_int total);
+    detection_cycles;
+    cycles;
+  }
+
+let run_conventional ?seed ?(cycles = 2048) machine =
+  let built = Arch.conventional machine in
+  let enc = Tables.encode machine in
+  let code = enc.Tables.state_code in
+  run ?seed ~cycles ~state_width:code.Stc_encoding.Code.width
+    ~reset_code:code.Stc_encoding.Code.codes.(machine.Stc_fsm.Machine.reset)
+    built.Arch.netlist
+
+let cycles_to_coverage result fraction =
+  if result.detected = 0 then None
+  else begin
+    let index =
+      min (result.detected - 1)
+        (int_of_float (ceil (fraction *. float_of_int result.detected)) - 1)
+    in
+    let index = max 0 index in
+    Some (result.detection_cycles.(index) + 1)
+  end

@@ -1,0 +1,51 @@
+(** Sequential random testing of the plain fig. 1 structure - the baseline
+    the paper argues against.
+
+    Without BIST, the controller can only be tested through its primary
+    inputs and outputs: fault effects must first be driven into the state
+    register and then propagated to an output, which is why "the necessary
+    test sequences might be prohibitively long" (section 1).  This module
+    quantifies that: it applies random input sequences to the sequential
+    circuit (state register fed back each cycle) and records, per stuck-at
+    fault, the first cycle at which a primary output differs.
+
+    Simulation is lane-parallel: each of the {!Netlist.word_bits} word
+    lanes carries an independent random test sequence with its own state
+    evolution, so one pass grades 62 sequences at once. *)
+
+type result = {
+  total : int;  (** faults graded *)
+  detected : int;
+  coverage : float;
+  detection_cycles : int array;
+      (** sorted first-detection cycle (over the best lane) for each
+          detected fault; length [detected] *)
+  cycles : int;  (** sequence length applied *)
+}
+
+(** [run ?seed ~cycles built] grades all faults of a {!Arch.conventional}
+    structure (or any [built] whose netlist has inputs
+    [primary @ state-register bits] and outputs [next-state @ primary
+    outputs] in that order) under random primary-input sequences.  The
+    state register is [state_width] bits wide and starts at the reset
+    code; only the primary outputs are observed.
+
+    @raise Invalid_argument if the netlist shape does not match. *)
+val run :
+  ?seed:int ->
+  cycles:int ->
+  state_width:int ->
+  reset_code:int ->
+  Netlist.t ->
+  result
+
+(** [run_conventional ?seed ?cycles machine] builds the fig. 1 structure
+    and grades it. *)
+val run_conventional :
+  ?seed:int -> ?cycles:int -> Stc_fsm.Machine.t -> result
+
+(** [cycles_to_coverage result fraction] is the sequence length after
+    which [fraction] of the {e detected} faults had been found, or [None]
+    if nothing was detected.  Useful for "test length to reach 90%"
+    comparisons. *)
+val cycles_to_coverage : result -> float -> int option

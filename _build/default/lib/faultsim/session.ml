@@ -1,0 +1,105 @@
+type stimuli = int array array
+
+type report = {
+  label : string;
+  total : int;
+  detected : int;
+  coverage : float;
+  undetected : Netlist.fault list;
+}
+
+let pack (stimuli : stimuli) =
+  match Array.length stimuli with
+  | 0 -> []
+  | cycles ->
+    let num_inputs = Array.length stimuli.(0) in
+    let w = Netlist.word_bits in
+    let batches = (cycles + w - 1) / w in
+    List.init batches (fun b ->
+        Array.init num_inputs (fun k ->
+            let word = ref 0 in
+            for lane = 0 to w - 1 do
+              let cycle = (b * w) + lane in
+              if cycle < cycles && stimuli.(cycle).(k) <> 0 then
+                word := !word lor (1 lsl lane)
+            done;
+            !word))
+
+(* Mask of the lanes that carry real cycles in batch [b]. *)
+let lane_masks ~cycles =
+  let w = Netlist.word_bits in
+  let batches = (cycles + w - 1) / w in
+  List.init batches (fun b ->
+      let valid = min w (cycles - (b * w)) in
+      (* (1 lsl 62) - 1 = max_int: exactly the 62 pattern lanes. *)
+      (1 lsl valid) - 1)
+
+let observe netlist ?fault ~inputs observed =
+  let values = Netlist.eval ?fault netlist ~inputs in
+  Array.map (fun g -> values.(g)) observed
+
+let grade netlist ~batches ~masks ~observed faults =
+  (* Golden responses per batch. *)
+  let golden =
+    List.map (fun inputs -> observe netlist ~inputs observed) batches
+  in
+  let undetected = ref [] and detected = ref 0 in
+  List.iter
+    (fun fault ->
+      let rec try_batches batches golden masks =
+        match (batches, golden, masks) with
+        | [], [], [] -> false
+        | inputs :: rest, g :: grest, m :: mrest ->
+          let faulty = observe netlist ~fault ~inputs observed in
+          let differs = ref false in
+          Array.iteri
+            (fun k v -> if (v lxor g.(k)) land m <> 0 then differs := true)
+            faulty;
+          !differs || try_batches rest grest mrest
+        | _ -> assert false
+      in
+      if try_batches batches golden masks then incr detected
+      else undetected := fault :: !undetected)
+    faults;
+  (!detected, List.rev !undetected)
+
+let run ~label netlist ~stimuli ~observed =
+  let faults = Netlist.fault_sites netlist in
+  let batches = pack stimuli in
+  let masks = lane_masks ~cycles:(Array.length stimuli) in
+  let detected, undetected = grade netlist ~batches ~masks ~observed faults in
+  let total = List.length faults in
+  {
+    label;
+    total;
+    detected;
+    coverage = (if total = 0 then 1.0 else float_of_int detected /. float_of_int total);
+    undetected;
+  }
+
+let run_sessions ~label netlist sessions =
+  let faults = Netlist.fault_sites netlist in
+  let total = List.length faults in
+  let remaining = ref faults and detected = ref 0 in
+  List.iter
+    (fun (stimuli, observed) ->
+      let batches = pack stimuli in
+      let masks = lane_masks ~cycles:(Array.length stimuli) in
+      let d, undetected = grade netlist ~batches ~masks ~observed !remaining in
+      detected := !detected + d;
+      remaining := undetected)
+    sessions;
+  {
+    label;
+    total;
+    detected = !detected;
+    coverage =
+      (if total = 0 then 1.0 else float_of_int !detected /. float_of_int total);
+    undetected = !remaining;
+  }
+
+let fault_on (fault : Netlist.fault) tags =
+  List.find_map
+    (fun (name, gates) ->
+      if List.mem fault.Netlist.gate gates then Some name else None)
+    tags

@@ -1,0 +1,50 @@
+(** Self-test session simulation and single-stuck-at fault grading.
+
+    A session applies a deterministic stimulus stream to a combinational
+    netlist (the registers are part of the test equipment model: LFSRs
+    generate, MISRs compress - see {!Arch}) and observes a set of nets.  A
+    fault is detected when any observed net differs from the fault-free
+    value in any cycle.
+
+    Two deliberate modelling simplifications, both conservative:
+    - compression aliasing is ignored (streams are compared directly, as
+      if the MISR were ideal);
+    - register contents are replayed from the fault-free run, so fault
+      effects that would detour through a compressing register are not
+      credited with extra detections. *)
+
+type stimuli = int array array
+(** [stimuli.(cycle).(k)] is the 0/1 value of netlist input [k]. *)
+
+type report = {
+  label : string;
+  total : int;  (** faults simulated *)
+  detected : int;
+  coverage : float;  (** detected / total *)
+  undetected : Netlist.fault list;
+}
+
+(** [run ~label netlist ~stimuli ~observed] grades every fault site of the
+    netlist against the stimulus stream, observing the gates in
+    [observed].  Patterns are packed {!Netlist.word_bits} per simulation
+    word and faults are dropped at first detection. *)
+val run :
+  label:string -> Netlist.t -> stimuli:stimuli -> observed:int array -> report
+
+(** [run_sessions ~label netlist sessions] grades the same fault universe
+    against several sessions (e.g. the two sessions of fig. 4); a fault
+    counts as detected when any session detects it. *)
+val run_sessions :
+  label:string ->
+  Netlist.t ->
+  (stimuli * int array) list ->
+  report
+
+(** [pack stimuli] transposes a cycle-major 0/1 matrix into word-parallel
+    batches: one [int array] of input words per group of
+    {!Netlist.word_bits} cycles. *)
+val pack : stimuli -> int array list
+
+(** [fault_on fault tags] finds the tag naming the fault's gate, if any;
+    used to classify undetected faults (e.g. "feedback"). *)
+val fault_on : Netlist.fault -> (string * int list) list -> string option

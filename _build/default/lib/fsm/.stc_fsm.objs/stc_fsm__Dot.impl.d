@@ -1,0 +1,1 @@
+lib/fsm/dot.ml: Array Buffer Hashtbl List Machine Printf String

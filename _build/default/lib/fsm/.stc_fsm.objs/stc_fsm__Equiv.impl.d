@@ -1,0 +1,1 @@
+lib/fsm/equiv.ml: Array Hashtbl Machine

@@ -1,0 +1,1 @@
+lib/fsm/generate.ml: Array Equiv Hashtbl List Machine Printf Queue Reach Stc_util String

@@ -1,0 +1,1 @@
+lib/fsm/generate.mli: Machine Stc_util

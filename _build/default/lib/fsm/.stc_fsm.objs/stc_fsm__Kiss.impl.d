@@ -1,0 +1,1 @@
+lib/fsm/kiss.ml: Array Buffer Filename Hashtbl Lazy List Machine Printf String

@@ -1,0 +1,1 @@
+lib/fsm/machine.ml: Array Format Hashtbl List Printf Queue String

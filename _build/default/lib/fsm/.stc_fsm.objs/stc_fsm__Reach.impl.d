@@ -1,0 +1,1 @@
+lib/fsm/reach.ml: Array Machine Queue

@@ -1,0 +1,1 @@
+lib/fsm/reach.mli: Machine

@@ -1,0 +1,1 @@
+lib/fsm/zoo.ml: Array Machine Printf String

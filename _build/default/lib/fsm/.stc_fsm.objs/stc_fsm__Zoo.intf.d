@@ -1,0 +1,1 @@
+lib/fsm/zoo.mli: Machine

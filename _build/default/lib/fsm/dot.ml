@@ -1,0 +1,36 @@
+let render ?pi_classes (m : Machine.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %S {\n  rankdir=LR;\n  node [shape=circle];\n" m.name;
+  add "  __start [shape=point];\n  __start -> q%d;\n" m.reset;
+  begin
+    match pi_classes with
+    | None ->
+      for s = 0 to m.num_states - 1 do
+        add "  q%d [label=%S];\n" s m.state_names.(s)
+      done
+    | Some cls ->
+      let num_classes = 1 + Array.fold_left max 0 cls in
+      for c = 0 to num_classes - 1 do
+        add "  subgraph cluster_%d {\n    label=\"class %d\";\n" c c;
+        for s = 0 to m.num_states - 1 do
+          if cls.(s) = c then add "    q%d [label=%S];\n" s m.state_names.(s)
+        done;
+        add "  }\n"
+      done
+  end;
+  (* Merge parallel edges into one label per (src, dst). *)
+  let edges = Hashtbl.create 64 in
+  Machine.iter_transitions m (fun s i s' o ->
+      let label = Printf.sprintf "%s/%s" m.input_names.(i) m.output_names.(o) in
+      let key = (s, s') in
+      Hashtbl.replace edges key
+        (match Hashtbl.find_opt edges key with
+        | None -> [ label ]
+        | Some ls -> label :: ls));
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) edges []
+  |> List.sort compare
+  |> List.iter (fun ((s, s'), labels) ->
+         add "  q%d -> q%d [label=%S];\n" s s' (String.concat "\\n" labels));
+  add "}\n";
+  Buffer.contents buf

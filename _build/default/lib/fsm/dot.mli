@@ -1,0 +1,8 @@
+(** Graphviz DOT export of machines, optionally colouring states by the
+    classes of a partition pair (handy for visualising OSTR solutions). *)
+
+(** [render ?pi_classes m] returns DOT text.  Transitions are labelled
+    [input/output]; parallel edges between the same states are merged.
+    When [pi_classes] is given, states are grouped into clusters by
+    class. *)
+val render : ?pi_classes:int array -> Machine.t -> string

@@ -1,0 +1,77 @@
+(* Moore-style partition refinement.  Complexity O(n^2 * inputs) worst case,
+   ample for benchmark-sized controllers (<= a few hundred states). *)
+
+let group_by_signature num_states signature =
+  let table = Hashtbl.create num_states in
+  let cls = Array.make num_states (-1) in
+  for s = 0 to num_states - 1 do
+    let key = signature s in
+    match Hashtbl.find_opt table key with
+    | Some id -> cls.(s) <- id
+    | None ->
+      let id = Hashtbl.length table in
+      Hashtbl.replace table key id;
+      cls.(s) <- id
+  done;
+  (cls, Hashtbl.length table)
+
+let classes (m : Machine.t) =
+  let cls, count = group_by_signature m.num_states (fun s -> m.output.(s)) in
+  let cls = ref cls and count = ref count in
+  let stable = ref false in
+  while not !stable do
+    let prev = !cls in
+    let signature s =
+      (prev.(s), Array.map (fun s' -> prev.(s')) m.next.(s))
+    in
+    let cls', count' = group_by_signature m.num_states signature in
+    if count' = !count then stable := true;
+    cls := cls';
+    count := count'
+  done;
+  (* Renumber by first occurrence for a canonical result. *)
+  let remap = Hashtbl.create !count in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt remap c with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length remap in
+        Hashtbl.replace remap c id;
+        id)
+    !cls
+
+let num_classes m =
+  let cls = classes m in
+  1 + Array.fold_left max 0 cls
+
+let is_reduced (m : Machine.t) = num_classes m = m.num_states
+
+let equivalent m s t =
+  let cls = classes m in
+  cls.(s) = cls.(t)
+
+let minimize (m : Machine.t) =
+  let cls = classes m in
+  let count = 1 + Array.fold_left max 0 cls in
+  if count = m.num_states then m
+  else begin
+    let representative = Array.make count (-1) in
+    for s = m.num_states - 1 downto 0 do
+      representative.(cls.(s)) <- s
+    done;
+    let next = Array.make_matrix count m.num_inputs 0 in
+    let output = Array.make_matrix count m.num_inputs 0 in
+    let state_names = Array.make count "" in
+    for c = 0 to count - 1 do
+      let s = representative.(c) in
+      state_names.(c) <- m.state_names.(s);
+      for i = 0 to m.num_inputs - 1 do
+        next.(c).(i) <- cls.(m.next.(s).(i));
+        output.(c).(i) <- m.output.(s).(i)
+      done
+    done;
+    Machine.make ~name:m.name ~num_states:count ~num_inputs:m.num_inputs
+      ~num_outputs:m.num_outputs ~next ~output ~reset:cls.(m.reset)
+      ~state_names ~input_names:m.input_names ~output_names:m.output_names ()
+  end

@@ -1,0 +1,28 @@
+(** State equivalence [(~=)] of Mealy machines and state minimization.
+
+    Two states are equivalent when they produce the same output word for
+    every input word.  The equivalence partition is the [e] relation of the
+    paper's Theorem 1: a symmetric partition pair [(pi, rho)] supports a
+    self-testable realization exactly when [pi /\ rho] refines [e]. *)
+
+(** [classes m] maps each state to a dense equivalence-class index
+    (numbered by first occurrence).  Computed by Moore-style partition
+    refinement: the initial partition groups states with identical output
+    rows, then blocks are split by successor classes until stable. *)
+val classes : Machine.t -> int array
+
+(** [num_classes m] is the number of equivalence classes. *)
+val num_classes : Machine.t -> int
+
+(** [is_reduced m] holds when no two distinct states are equivalent. *)
+val is_reduced : Machine.t -> bool
+
+(** [equivalent m s t] tests equivalence of two states of the same
+    machine. *)
+val equivalent : Machine.t -> int -> int -> bool
+
+(** [minimize m] returns the quotient machine with one state per
+    equivalence class (class of the reset state becomes the new reset;
+    state names are taken from the first member of each class).  The
+    result is behaviourally equivalent to [m] and reduced. *)
+val minimize : Machine.t -> Machine.t

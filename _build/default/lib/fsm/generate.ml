@@ -1,0 +1,225 @@
+module Rng = Stc_util.Rng
+
+type product_info = {
+  machine : Machine.t;
+  pi_classes : int array;
+  rho_classes : int array;
+  num_pi : int;
+  num_rho : int;
+}
+
+let binary_output_names n =
+  let width = max 1 (Machine.bits_for n) in
+  Array.init n (fun o ->
+      String.init width (fun k ->
+          if o land (1 lsl (width - 1 - k)) <> 0 then '1' else '0'))
+
+let binary_input_names n =
+  if n land (n - 1) <> 0 then
+    invalid_arg "Generate: num_inputs must be a power of two";
+  let width = max 1 (Machine.bits_for n) in
+  Array.init n (fun i ->
+      String.init width (fun k ->
+          if i land (1 lsl (width - 1 - k)) <> 0 then '1' else '0'))
+
+(* Rewire single transitions until every node is reachable from [start]:
+   pick an unreachable node, redirect a random transition of a reachable
+   node to it.  Terminates because each repair makes one more node
+   reachable. *)
+let repair_reachability ~rng ~num_inputs next start =
+  let n = Array.length next in
+  let reach () =
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(start) <- true;
+    Queue.add start queue;
+    while not (Queue.is_empty queue) do
+      let s = Queue.take queue in
+      Array.iter
+        (fun s' ->
+          if not seen.(s') then begin
+            seen.(s') <- true;
+            Queue.add s' queue
+          end)
+        next.(s)
+    done;
+    seen
+  in
+  let continue = ref true in
+  while !continue do
+    let seen = reach () in
+    let unreachable = ref [] in
+    Array.iteri (fun s ok -> if not ok then unreachable := s :: !unreachable) seen;
+    match !unreachable with
+    | [] -> continue := false
+    | missing ->
+      let reachable_states =
+        Array.of_list
+          (List.filter (fun s -> seen.(s)) (List.init n (fun s -> s)))
+      in
+      let target = List.nth missing (Rng.int rng (List.length missing)) in
+      let s = Rng.pick rng reachable_states in
+      next.(s).(Rng.int rng num_inputs) <- target
+  done
+
+let random ~rng ~name ~num_states ~num_inputs ~num_outputs
+    ?(ensure_reduced = true) ?(max_attempts = 500) () =
+  let next =
+    Array.init num_states (fun _ ->
+        Array.init num_inputs (fun _ -> Rng.int rng num_states))
+  in
+  repair_reachability ~rng ~num_inputs next 0;
+  let draw_outputs () =
+    Array.init num_states (fun _ ->
+        Array.init num_inputs (fun _ -> Rng.int rng num_outputs))
+  in
+  let build output =
+    Machine.make ~name ~num_states ~num_inputs ~num_outputs ~next ~output
+      ~input_names:(binary_input_names num_inputs)
+      ~output_names:(binary_output_names num_outputs) ()
+  in
+  let rec attempt k =
+    if k > max_attempts then
+      invalid_arg
+        (Printf.sprintf "Generate.random: no reduced machine for %s in %d attempts"
+           name max_attempts);
+    let m = build (draw_outputs ()) in
+    if (not ensure_reduced) || Equiv.is_reduced m then m else attempt (k + 1)
+  in
+  attempt 1
+
+(* Block-level dynamics sigma with all blocks reachable from block 0. *)
+let block_dynamics ~rng ~num_blocks ~num_inputs =
+  let sigma =
+    Array.init num_blocks (fun _ ->
+        Array.init num_inputs (fun _ -> Rng.int rng num_blocks))
+  in
+  repair_reachability ~rng ~num_inputs sigma 0;
+  sigma
+
+let block_product ~rng ~name ~blocks ~num_inputs ~num_outputs
+    ?(distinct_signatures = true) ?(max_attempts = 2000) () =
+  if blocks = [] then invalid_arg "Generate.block_product: no blocks";
+  List.iter
+    (fun (r, c) ->
+      if r < 1 || c < 1 then invalid_arg "Generate.block_product: block sizes >= 1")
+    blocks;
+  let blocks = Array.of_list blocks in
+  let num_blocks = Array.length blocks in
+  (* Global ids for the S1 side (a) and S2 side (b), block by block. *)
+  let a_base = Array.make num_blocks 0 and b_base = Array.make num_blocks 0 in
+  let num_pi = ref 0 and num_rho = ref 0 in
+  Array.iteri
+    (fun j (r, c) ->
+      a_base.(j) <- !num_pi;
+      b_base.(j) <- !num_rho;
+      num_pi := !num_pi + r;
+      num_rho := !num_rho + c)
+    blocks;
+  let num_pi = !num_pi and num_rho = !num_rho in
+  (* States: all (a, b) pairs inside each block. *)
+  let state_of = Hashtbl.create 64 in
+  let coords = ref [] in
+  let num_states = ref 0 in
+  Array.iteri
+    (fun j (r, c) ->
+      for ra = 0 to r - 1 do
+        for cb = 0 to c - 1 do
+          let a = a_base.(j) + ra and b = b_base.(j) + cb in
+          Hashtbl.replace state_of (a, b) !num_states;
+          coords := (a, b, j) :: !coords;
+          incr num_states
+        done
+      done)
+    blocks;
+  let num_states = !num_states in
+  let coords = Array.of_list (List.rev !coords) in
+  let block_of_a = Array.make num_pi 0 and block_of_b = Array.make num_rho 0 in
+  Array.iteri
+    (fun j (r, c) ->
+      for ra = 0 to r - 1 do block_of_a.(a_base.(j) + ra) <- j done;
+      for cb = 0 to c - 1 do block_of_b.(b_base.(j) + cb) <- j done)
+    blocks;
+  let attempt () =
+    let sigma = block_dynamics ~rng ~num_blocks ~num_inputs in
+    (* f : a x i -> element of the B side of block sigma(block(a), i);
+       g : b x i -> element of the A side of block sigma(block(b), i). *)
+    let f =
+      Array.init num_pi (fun a ->
+          Array.init num_inputs (fun i ->
+              let j = sigma.(block_of_a.(a)).(i) in
+              b_base.(j) + Rng.int rng (snd blocks.(j))))
+    and g =
+      Array.init num_rho (fun b ->
+          Array.init num_inputs (fun i ->
+              let j = sigma.(block_of_b.(b)).(i) in
+              a_base.(j) + Rng.int rng (fst blocks.(j))))
+    in
+    (* Distinct successor signatures make the planted pair "Mm-clean":
+       rows of f pairwise distinct force M(rho) = pi, rows of g force
+       M(pi) = rho, so the OSTR search provably recovers the planted
+       factor sizes (see DESIGN.md). *)
+    let all_rows_distinct table =
+      let seen = Hashtbl.create 16 in
+      Array.for_all
+        (fun row ->
+          if Hashtbl.mem seen row then false
+          else begin
+            Hashtbl.replace seen row ();
+            true
+          end)
+        table
+    in
+    if distinct_signatures && not (all_rows_distinct f && all_rows_distinct g)
+    then None
+    else begin
+    let next = Array.make_matrix num_states num_inputs 0 in
+    Array.iteri
+      (fun s (a, b, _) ->
+        for i = 0 to num_inputs - 1 do
+          let a' = g.(b).(i) and b' = f.(a).(i) in
+          (* a' and b' live in the same block sigma(..., i) only when
+             block_of_a a = block_of_b b, which holds for states. *)
+          match Hashtbl.find_opt state_of (a', b') with
+          | Some s' -> next.(s).(i) <- s'
+          | None -> assert false
+        done)
+      coords;
+    let output =
+      Array.init num_states (fun _ ->
+          Array.init num_inputs (fun _ -> Rng.int rng num_outputs))
+    in
+    let machine =
+      Machine.make ~name ~num_states ~num_inputs ~num_outputs ~next ~output
+        ~input_names:(binary_input_names num_inputs)
+        ~output_names:(binary_output_names num_outputs) ()
+    in
+    if Reach.is_connected machine && Equiv.is_reduced machine then Some machine
+    else None
+    end
+  in
+  let rec loop k =
+    if k > max_attempts then
+      invalid_arg
+        (Printf.sprintf
+           "Generate.block_product: constraints not met for %s in %d attempts"
+           name max_attempts)
+    else
+      match attempt () with
+      | Some machine ->
+        let pi_classes = Array.map (fun (a, _, _) -> a) coords in
+        let rho_classes = Array.map (fun (_, b, _) -> b) coords in
+        { machine; pi_classes; rho_classes; num_pi; num_rho }
+      | None -> loop (k + 1)
+  in
+  loop 1
+
+let shuffled ~rng info =
+  let n = info.machine.Machine.num_states in
+  let perm = Rng.permutation rng n in
+  let pi_classes = Array.make n 0 and rho_classes = Array.make n 0 in
+  for s = 0 to n - 1 do
+    pi_classes.(perm.(s)) <- info.pi_classes.(s);
+    rho_classes.(perm.(s)) <- info.rho_classes.(s)
+  done;
+  { info with machine = Machine.relabel_states info.machine perm; pi_classes; rho_classes }

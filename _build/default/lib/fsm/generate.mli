@@ -1,0 +1,79 @@
+(** Random and structured machine generation.
+
+    The central construction is {!block_product}, which plants a symmetric
+    partition pair of prescribed factor sizes into an otherwise random
+    machine.  It is used to build deterministic stand-ins for the IWLS'93
+    benchmarks (see DESIGN.md section 5) and as a workload generator for
+    sweeps. *)
+
+(** Result of {!block_product}: the machine together with the planted
+    partition pair, given as class maps (state [s] lies in S1-class
+    [pi_classes.(s)] and S2-class [rho_classes.(s)]). *)
+type product_info = {
+  machine : Machine.t;
+  pi_classes : int array;
+  rho_classes : int array;
+  num_pi : int;  (** = prescribed |S1| *)
+  num_rho : int;  (** = prescribed |S2| *)
+}
+
+(** [random ~rng ~name ~num_states ~num_inputs ~num_outputs ()] draws a
+    uniform fully specified machine, then repairs connectivity (rewiring
+    single transitions until every state is reachable from reset).  With
+    [ensure_reduced] (default [true]) output rows are re-drawn until no two
+    states are equivalent; machines with [num_outputs ** num_inputs <
+    num_states] cannot be reduced this way and raise [Invalid_argument]
+    after [max_attempts]. *)
+val random :
+  rng:Stc_util.Rng.t ->
+  name:string ->
+  num_states:int ->
+  num_inputs:int ->
+  num_outputs:int ->
+  ?ensure_reduced:bool ->
+  ?max_attempts:int ->
+  unit ->
+  Machine.t
+
+(** [block_product ~rng ~name ~blocks ~num_inputs ~num_outputs ()] builds a
+    connected, reduced machine whose state set is a disjoint union of
+    complete bipartite blocks [A_j x B_j] with [(|A_j|, |B_j|)] drawn from
+    [blocks].  The kernels of the two coordinate projections form a
+    symmetric partition pair [(pi, rho)] with [pi /\ rho = identity],
+    [|S/pi| = sum |A_j|] and [|S/rho| = sum |B_j|] - i.e. the machine
+    admits a self-testable realization with exactly those factor sizes.
+
+    The construction: block-level dynamics [sigma : blocks x I -> blocks]
+    (randomized, repaired to be reachable), then per-coordinate maps
+    [f(a, i) in B_(sigma(j,i))] and [g(b, i) in A_(sigma(j,i))] chosen
+    uniformly, giving [delta((a, b), i) = (g(b, i), f(a, i))].  Retries
+    until the machine is connected and reduced.
+
+    With [distinct_signatures] (default [true]) the rows of [f] and of [g]
+    are additionally required to be pairwise distinct; this makes the
+    planted pair an "Mm-clean" pair ([M rho = pi] and [M pi = rho]), which
+    guarantees the OSTR search recovers factors at least as good as the
+    planted ones.
+
+    @raise Invalid_argument if constraints cannot be met in
+    [max_attempts]. *)
+val block_product :
+  rng:Stc_util.Rng.t ->
+  name:string ->
+  blocks:(int * int) list ->
+  num_inputs:int ->
+  num_outputs:int ->
+  ?distinct_signatures:bool ->
+  ?max_attempts:int ->
+  unit ->
+  product_info
+
+(** [shuffled ~rng info] hides the block structure of a generated machine
+    by applying a uniform state permutation; the class maps are permuted
+    along. *)
+val shuffled : rng:Stc_util.Rng.t -> product_info -> product_info
+
+(** [binary_output_names n] returns [n] distinct binary strings of width
+    [ceil(log2 n)] (width 1 for [n = 1]), as used by all generators so the
+    machines can round-trip through KISS2. *)
+val binary_output_names : int -> string array

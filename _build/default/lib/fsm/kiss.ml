@@ -1,0 +1,228 @@
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_binary_string s =
+  s <> "" && String.for_all (fun c -> c = '0' || c = '1') s
+
+let int_of_binary s =
+  String.fold_left (fun acc c -> (acc * 2) + if c = '1' then 1 else 0) 0 s
+
+(* Expand an input cube such as "1-0" into the integer minterms it covers. *)
+let expand_cube ~line cube =
+  let width = String.length cube in
+  let rec go k acc =
+    if k = width then acc
+    else
+      let extend bit = List.map (fun v -> (v * 2) + bit) acc in
+      match cube.[k] with
+      | '0' -> go (k + 1) (extend 0)
+      | '1' -> go (k + 1) (extend 1)
+      | '-' -> go (k + 1) (extend 0 @ extend 1)
+      | c -> fail line "invalid character %C in input cube %S" c cube
+  in
+  go 0 [ 0 ]
+
+type row = { line : int; cube : string; current : string; next : string; out : string }
+
+let tokenize text =
+  let lines = String.split_on_char '\n' text in
+  List.mapi
+    (fun idx line ->
+      let line =
+        match String.index_opt line '#' with
+        | None -> line
+        | Some k -> String.sub line 0 k
+      in
+      (idx + 1, String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+                |> List.filter (fun tok -> tok <> "")))
+    lines
+  |> List.filter (fun (_, toks) -> toks <> [])
+
+let parse ?(name = "kiss") ?(on_missing = `Error) text =
+  let in_bits = ref (-1)
+  and out_bits = ref (-1)
+  and declared_states = ref (-1)
+  and declared_products = ref (-1)
+  and reset_name = ref None
+  and rows = ref [] in
+  let header line key value =
+    match key with
+    | ".i" -> in_bits := value
+    | ".o" -> out_bits := value
+    | ".s" -> declared_states := value
+    | ".p" -> declared_products := value
+    | _ -> fail line "unknown numeric header %s" key
+  in
+  List.iter
+    (fun (line, toks) ->
+      match toks with
+      | [ ".e" ] | [ ".end" ] -> ()
+      | [ ".r"; s ] -> reset_name := Some s
+      | [ key; v ] when String.length key > 1 && key.[0] = '.' -> begin
+          match int_of_string_opt v with
+          | Some value -> header line key value
+          | None -> fail line "header %s expects an integer, got %S" key v
+        end
+      | [ cube; current; next; out ] ->
+        rows := { line; cube; current; next; out } :: !rows
+      | _ -> fail line "expected header or 4-column transition row")
+    (tokenize text);
+  let rows = List.rev !rows in
+  if rows = [] then fail 0 "no transition rows";
+  if !in_bits < 0 then fail 0 "missing .i header";
+  if !out_bits <= 0 then fail 0 "missing or zero .o header";
+  if !in_bits = 0 then fail 0 ".i 0 (autonomous machines) not supported";
+  if !in_bits > 16 then fail 0 ".i %d too wide to expand" !in_bits;
+  if !declared_products >= 0 && List.length rows <> !declared_products then
+    fail 0 ".p declares %d products but %d rows given" !declared_products
+      (List.length rows);
+  (* Collect state names in order of first appearance. *)
+  let state_ids = Hashtbl.create 16 in
+  let state_names = ref [] in
+  let state_id name =
+    match Hashtbl.find_opt state_ids name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length state_ids in
+      Hashtbl.replace state_ids name id;
+      state_names := name :: !state_names;
+      id
+  in
+  List.iter
+    (fun r ->
+      ignore (state_id r.current);
+      ignore (state_id r.next))
+    rows;
+  let num_states = Hashtbl.length state_ids in
+  if !declared_states >= 0 && num_states <> !declared_states then
+    fail 0 ".s declares %d states but %d distinct names used" !declared_states num_states;
+  let num_inputs = 1 lsl !in_bits in
+  (* Output alphabet: distinct fully specified bit vectors. *)
+  let out_ids = Hashtbl.create 16 in
+  let out_names = ref [] in
+  let out_id ~line vec =
+    if String.length vec <> !out_bits then
+      fail line "output %S has %d columns, .o says %d" vec (String.length vec) !out_bits;
+    if not (is_binary_string vec) then
+      fail line "output %S must be fully specified (0/1 only)" vec;
+    match Hashtbl.find_opt out_ids vec with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length out_ids in
+      Hashtbl.replace out_ids vec id;
+      out_names := vec :: !out_names;
+      id
+  in
+  let next = Array.make_matrix num_states num_inputs (-1) in
+  let output = Array.make_matrix num_states num_inputs (-1) in
+  List.iter
+    (fun r ->
+      if String.length r.cube <> !in_bits then
+        fail r.line "input cube %S has %d columns, .i says %d" r.cube
+          (String.length r.cube) !in_bits;
+      let s = state_id r.current
+      and s' = state_id r.next
+      and o = out_id ~line:r.line r.out in
+      List.iter
+        (fun i ->
+          if next.(s).(i) >= 0 && (next.(s).(i) <> s' || output.(s).(i) <> o) then
+            fail r.line "conflicting specification for state %s, input %d" r.current i;
+          next.(s).(i) <- s';
+          output.(s).(i) <- o)
+        (expand_cube ~line:r.line r.cube))
+    rows;
+  let reset =
+    match !reset_name with
+    | None -> 0
+    | Some n -> (
+        match Hashtbl.find_opt state_ids n with
+        | Some id -> id
+        | None -> fail 0 ".r names unknown state %S" n)
+  in
+  (* Completion of unspecified entries. *)
+  let zero_output = lazy (out_id ~line:0 (String.make !out_bits '0')) in
+  for s = 0 to num_states - 1 do
+    for i = 0 to num_inputs - 1 do
+      if next.(s).(i) < 0 then begin
+        match on_missing with
+        | `Error ->
+          fail 0 "state %s has no transition for input minterm %d (machine not fully specified)"
+            (List.nth (List.rev !state_names) s) i
+        | `Self_loop ->
+          next.(s).(i) <- s;
+          output.(s).(i) <- Lazy.force zero_output
+        | `Reset ->
+          next.(s).(i) <- reset;
+          output.(s).(i) <- Lazy.force zero_output
+      end
+    done
+  done;
+  let input_names =
+    Array.init num_inputs (fun i ->
+        String.init !in_bits (fun k ->
+            if i land (1 lsl (!in_bits - 1 - k)) <> 0 then '1' else '0'))
+  in
+  Machine.make ~name ~num_states ~num_inputs
+    ~num_outputs:(Hashtbl.length out_ids) ~next ~output ~reset
+    ~state_names:(Array.of_list (List.rev !state_names))
+    ~input_names
+    ~output_names:(Array.of_list (List.rev !out_names))
+    ()
+
+let parse_file ?on_missing path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse ~name ?on_missing text
+
+let input_bits (m : Machine.t) =
+  let widths =
+    Array.map
+      (fun n ->
+        if not (is_binary_string n) then
+          invalid_arg (Printf.sprintf "Kiss: input name %S is not binary" n);
+        String.length n)
+      m.input_names
+  in
+  let w = widths.(0) in
+  if not (Array.for_all (fun w' -> w' = w) widths) then
+    invalid_arg "Kiss: input names have mixed widths";
+  if 1 lsl w <> m.num_inputs then
+    invalid_arg "Kiss: input alphabet is not a full binary cube";
+  Array.iteri
+    (fun i n ->
+      if int_of_binary n <> i then
+        invalid_arg "Kiss: input names are not in binary counting order")
+    m.input_names;
+  w
+
+let output_bits (m : Machine.t) =
+  let w = String.length m.output_names.(0) in
+  Array.iter
+    (fun n ->
+      if not (is_binary_string n) || String.length n <> w then
+        invalid_arg (Printf.sprintf "Kiss: output name %S is not binary of width %d" n w))
+    m.output_names;
+  w
+
+let print (m : Machine.t) =
+  let in_bits = input_bits m in
+  ignore (output_bits m);
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n" in_bits);
+  Buffer.add_string buf (Printf.sprintf ".o %d\n" (output_bits m));
+  Buffer.add_string buf (Printf.sprintf ".s %d\n" m.num_states);
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (m.num_states * m.num_inputs));
+  Buffer.add_string buf (Printf.sprintf ".r %s\n" m.state_names.(m.reset));
+  Machine.iter_transitions m (fun s i s' o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n" m.input_names.(i) m.state_names.(s)
+           m.state_names.(s') m.output_names.(o)));
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf

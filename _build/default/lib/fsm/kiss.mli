@@ -1,0 +1,61 @@
+(** KISS2 state-transition-table reader and writer.
+
+    KISS2 is the interchange format of the MCNC / IWLS'93 FSM benchmarks
+    the paper evaluates on.  A file looks like:
+
+    {v
+    .i 2
+    .o 1
+    .s 4
+    .p 8
+    .r st0
+    00 st0 st1 0
+    -1 st0 st2 1
+    ...
+    .e
+    v}
+
+    Input columns may contain ['-'] (don't care); such a row is expanded
+    into all matching input minterms, so the resulting {!Machine.t} has
+    [2^i] input symbols named by their bit patterns.  The paper requires
+    fully specified machines; missing (state, minterm) entries are handled
+    according to [on_missing]. *)
+
+type error = {
+  line : int;  (** 1-based line number, 0 when global *)
+  message : string;
+}
+
+exception Parse_error of error
+
+(** [parse ?name ?on_missing text] parses KISS2 text.
+
+    [on_missing] selects the completion policy for unspecified
+    (state, input) pairs:
+    - [`Error] (default): raise {!Parse_error};
+    - [`Self_loop]: stay in the same state and emit the all-zero output;
+    - [`Reset]: go to the reset state and emit the all-zero output.
+
+    Conflicting double specifications of the same (state, minterm) always
+    raise.  Output columns must be fully specified (no ['-']).
+
+    @raise Parse_error on malformed input. *)
+val parse :
+  ?name:string -> ?on_missing:[ `Error | `Self_loop | `Reset ] -> string -> Machine.t
+
+(** [parse_file ?on_missing path] reads and parses a KISS2 file; the
+    machine is named after the file's basename. *)
+val parse_file : ?on_missing:[ `Error | `Self_loop | `Reset ] -> string -> Machine.t
+
+(** [print m] renders a machine back to KISS2, one row per
+    (state, input minterm).  Requires the machine's input alphabet to be a
+    power of two with binary input names (true for machines produced by
+    {!parse} and by the benchmark generators). *)
+val print : Machine.t -> string
+
+(** [input_bits m] is the number of input columns [print] will emit.
+    @raise Invalid_argument if input names are not uniform binary strings. *)
+val input_bits : Machine.t -> int
+
+(** [output_bits m] is the number of output columns [print] will emit. *)
+val output_bits : Machine.t -> int

@@ -1,0 +1,200 @@
+type t = {
+  name : string;
+  num_states : int;
+  num_inputs : int;
+  num_outputs : int;
+  next : int array array;
+  output : int array array;
+  reset : int;
+  state_names : string array;
+  input_names : string array;
+  output_names : string array;
+}
+
+let bits_for n =
+  if n <= 0 then invalid_arg "Machine.bits_for: non-positive";
+  let rec go bits capacity =
+    if capacity >= n then bits else go (bits + 1) (capacity * 2)
+  in
+  go 0 1
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let binary_string ~width v =
+  String.init width (fun k ->
+      if v land (1 lsl (width - 1 - k)) <> 0 then '1' else '0')
+
+let default_state_names n = Array.init n (fun s -> Printf.sprintf "s%d" s)
+
+let default_input_names n =
+  if is_power_of_two n && n > 1 then
+    let width = bits_for n in
+    Array.init n (fun i -> binary_string ~width i)
+  else Array.init n (fun i -> Printf.sprintf "i%d" i)
+
+let default_output_names n = Array.init n (fun o -> Printf.sprintf "o%d" o)
+
+let check_table ~what ~rows ~cols ~bound table =
+  if Array.length table <> rows then
+    invalid_arg (Printf.sprintf "Machine.make: %s has %d rows, expected %d" what
+                   (Array.length table) rows);
+  Array.iteri
+    (fun s row ->
+      if Array.length row <> cols then
+        invalid_arg
+          (Printf.sprintf "Machine.make: %s row %d has %d columns, expected %d"
+             what s (Array.length row) cols);
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= bound then
+            invalid_arg
+              (Printf.sprintf "Machine.make: %s row %d contains %d, out of range [0,%d)"
+                 what s v bound))
+        row)
+    table
+
+let check_names ~what ~expected names =
+  if Array.length names <> expected then
+    invalid_arg
+      (Printf.sprintf "Machine.make: %d %s names for %d entries"
+         (Array.length names) what expected)
+
+let make ~name ~num_states ~num_inputs ~num_outputs ~next ~output ?(reset = 0)
+    ?state_names ?input_names ?output_names () =
+  if num_states <= 0 then invalid_arg "Machine.make: num_states must be positive";
+  if num_inputs <= 0 then invalid_arg "Machine.make: num_inputs must be positive";
+  if num_outputs <= 0 then invalid_arg "Machine.make: num_outputs must be positive";
+  if reset < 0 || reset >= num_states then invalid_arg "Machine.make: reset out of range";
+  check_table ~what:"next" ~rows:num_states ~cols:num_inputs ~bound:num_states next;
+  check_table ~what:"output" ~rows:num_states ~cols:num_inputs ~bound:num_outputs output;
+  let state_names =
+    match state_names with
+    | None -> default_state_names num_states
+    | Some names -> check_names ~what:"state" ~expected:num_states names; names
+  in
+  let input_names =
+    match input_names with
+    | None -> default_input_names num_inputs
+    | Some names -> check_names ~what:"input" ~expected:num_inputs names; names
+  in
+  let output_names =
+    match output_names with
+    | None -> default_output_names num_outputs
+    | Some names -> check_names ~what:"output" ~expected:num_outputs names; names
+  in
+  let copy_table table = Array.map Array.copy table in
+  { name; num_states; num_inputs; num_outputs;
+    next = copy_table next; output = copy_table output; reset;
+    state_names = Array.copy state_names;
+    input_names = Array.copy input_names;
+    output_names = Array.copy output_names }
+
+let delta m s i = m.next.(s).(i)
+
+let lambda m s i = m.output.(s).(i)
+
+let with_name m name = { m with name }
+
+let step m s i = (m.next.(s).(i), m.output.(s).(i))
+
+let run m ~start word =
+  let rec go s acc = function
+    | [] -> (List.rev acc, s)
+    | i :: rest ->
+      let s', o = step m s i in
+      go s' (o :: acc) rest
+  in
+  go start [] word
+
+let simulate m word = run m ~start:m.reset word
+
+let iter_transitions m f =
+  for s = 0 to m.num_states - 1 do
+    for i = 0 to m.num_inputs - 1 do
+      f s i m.next.(s).(i) m.output.(s).(i)
+    done
+  done
+
+let relabel_states m perm =
+  if Array.length perm <> m.num_states then
+    invalid_arg "Machine.relabel_states: permutation size mismatch";
+  let seen = Array.make m.num_states false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= m.num_states || seen.(v) then
+        invalid_arg "Machine.relabel_states: not a permutation";
+      seen.(v) <- true)
+    perm;
+  let next = Array.make_matrix m.num_states m.num_inputs 0 in
+  let output = Array.make_matrix m.num_states m.num_inputs 0 in
+  let state_names = Array.make m.num_states "" in
+  for s = 0 to m.num_states - 1 do
+    state_names.(perm.(s)) <- m.state_names.(s);
+    for i = 0 to m.num_inputs - 1 do
+      next.(perm.(s)).(i) <- perm.(m.next.(s).(i));
+      output.(perm.(s)).(i) <- m.output.(s).(i)
+    done
+  done;
+  { m with next; output; reset = perm.(m.reset); state_names }
+
+(* Bisimulation from the reset states: breadth-first over reachable state
+   pairs, comparing outputs through their printable names so that machines
+   with differently numbered output alphabets can still be equivalent. *)
+let equal_behaviour m1 m2 =
+  m1.num_inputs = m2.num_inputs
+  && begin
+    let visited = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Queue.add (m1.reset, m2.reset) queue;
+    Hashtbl.replace visited (m1.reset, m2.reset) ();
+    let ok = ref true in
+    while !ok && not (Queue.is_empty queue) do
+      let s1, s2 = Queue.take queue in
+      for i = 0 to m1.num_inputs - 1 do
+        if m1.output_names.(m1.output.(s1).(i)) <> m2.output_names.(m2.output.(s2).(i))
+        then ok := false
+        else begin
+          let pair = (m1.next.(s1).(i), m2.next.(s2).(i)) in
+          if not (Hashtbl.mem visited pair) then begin
+            Hashtbl.replace visited pair ();
+            Queue.add pair queue
+          end
+        end
+      done
+    done;
+    !ok
+  end
+
+let flipflops_conventional m = 2 * bits_for m.num_states
+
+let pp ppf m =
+  let open Format in
+  let width = ref (String.length "state") in
+  Array.iter (fun n -> width := max !width (String.length n)) m.state_names;
+  let cell s i =
+    Printf.sprintf "%s/%s" m.state_names.(m.next.(s).(i))
+      m.output_names.(m.output.(s).(i))
+  in
+  let col_width = Array.make m.num_inputs 0 in
+  for i = 0 to m.num_inputs - 1 do
+    col_width.(i) <- String.length m.input_names.(i);
+    for s = 0 to m.num_states - 1 do
+      col_width.(i) <- max col_width.(i) (String.length (cell s i))
+    done
+  done;
+  fprintf ppf "@[<v>%s (reset %s)@," m.name m.state_names.(m.reset);
+  fprintf ppf "%-*s" !width "state";
+  for i = 0 to m.num_inputs - 1 do
+    fprintf ppf "  %-*s" col_width.(i) m.input_names.(i)
+  done;
+  fprintf ppf "@,";
+  for s = 0 to m.num_states - 1 do
+    fprintf ppf "%-*s" !width m.state_names.(s);
+    for i = 0 to m.num_inputs - 1 do
+      fprintf ppf "  %-*s" col_width.(i) (cell s i)
+    done;
+    fprintf ppf "@,"
+  done;
+  fprintf ppf "@]"
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,90 @@
+(** Fully specified Mealy-type finite state machines (Definition 1 of the
+    paper): [M = (S, I, O, delta, lambda)] with finite non-empty state,
+    input and output sets, a total transition function [delta : S x I -> S]
+    and a total output function [lambda : S x I -> O].
+
+    States, inputs and outputs are represented by dense integer indices;
+    human-readable names are kept alongside for KISS2 round-tripping and
+    reports.  All machines in this library are complete (every
+    (state, input) pair has exactly one transition); completion of partial
+    KISS2 specifications happens at parse time in {!Kiss}. *)
+
+type t = private {
+  name : string;  (** identifier used in reports and file names *)
+  num_states : int;
+  num_inputs : int;  (** size of the input alphabet (e.g. [2^bits] for KISS2) *)
+  num_outputs : int;  (** size of the output alphabet *)
+  next : int array array;  (** [next.(s).(i)] = delta(s, i) *)
+  output : int array array;  (** [output.(s).(i)] = lambda(s, i) *)
+  reset : int;  (** initial state *)
+  state_names : string array;
+  input_names : string array;  (** binary strings for KISS2-derived machines *)
+  output_names : string array;
+}
+
+(** [make ~name ~num_states ~num_inputs ~num_outputs ~next ~output ()]
+    validates dimensions and index ranges and builds a machine.  Optional
+    [reset] defaults to state 0; optional name arrays default to
+    ["s0".."sN"], binary input strings when [num_inputs] is a power of two
+    (["i0"..] otherwise) and ["o0".."oN"].
+
+    @raise Invalid_argument on dimension or range errors. *)
+val make :
+  name:string ->
+  num_states:int ->
+  num_inputs:int ->
+  num_outputs:int ->
+  next:int array array ->
+  output:int array array ->
+  ?reset:int ->
+  ?state_names:string array ->
+  ?input_names:string array ->
+  ?output_names:string array ->
+  unit ->
+  t
+
+(** [delta m s i] is the next state from [s] under input [i]. *)
+val delta : t -> int -> int -> int
+
+(** [lambda m s i] is the output emitted from [s] under input [i]. *)
+val lambda : t -> int -> int -> int
+
+(** [with_name m name] renames the machine. *)
+val with_name : t -> string -> t
+
+(** [step m s i] is [(delta m s i, lambda m s i)]. *)
+val step : t -> int -> int -> int * int
+
+(** [run m ~start word] feeds the input [word] from state [start] and
+    returns the emitted output word together with the final state. *)
+val run : t -> start:int -> int list -> int list * int
+
+(** [simulate m word] is [run m ~start:m.reset word]. *)
+val simulate : t -> int list -> int list * int
+
+(** [iter_transitions m f] calls [f s i s' o] for every transition. *)
+val iter_transitions : t -> (int -> int -> int -> int -> unit) -> unit
+
+(** [relabel_states m perm] renames state [s] to [perm.(s)]; [perm] must be
+    a permutation of [0..num_states-1].  The reset state and all names
+    follow their states. *)
+val relabel_states : t -> int array -> t
+
+(** [equal_behaviour m1 m2] tests bisimilarity from the reset states: same
+    input alphabet and outputs for every input word.  Output alphabets are
+    compared through their names.  Used as a test oracle. *)
+val equal_behaviour : t -> t -> bool
+
+(** [flipflops_conventional m] is the flip-flop count of the conventional
+    BIST structure of fig. 2: [2 * ceil(log2 num_states)] (system register
+    plus equally wide test register).  Column 5 of Table 1. *)
+val flipflops_conventional : t -> int
+
+(** [bits_for n] is [ceil(log2 n)], with [bits_for 1 = 0]. *)
+val bits_for : int -> int
+
+(** [pp] prints the state transition table in the style of fig. 5 (rows =
+    states, columns = inputs, entries [next/output]). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,61 @@
+let bfs_order (m : Machine.t) start =
+  let order = Array.make m.num_states (-1) in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  order.(start) <- 0;
+  let seen = ref 1 in
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    for i = 0 to m.num_inputs - 1 do
+      let s' = m.next.(s).(i) in
+      if order.(s') < 0 then begin
+        order.(s') <- !seen;
+        incr seen;
+        Queue.add s' queue
+      end
+    done
+  done;
+  (order, !seen)
+
+let reachable m =
+  let order, _ = bfs_order m m.reset in
+  Array.map (fun k -> k >= 0) order
+
+let reachable_count m =
+  let _, count = bfs_order m m.reset in
+  count
+
+let is_connected (m : Machine.t) = reachable_count m = m.num_states
+
+let trim (m : Machine.t) =
+  let order, count = bfs_order m m.reset in
+  if count = m.num_states then m
+  else begin
+    let next = Array.make_matrix count m.num_inputs 0 in
+    let output = Array.make_matrix count m.num_inputs 0 in
+    let state_names = Array.make count "" in
+    for s = 0 to m.num_states - 1 do
+      let k = order.(s) in
+      if k >= 0 then begin
+        state_names.(k) <- m.state_names.(s);
+        for i = 0 to m.num_inputs - 1 do
+          next.(k).(i) <- order.(m.next.(s).(i));
+          output.(k).(i) <- m.output.(s).(i)
+        done
+      end
+    done;
+    Machine.make ~name:m.name ~num_states:count ~num_inputs:m.num_inputs
+      ~num_outputs:m.num_outputs ~next ~output ~reset:order.(m.reset)
+      ~state_names ~input_names:m.input_names ~output_names:m.output_names ()
+  end
+
+let is_strongly_connected (m : Machine.t) =
+  (* Small machines: reachability from every state suffices. *)
+  let ok = ref true in
+  let s = ref 0 in
+  while !ok && !s < m.num_states do
+    let _, count = bfs_order m !s in
+    if count <> m.num_states then ok := false;
+    incr s
+  done;
+  !ok

@@ -1,0 +1,19 @@
+(** Reachability analysis and dead-state elimination. *)
+
+(** [reachable m] marks the states reachable from the reset state. *)
+val reachable : Machine.t -> bool array
+
+(** [reachable_count m] is the number of reachable states. *)
+val reachable_count : Machine.t -> int
+
+(** [is_connected m] holds when every state is reachable from reset. *)
+val is_connected : Machine.t -> bool
+
+(** [trim m] removes unreachable states, renumbering the survivors in
+    breadth-first discovery order from reset.  The result is behaviourally
+    equivalent to [m]. *)
+val trim : Machine.t -> Machine.t
+
+(** [is_strongly_connected m] holds when every state can reach every other
+    state (relevant for test-sequence arguments in the BIST literature). *)
+val is_strongly_connected : Machine.t -> bool

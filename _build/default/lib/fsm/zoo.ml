@@ -1,0 +1,82 @@
+let paper_fig5 () =
+  (* Columns in index order: input 0 ("0"), input 1 ("1"); the paper prints
+     the "1" column first.  Rows s1..s4 are indices 0..3. *)
+  let next =
+    [| [| 0; 2 |];  (* s1: 0 -> s1, 1 -> s3 *)
+       [| 3; 1 |];  (* s2: 0 -> s4, 1 -> s2 *)
+       [| 2; 0 |];  (* s3: 0 -> s3, 1 -> s1 *)
+       [| 1; 3 |]   (* s4: 0 -> s2, 1 -> s4 *) |]
+  and output =
+    [| [| 1; 1 |];  (* s1: 1/1 *)
+       [| 0; 0 |];  (* s2: 0/0 *)
+       [| 0; 1 |];  (* s3: 0/1 *)
+       [| 1; 0 |]   (* s4: 1/0 *) |]
+  in
+  Machine.make ~name:"fig5" ~num_states:4 ~num_inputs:2 ~num_outputs:2
+    ~next ~output
+    ~state_names:[| "s1"; "s2"; "s3"; "s4" |]
+    ~input_names:[| "0"; "1" |]
+    ~output_names:[| "0"; "1" |] ()
+
+let shift_register ~bits =
+  if bits < 1 || bits > 16 then invalid_arg "Zoo.shift_register: bits in [1,16]";
+  let n = 1 lsl bits in
+  let next = Array.make_matrix n 2 0 in
+  let output = Array.make_matrix n 2 0 in
+  for v = 0 to n - 1 do
+    for x = 0 to 1 do
+      next.(v).(x) <- ((v lsl 1) lor x) land (n - 1);
+      output.(v).(x) <- (v lsr (bits - 1)) land 1
+    done
+  done;
+  let state_names =
+    Array.init n (fun v ->
+        String.init bits (fun k ->
+            if v land (1 lsl (bits - 1 - k)) <> 0 then '1' else '0'))
+  in
+  Machine.make ~name:"shiftreg" ~num_states:n ~num_inputs:2 ~num_outputs:2
+    ~next ~output ~state_names
+    ~input_names:[| "0"; "1" |] ~output_names:[| "0"; "1" |] ()
+
+let counter ~modulus =
+  if modulus < 2 then invalid_arg "Zoo.counter: modulus must be >= 2";
+  let next = Array.make_matrix modulus 2 0 in
+  let output = Array.make_matrix modulus 2 0 in
+  for s = 0 to modulus - 1 do
+    next.(s).(0) <- s;
+    next.(s).(1) <- (s + 1) mod modulus;
+    output.(s).(0) <- 0;
+    output.(s).(1) <- (if s = modulus - 1 then 1 else 0)
+  done;
+  Machine.make ~name:(Printf.sprintf "counter%d" modulus) ~num_states:modulus
+    ~num_inputs:2 ~num_outputs:2 ~next ~output
+    ~input_names:[| "0"; "1" |] ~output_names:[| "0"; "1" |] ()
+
+let toggle () =
+  Machine.make ~name:"toggle" ~num_states:2 ~num_inputs:2 ~num_outputs:2
+    ~next:[| [| 0; 1 |]; [| 1; 0 |] |]
+    ~output:[| [| 0; 0 |]; [| 1; 1 |] |]
+    ~input_names:[| "0"; "1" |] ~output_names:[| "0"; "1" |] ()
+
+let serial_adder () =
+  (* Input symbol i encodes the bit pair (a, b) = (i >> 1, i land 1);
+     state = carry; output = a xor b xor carry. *)
+  let next = Array.make_matrix 2 4 0 in
+  let output = Array.make_matrix 2 4 0 in
+  for carry = 0 to 1 do
+    for i = 0 to 3 do
+      let a = i lsr 1 and b = i land 1 in
+      let sum = a + b + carry in
+      next.(carry).(i) <- sum lsr 1;
+      output.(carry).(i) <- sum land 1
+    done
+  done;
+  Machine.make ~name:"serial_adder" ~num_states:2 ~num_inputs:4 ~num_outputs:2
+    ~next ~output
+    ~input_names:[| "00"; "01"; "10"; "11" |] ~output_names:[| "0"; "1" |] ()
+
+let parity () =
+  Machine.make ~name:"parity" ~num_states:2 ~num_inputs:2 ~num_outputs:2
+    ~next:[| [| 0; 1 |]; [| 1; 0 |] |]
+    ~output:[| [| 0; 1 |]; [| 1; 0 |] |]
+    ~input_names:[| "0"; "1" |] ~output_names:[| "0"; "1" |] ()

@@ -1,0 +1,34 @@
+(** Hand-written machines with known structure, used by examples, tests and
+    documentation. *)
+
+(** The running example of the paper (fig. 5): 4 states, 1 input bit,
+    1 output bit.  Its unique optimal symmetric partition pair is
+    [S/pi = {{s1,s2},{s3,s4}}], [S/rho = {{s1,s4},{s2,s3}}] (fig. 6), giving
+    a 2 x 2 realization (figs. 7-8).  State [s1] is index 0, ..., [s4] is
+    index 3; input symbol 0 is ["0"], 1 is ["1"]. *)
+val paper_fig5 : unit -> Machine.t
+
+(** [shift_register ~bits] is the serial shift register over [bits]
+    flip-flops: state = register contents, the input bit is shifted in at
+    the low end, the bit falling out at the high end is the output.  This
+    is the exact semantics of the IWLS'93 [shiftreg] benchmark for
+    [bits = 3] (8 states); its OSTR optimum is [(4, 2)] as in Table 1. *)
+val shift_register : bits:int -> Machine.t
+
+(** [counter ~modulus] is an enabled counter: input 1 increments modulo
+    [modulus], input 0 holds; the output is 1 exactly on the wrapping
+    increment.  Counters have a ripple-carry feedback dependency chain, so
+    they admit only the trivial OSTR solution - a useful negative
+    example. *)
+val counter : modulus:int -> Machine.t
+
+(** [toggle ()] is the 2-state toggle flip-flop (T-FF) as a Mealy machine:
+    input 1 flips the state, the output reports the old state. *)
+val toggle : unit -> Machine.t
+
+(** [serial_adder ()] is the 2-state serial full adder: 2 input bits per
+    cycle (4 input symbols), state = carry, output = sum bit. *)
+val serial_adder : unit -> Machine.t
+
+(** [parity ()] is the 2-state serial parity checker. *)
+val parity : unit -> Machine.t

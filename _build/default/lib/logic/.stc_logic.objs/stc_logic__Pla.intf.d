@@ -1,0 +1,1 @@
+lib/logic/pla.mli: Cover

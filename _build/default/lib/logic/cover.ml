@@ -1,0 +1,222 @@
+type t = { num_vars : int; num_outputs : int; cubes : Cube.t list }
+
+let make ~num_vars ~num_outputs cubes =
+  List.iter
+    (fun c ->
+      if Cube.num_vars c <> num_vars || Cube.num_outputs c <> num_outputs then
+        invalid_arg "Cover.make: cube dimension mismatch")
+    cubes;
+  { num_vars; num_outputs; cubes }
+
+let empty ~num_vars ~num_outputs = { num_vars; num_outputs; cubes = [] }
+
+let of_strings ~num_vars ~num_outputs rows =
+  make ~num_vars ~num_outputs (List.map Cube.of_string rows)
+
+let size c = List.length c.cubes
+
+let cost c =
+  let literals =
+    List.fold_left
+      (fun acc cube ->
+        acc + Cube.literals cube
+        + Array.fold_left (fun a b -> if b then a + 1 else a) 0 cube.Cube.output)
+      0 c.cubes
+  in
+  (List.length c.cubes, literals)
+
+let eval c v =
+  let out = Array.make c.num_outputs false in
+  List.iter
+    (fun cube ->
+      if Cube.matches cube v then
+        Array.iteri (fun o b -> if b then out.(o) <- true) cube.Cube.output)
+    c.cubes;
+  out
+
+let add c cube =
+  if Cube.num_vars cube <> c.num_vars || Cube.num_outputs cube <> c.num_outputs
+  then invalid_arg "Cover.add: dimension mismatch";
+  { c with cubes = cube :: c.cubes }
+
+let union a b =
+  if a.num_vars <> b.num_vars || a.num_outputs <> b.num_outputs then
+    invalid_arg "Cover.union: dimension mismatch";
+  { a with cubes = a.cubes @ b.cubes }
+
+let cofactor c ~wrt =
+  { c with cubes = List.filter_map (fun cube -> Cube.cofactor cube ~wrt) c.cubes }
+
+(* --------------------------------------------------------------------
+   Single-output engine: rows are bare input parts (trit arrays).
+   -------------------------------------------------------------------- *)
+
+let row_all_dc row = Array.for_all (fun t -> t = Cube.Dc) row
+
+let row_cofactor row k polarity =
+  match (row.(k), polarity) with
+  | Cube.Dc, _ ->
+    Some row
+  | Cube.One, true | Cube.Zero, false ->
+    let r = Array.copy row in
+    r.(k) <- Cube.Dc;
+    Some r
+  | Cube.One, false | Cube.Zero, true -> None
+
+let rows_cofactor rows k polarity =
+  List.filter_map (fun r -> row_cofactor r k polarity) rows
+
+(* Pick the variable on which the rows are "most binate"; [None] when all
+   rows are all-dc or the list is empty. *)
+let select_var num_vars rows =
+  let ones = Array.make num_vars 0 and zeros = Array.make num_vars 0 in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun k t ->
+          match t with
+          | Cube.One -> ones.(k) <- ones.(k) + 1
+          | Cube.Zero -> zeros.(k) <- zeros.(k) + 1
+          | Cube.Dc -> ())
+        row)
+    rows;
+  let best = ref None in
+  for k = 0 to num_vars - 1 do
+    if ones.(k) + zeros.(k) > 0 then begin
+      let score = (min ones.(k) zeros.(k) * 10000) + ones.(k) + zeros.(k) in
+      match !best with
+      | Some (_, s) when s >= score -> ()
+      | _ -> best := Some (k, score)
+    end
+  done;
+  match !best with
+  | Some (k, _) -> Some (k, ones.(k) > 0 && zeros.(k) > 0)
+  | None -> None
+
+let rec rows_tautology num_vars rows =
+  if List.exists row_all_dc rows then true
+  else
+    match select_var num_vars rows with
+    | None -> false (* empty, or no fixed literal and no all-dc row *)
+    | Some (k, binate) ->
+      if binate then
+        rows_tautology num_vars (rows_cofactor rows k true)
+        && rows_tautology num_vars (rows_cofactor rows k false)
+      else begin
+        (* Unate in k: the smaller cofactor implies the other. *)
+        let polarity = List.exists (fun r -> r.(k) = Cube.Zero) rows in
+        rows_tautology num_vars (rows_cofactor rows k polarity)
+      end
+
+let rec rows_complement num_vars rows =
+  if List.exists row_all_dc rows then []
+  else if rows = [] then [ Array.make num_vars Cube.Dc ]
+  else
+    match select_var num_vars rows with
+    | None -> assert false (* nonempty with no all-dc row has a literal *)
+    | Some (k, _) ->
+      let branch polarity =
+        let sub = rows_complement num_vars (rows_cofactor rows k polarity) in
+        List.map
+          (fun r ->
+            let r = Array.copy r in
+            r.(k) <- (if polarity then Cube.One else Cube.Zero);
+            r)
+          sub
+      in
+      branch true @ branch false
+
+let rows_for_output c o =
+  List.filter_map
+    (fun cube -> if cube.Cube.output.(o) then Some cube.Cube.input else None)
+    c.cubes
+
+let covers_cube c cube =
+  let cf = cofactor c ~wrt:cube in
+  let ok = ref true in
+  Array.iteri
+    (fun o asserted ->
+      if asserted && !ok then
+        if not (rows_tautology c.num_vars (rows_for_output cf o)) then ok := false)
+    cube.Cube.output;
+  !ok
+
+let tautology c =
+  covers_cube c (Cube.full ~num_vars:c.num_vars ~num_outputs:c.num_outputs)
+
+let covers a b = List.for_all (fun cube -> covers_cube a cube) b.cubes
+
+let equivalent a b = covers a b && covers b a
+
+let output_singleton num_outputs o =
+  Array.init num_outputs (fun i -> i = o)
+
+let complement c =
+  let cubes = ref [] in
+  for o = 0 to c.num_outputs - 1 do
+    let comp = rows_complement c.num_vars (rows_for_output c o) in
+    List.iter
+      (fun input ->
+        cubes :=
+          Cube.make ~input ~output:(output_singleton c.num_outputs o) :: !cubes)
+      comp
+  done;
+  { c with cubes = !cubes }
+
+let sharp_cube cube c =
+  let num_vars = Array.length cube.Cube.input in
+  let num_outputs = Array.length cube.Cube.output in
+  let cubes = ref [] in
+  Array.iteri
+    (fun o asserted ->
+      if asserted then begin
+        let comp = rows_complement num_vars (rows_for_output c o) in
+        List.iter
+          (fun input ->
+            let candidate =
+              Cube.make ~input ~output:(output_singleton num_outputs o)
+            in
+            match Cube.intersect cube candidate with
+            | Some piece ->
+              (* Restrict the piece to output o. *)
+              let piece =
+                Cube.make ~input:piece.Cube.input
+                  ~output:(output_singleton num_outputs o)
+              in
+              cubes := piece :: !cubes
+            | None -> ())
+          comp
+      end)
+    cube.Cube.output;
+  { num_vars; num_outputs; cubes = !cubes }
+
+let single_cube_containment c =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | cube :: rest ->
+      let contained_elsewhere =
+        List.exists (fun other -> Cube.contains other cube) rest
+        || List.exists (fun other -> Cube.contains other cube) acc
+      in
+      if contained_elsewhere then keep acc rest else keep (cube :: acc) rest
+  in
+  { c with cubes = keep [] c.cubes }
+
+let minterms c =
+  if c.num_vars > 16 then invalid_arg "Cover.minterms: too many variables";
+  let cubes = ref [] in
+  for v = (1 lsl c.num_vars) - 1 downto 0 do
+    let out = eval c v in
+    if Array.exists Fun.id out then begin
+      let m = Cube.minterm ~num_vars:c.num_vars ~num_outputs:c.num_outputs v in
+      cubes := Cube.make ~input:m.Cube.input ~output:out :: !cubes
+    end
+  done;
+  { c with cubes = !cubes }
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun cube -> Format.fprintf ppf "%s@," (Cube.to_string cube)) c.cubes;
+  Format.fprintf ppf "@]"
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,74 @@
+(** Covers: sets of multi-output cubes, with the classical two-level
+    operations (cofactor, tautology, containment, complement) implemented
+    by unate/binate Shannon recursion as in Espresso. *)
+
+type t = private {
+  num_vars : int;
+  num_outputs : int;
+  cubes : Cube.t list;
+}
+
+(** [make ~num_vars ~num_outputs cubes] validates dimensions.
+    @raise Invalid_argument on mismatched cube sizes. *)
+val make : num_vars:int -> num_outputs:int -> Cube.t list -> t
+
+val empty : num_vars:int -> num_outputs:int -> t
+
+(** [of_strings ~num_vars ~num_outputs rows] builds a cover from PLA-style
+    rows like ["1-0 10"]. *)
+val of_strings : num_vars:int -> num_outputs:int -> string list -> t
+
+val size : t -> int
+
+(** [cost c] is [(cubes, literals)] where literals counts fixed input
+    positions plus asserted outputs - the usual PLA area proxy. *)
+val cost : t -> int * int
+
+(** [eval c v] evaluates the cover on input minterm [v], one boolean per
+    output. *)
+val eval : t -> int -> bool array
+
+(** [add c cube] appends a cube. *)
+val add : t -> Cube.t -> t
+
+(** [union a b] concatenates two covers of equal dimensions. *)
+val union : t -> t -> t
+
+(** [cofactor c ~wrt] is the Shannon cofactor: cubes intersecting [wrt],
+    cofactored. *)
+val cofactor : t -> wrt:Cube.t -> t
+
+(** [tautology c] holds when every input minterm is covered for every
+    output.  Unate reduction + binate-variable Shannon recursion. *)
+val tautology : t -> bool
+
+(** [covers_cube c cube] tests whether [c] covers all minterms of [cube]
+    for all of [cube]'s outputs. *)
+val covers_cube : t -> Cube.t -> bool
+
+(** [covers a b]: [a] covers every cube of [b]. *)
+val covers : t -> t -> bool
+
+(** [equivalent a b] is semantic equality (mutual cover containment). *)
+val equivalent : t -> t -> bool
+
+(** [complement c] computes, output by output, the complement of the
+    function represented by [c]; the result asserts output [o] exactly on
+    the minterms where [c] does not. *)
+val complement : t -> t
+
+(** [sharp_cube cube c] is the set difference [cube \ c] as a cover:
+    the parts of [cube] (per output of [cube]) not covered by [c]. *)
+val sharp_cube : Cube.t -> t -> t
+
+(** [single_cube_containment c] drops every cube contained in another
+    single cube of [c] (cheap redundancy removal). *)
+val single_cube_containment : t -> t
+
+(** [minterms c] expands the cover into one cube per covered
+    (minterm, output-set); exponential, for tests on small covers. *)
+val minterms : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

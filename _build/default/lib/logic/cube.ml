@@ -1,0 +1,139 @@
+type trit = Zero | One | Dc
+
+type t = { input : trit array; output : bool array }
+
+let make ~input ~output =
+  if Array.length output = 0 then invalid_arg "Cube.make: no outputs";
+  if not (Array.exists Fun.id output) then
+    invalid_arg "Cube.make: output part is empty";
+  { input = Array.copy input; output = Array.copy output }
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ inp; out ] ->
+    let input =
+      Array.init (String.length inp) (fun k ->
+          match inp.[k] with
+          | '0' -> Zero
+          | '1' -> One
+          | '-' | '2' -> Dc
+          | c -> invalid_arg (Printf.sprintf "Cube.of_string: input char %C" c))
+    in
+    let output =
+      Array.init (String.length out) (fun k ->
+          match out.[k] with
+          | '1' | '4' -> true
+          | '0' | '~' | '-' -> false
+          | c -> invalid_arg (Printf.sprintf "Cube.of_string: output char %C" c))
+    in
+    make ~input ~output
+  | _ -> invalid_arg "Cube.of_string: expected \"<inputs> <outputs>\""
+
+let to_string c =
+  let inp =
+    String.init (Array.length c.input) (fun k ->
+        match c.input.(k) with Zero -> '0' | One -> '1' | Dc -> '-')
+  in
+  let out =
+    String.init (Array.length c.output) (fun k ->
+        if c.output.(k) then '1' else '0')
+  in
+  inp ^ " " ^ out
+
+let full ~num_vars ~num_outputs =
+  { input = Array.make num_vars Dc; output = Array.make num_outputs true }
+
+let minterm ~num_vars ~num_outputs value =
+  let input =
+    Array.init num_vars (fun k ->
+        if value land (1 lsl (num_vars - 1 - k)) <> 0 then One else Zero)
+  in
+  { input; output = Array.make num_outputs true }
+
+let num_vars c = Array.length c.input
+
+let num_outputs c = Array.length c.output
+
+let matches c v =
+  let n = Array.length c.input in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    let bit = v land (1 lsl (n - 1 - k)) <> 0 in
+    match c.input.(k) with
+    | Dc -> ()
+    | One -> if not bit then ok := false
+    | Zero -> if bit then ok := false
+  done;
+  !ok
+
+let literals c =
+  Array.fold_left (fun acc t -> if t = Dc then acc else acc + 1) 0 c.input
+
+let input_size c =
+  Float.pow 2.0 (float_of_int (Array.length c.input - literals c))
+
+let contains a b =
+  Array.length a.input = Array.length b.input
+  && Array.length a.output = Array.length b.output
+  && (let ok = ref true in
+      Array.iteri
+        (fun k ta -> match (ta, b.input.(k)) with
+          | Dc, _ -> ()
+          | One, One | Zero, Zero -> ()
+          | One, (Zero | Dc) | Zero, (One | Dc) -> ok := false)
+        a.input;
+      !ok)
+  && (let ok = ref true in
+      Array.iteri (fun o bo -> if bo && not a.output.(o) then ok := false) b.output;
+      !ok)
+
+let intersect a b =
+  let n = Array.length a.input in
+  let input = Array.make n Dc in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    match (a.input.(k), b.input.(k)) with
+    | Dc, t | t, Dc -> input.(k) <- t
+    | One, One -> input.(k) <- One
+    | Zero, Zero -> input.(k) <- Zero
+    | One, Zero | Zero, One -> ok := false
+  done;
+  let output = Array.mapi (fun o bo -> bo && b.output.(o)) a.output in
+  if !ok && Array.exists Fun.id output then Some { input; output } else None
+
+let distance a b =
+  let d = ref 0 in
+  Array.iteri
+    (fun k ta ->
+      match (ta, b.input.(k)) with
+      | One, Zero | Zero, One -> incr d
+      | _ -> ())
+    a.input;
+  !d
+
+let supercube a b =
+  let input =
+    Array.mapi
+      (fun k ta ->
+        match (ta, b.input.(k)) with
+        | One, One -> One
+        | Zero, Zero -> Zero
+        | _ -> Dc)
+      a.input
+  in
+  let output = Array.mapi (fun o bo -> bo || b.output.(o)) a.output in
+  { input; output }
+
+let cofactor c ~wrt =
+  if distance c wrt > 0 then None
+  else begin
+    let input =
+      Array.mapi (fun k t -> if wrt.input.(k) = Dc then t else Dc) c.input
+    in
+    let output = Array.mapi (fun o bo -> bo && wrt.output.(o)) c.output in
+    if Array.exists Fun.id output then Some { input; output } else None
+  end
+
+let equal a b = a.input = b.input && a.output = b.output
+
+let compare a b = Stdlib.compare (a.input, a.output) (b.input, b.output)

@@ -1,0 +1,73 @@
+(** Multi-output cubes in positional notation, the unit of two-level logic
+    minimization.
+
+    A cube over [n] input variables and [m] outputs has an input part
+    (each variable is {!zero}, {!one} or {!dc}) and an output part (a bit
+    per function: does this product term feed output [o]?).  A cube
+    represents the set of minterms matching the input part, asserted for
+    every output in the output part. *)
+
+type trit = Zero | One | Dc
+
+type t = {
+  input : trit array;
+  output : bool array;  (** at least one output must be set *)
+}
+
+(** [make ~input ~output] validates and builds a cube (copies its
+    arguments).
+    @raise Invalid_argument if [output] is all-false or empty. *)
+val make : input:trit array -> output:bool array -> t
+
+(** [of_string "1-0 10"] parses a PLA-style row: input characters [0 1 -],
+    output characters [0 1] ([~] is accepted for 0). *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** [full ~num_vars ~num_outputs] is the universal cube: all inputs
+    don't-care, all outputs asserted. *)
+val full : num_vars:int -> num_outputs:int -> t
+
+(** [minterm ~num_vars ~num_outputs value] is the cube of the single input
+    minterm [value] (bit [num_vars-1] of [value] is variable 0), asserted
+    for all outputs. *)
+val minterm : num_vars:int -> num_outputs:int -> int -> t
+
+val num_vars : t -> int
+
+val num_outputs : t -> int
+
+(** [matches c v] tests whether input minterm [v] lies in the cube. *)
+val matches : t -> int -> bool
+
+(** [literals c] counts the non-don't-care input positions. *)
+val literals : t -> int
+
+(** [input_size c] is the number of minterms covered ([2^dc_count]). *)
+val input_size : t -> float
+
+(** [contains a b] tests whether [a] covers [b] (input part covers and
+    output part is a superset). *)
+val contains : t -> t -> bool
+
+(** [intersect a b] is the cube of minterms in both, asserted for outputs
+    in both; [None] when empty. *)
+val intersect : t -> t -> t option
+
+(** [distance a b] is the number of input variables on which [a] and [b]
+    have opposite fixed values; 0 means the input parts intersect. *)
+val distance : t -> t -> int
+
+(** [supercube a b] is the smallest cube containing both. *)
+val supercube : t -> t -> t
+
+(** [cofactor c ~wrt] is the Shannon cofactor of [c] with respect to cube
+    [wrt] (input parts only; output part of [c] is restricted to outputs of
+    [wrt]): [None] if [c] does not intersect [wrt]. *)
+val cofactor : t -> wrt:t -> t option
+
+(** [equal a b] structural equality. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

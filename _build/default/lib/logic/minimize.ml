@@ -1,0 +1,141 @@
+type report = {
+  initial_cubes : int;
+  initial_literals : int;
+  final_cubes : int;
+  final_literals : int;
+  iterations : int;
+}
+
+let with_dc ?dc on =
+  match dc with None -> on | Some d -> Cover.union on d
+
+let off_set ?dc on = Cover.complement (with_dc ?dc on)
+
+let conflicts_with_off off cube =
+  List.exists (fun r -> Cube.intersect cube r <> None) off.Cover.cubes
+
+(* Raise one cube against the off-set: first input literals (in order of
+   ascending variable index), then output parts. *)
+let expand_cube ~off cube =
+  let current = ref cube in
+  let num_vars = Cube.num_vars cube in
+  for k = 0 to num_vars - 1 do
+    let c = !current in
+    if c.Cube.input.(k) <> Cube.Dc then begin
+      let input = Array.copy c.Cube.input in
+      input.(k) <- Cube.Dc;
+      let candidate = Cube.make ~input ~output:c.Cube.output in
+      if not (conflicts_with_off off candidate) then current := candidate
+    end
+  done;
+  let num_outputs = Cube.num_outputs cube in
+  for o = 0 to num_outputs - 1 do
+    let c = !current in
+    if not c.Cube.output.(o) then begin
+      let output = Array.copy c.Cube.output in
+      output.(o) <- true;
+      let candidate = Cube.make ~input:c.Cube.input ~output in
+      if not (conflicts_with_off off candidate) then current := candidate
+    end
+  done;
+  !current
+
+let expand ~off cover =
+  let raised = List.map (expand_cube ~off) cover.Cover.cubes in
+  Cover.single_cube_containment
+    (Cover.make ~num_vars:cover.Cover.num_vars
+       ~num_outputs:cover.Cover.num_outputs raised)
+
+let irredundant ?dc cover =
+  (* Greedily drop cubes, most specific first, whenever the rest (plus the
+     don't-care set) still covers them. *)
+  let cubes =
+    List.sort (fun a b -> Int.compare (Cube.literals b) (Cube.literals a))
+      cover.Cover.cubes
+  in
+  let keep = ref [] in
+  let remaining = ref cubes in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | cube :: rest ->
+      remaining := rest;
+      let others =
+        Cover.make ~num_vars:cover.Cover.num_vars
+          ~num_outputs:cover.Cover.num_outputs (!keep @ rest)
+      in
+      let context = with_dc ?dc others in
+      if not (Cover.covers_cube context cube) then keep := cube :: !keep
+  done;
+  Cover.make ~num_vars:cover.Cover.num_vars ~num_outputs:cover.Cover.num_outputs
+    !keep
+
+let reduce ?dc cover =
+  let num_vars = cover.Cover.num_vars
+  and num_outputs = cover.Cover.num_outputs in
+  let rec go processed = function
+    | [] -> List.rev processed
+    | cube :: rest ->
+      let others = Cover.make ~num_vars ~num_outputs (processed @ rest) in
+      let context = with_dc ?dc others in
+      let unique = Cover.sharp_cube cube context in
+      (match unique.Cover.cubes with
+      | [] -> go processed rest (* fully covered elsewhere: drop *)
+      | first :: more ->
+        let shrunk = List.fold_left Cube.supercube first more in
+        (* Never grow: reduction stays inside the original cube. *)
+        let shrunk = if Cube.contains cube shrunk then shrunk else cube in
+        go (shrunk :: processed) rest)
+  in
+  Cover.make ~num_vars ~num_outputs (go [] cover.Cover.cubes)
+
+let verify ~on ?dc result =
+  let care_on =
+    match dc with
+    | None -> on
+    | Some d ->
+      (* on \ dc: don't-cares take precedence where the sets overlap. *)
+      Cover.make ~num_vars:on.Cover.num_vars ~num_outputs:on.Cover.num_outputs
+        (List.concat_map
+           (fun cube -> (Cover.sharp_cube cube d).Cover.cubes)
+           on.Cover.cubes)
+  in
+  Cover.covers result care_on && Cover.covers (with_dc ?dc on) result
+
+let is_irredundant ?dc cover =
+  let num_vars = cover.Cover.num_vars
+  and num_outputs = cover.Cover.num_outputs in
+  let rec check before = function
+    | [] -> true
+    | cube :: rest ->
+      let others = Cover.make ~num_vars ~num_outputs (before @ rest) in
+      let context = with_dc ?dc others in
+      (not (Cover.covers_cube context cube)) && check (cube :: before) rest
+  in
+  check [] cover.Cover.cubes
+
+let minimize ?dc on =
+  let initial_cubes, initial_literals = Cover.cost on in
+  let off = off_set ?dc on in
+  let current = ref (irredundant ?dc (expand ~off (Cover.single_cube_containment on))) in
+  let best = ref !current in
+  let best_cost = ref (Cover.cost !current) in
+  let iterations = ref 1 in
+  let improving = ref true in
+  while !improving && !iterations < 10 do
+    incr iterations;
+    let reduced = reduce ?dc !current in
+    let expanded = expand ~off reduced in
+    let cleaned = irredundant ?dc expanded in
+    current := cleaned;
+    let cost = Cover.cost cleaned in
+    if cost < !best_cost then begin
+      best := cleaned;
+      best_cost := cost
+    end
+    else improving := false
+  done;
+  let final_cubes, final_literals = !best_cost in
+  ( !best,
+    { initial_cubes; initial_literals; final_cubes; final_literals;
+      iterations = !iterations } )

@@ -1,0 +1,44 @@
+(** Espresso-style heuristic two-level minimization: EXPAND against the
+    off-set, IRREDUNDANT, REDUCE, iterated until the cost stops improving.
+
+    This is the "logic minimization" step of the conventional synthesis
+    flow (fig. 1) and of the pipeline blocks C1/C2 (fig. 4); the area
+    comparison of section 4 is made on the minimized covers. *)
+
+type report = {
+  initial_cubes : int;
+  initial_literals : int;
+  final_cubes : int;
+  final_literals : int;
+  iterations : int;
+}
+
+(** [minimize ?dc on] minimizes the on-set [on] using the optional
+    don't-care set [dc].  The result covers every care on-set minterm
+    (don't-cares take precedence on overlap), covers nothing outside
+    on+dc, and is irredundant. *)
+val minimize : ?dc:Cover.t -> Cover.t -> Cover.t * report
+
+(** [expand ~off cover] raises each cube to a prime-ish cube: literals and
+    outputs are lifted greedily as long as the cube stays disjoint from the
+    off-set [off]; then single-cube containment cleans up. *)
+val expand : off:Cover.t -> Cover.t -> Cover.t
+
+(** [irredundant ?dc cover] greedily removes cubes covered by the rest of
+    the cover (plus [dc]). *)
+val irredundant : ?dc:Cover.t -> Cover.t -> Cover.t
+
+(** [reduce ?dc cover] shrinks each cube to the supercube of the parts only
+    it covers, enabling the next expansion to escape local minima.  Cubes
+    that become empty are dropped. *)
+val reduce : ?dc:Cover.t -> Cover.t -> Cover.t
+
+(** [off_set ?dc on] is the complement of [on + dc]. *)
+val off_set : ?dc:Cover.t -> Cover.t -> Cover.t
+
+(** [verify ~on ?dc result] checks the minimization contract:
+    [(on \ dc) <= result <= on + dc]. *)
+val verify : on:Cover.t -> ?dc:Cover.t -> Cover.t -> bool
+
+(** [is_irredundant ?dc cover] holds when no single cube can be dropped. *)
+val is_irredundant : ?dc:Cover.t -> Cover.t -> bool

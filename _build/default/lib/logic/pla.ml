@@ -1,0 +1,108 @@
+type file = { name : string option; on : Cover.t; dc : Cover.t }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse text =
+  let num_vars = ref (-1)
+  and num_outputs = ref (-1)
+  and name = ref None
+  and declared_products = ref (-1) in
+  let on = ref [] and dc = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | None -> line
+        | Some k -> String.sub line 0 k
+      in
+      let tokens =
+        String.split_on_char ' '
+          (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+        |> List.filter (fun t -> t <> "")
+      in
+      match tokens with
+      | [] -> ()
+      | [ ".i"; v ] -> num_vars := int_of_string v
+      | [ ".o"; v ] -> num_outputs := int_of_string v
+      | [ ".p"; v ] -> declared_products := int_of_string v
+      | [ ".e" ] | [ ".end" ] -> ()
+      | ".ilb" :: _ | ".ob" :: _ -> () (* labels are ignored *)
+      | [ ".name"; n ] -> name := Some n
+      | [ ".type"; t ] ->
+        if t <> "f" && t <> "fd" then fail "line %d: unsupported .type %s" lineno t
+      | [ inputs; outputs ] ->
+        if !num_vars < 0 || !num_outputs < 0 then
+          fail "line %d: row before .i/.o" lineno;
+        if String.length inputs <> !num_vars then
+          fail "line %d: input width %d, expected %d" lineno
+            (String.length inputs) !num_vars;
+        if String.length outputs <> !num_outputs then
+          fail "line %d: output width %d, expected %d" lineno
+            (String.length outputs) !num_outputs;
+        let input =
+          Array.init !num_vars (fun k ->
+              match inputs.[k] with
+              | '0' -> Cube.Zero
+              | '1' -> Cube.One
+              | '-' | '2' -> Cube.Dc
+              | c -> fail "line %d: input char %C" lineno c)
+        in
+        let on_out = Array.make !num_outputs false in
+        let dc_out = Array.make !num_outputs false in
+        String.iteri
+          (fun o ch ->
+            match ch with
+            | '1' | '4' -> on_out.(o) <- true
+            | '0' | '~' -> ()
+            | '-' | '2' -> dc_out.(o) <- true
+            | c -> fail "line %d: output char %C" lineno c)
+          outputs;
+        if Array.exists Fun.id on_out then
+          on := Cube.make ~input ~output:on_out :: !on;
+        if Array.exists Fun.id dc_out then
+          dc := Cube.make ~input ~output:dc_out :: !dc
+      | tok :: _ -> fail "line %d: unexpected token %S" lineno tok)
+    lines;
+  if !num_vars < 0 then fail "missing .i";
+  if !num_outputs < 0 then fail "missing .o";
+  ignore !declared_products;
+  {
+    name = !name;
+    on = Cover.make ~num_vars:!num_vars ~num_outputs:!num_outputs (List.rev !on);
+    dc = Cover.make ~num_vars:!num_vars ~num_outputs:!num_outputs (List.rev !dc);
+  }
+
+let print ?name ?dc on =
+  let buf = Buffer.create 256 in
+  (match name with
+  | Some n -> Buffer.add_string buf (Printf.sprintf ".name %s\n" n)
+  | None -> ());
+  let dc_cubes = match dc with None -> [] | Some d -> d.Cover.cubes in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n" on.Cover.num_vars);
+  Buffer.add_string buf (Printf.sprintf ".o %d\n" on.Cover.num_outputs);
+  Buffer.add_string buf
+    (Printf.sprintf ".type %s\n" (if dc_cubes = [] then "f" else "fd"));
+  Buffer.add_string buf
+    (Printf.sprintf ".p %d\n" (List.length on.Cover.cubes + List.length dc_cubes));
+  let add_cube ~dc_row cube =
+    let inp =
+      String.init (Cube.num_vars cube) (fun k ->
+          match cube.Cube.input.(k) with
+          | Cube.Zero -> '0'
+          | Cube.One -> '1'
+          | Cube.Dc -> '-')
+    in
+    let out =
+      String.init (Cube.num_outputs cube) (fun o ->
+          if cube.Cube.output.(o) then (if dc_row then '-' else '1') else '0')
+    in
+    Buffer.add_string buf (inp ^ " " ^ out ^ "\n")
+  in
+  List.iter (add_cube ~dc_row:false) on.Cover.cubes;
+  List.iter (add_cube ~dc_row:true) dc_cubes;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf

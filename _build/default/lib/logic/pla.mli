@@ -1,0 +1,20 @@
+(** Berkeley PLA text format (the espresso interchange format).
+
+    Supports types [f] (on-set only) and [fd] (on-set + don't-care set):
+    output column characters [1] (on), [0]/[~] (off), [-] (don't care). *)
+
+type file = {
+  name : string option;
+  on : Cover.t;
+  dc : Cover.t;  (** empty for type [f] *)
+}
+
+exception Parse_error of string
+
+(** [parse text] reads a PLA description.
+    @raise Parse_error on malformed input. *)
+val parse : string -> file
+
+(** [print ?dc on] renders a PLA of type [fd] (or [f] when [dc] is absent
+    or empty). *)
+val print : ?name:string -> ?dc:Cover.t -> Cover.t -> string

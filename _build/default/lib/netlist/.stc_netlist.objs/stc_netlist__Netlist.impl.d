@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Bool Format List Printf Stc_logic String

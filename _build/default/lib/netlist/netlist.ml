@@ -1,0 +1,282 @@
+module Cube = Stc_logic.Cube
+module Cover = Stc_logic.Cover
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Buf of int
+  | Not of int
+  | And of int array
+  | Or of int array
+  | Xor of int array
+  | Mux of { sel : int; a : int; b : int }
+
+type t = {
+  name : string;
+  gates : gate array;
+  inputs : int array;
+  outputs : (string * int) array;
+}
+
+let word_bits = 62
+
+type fault = { gate : int; pin : int option; stuck_at : bool }
+
+module Builder = struct
+  type netlist = t
+
+  type t = {
+    name : string;
+    mutable gates : gate array;
+    mutable count : int;
+    mutable input_ids : int list;
+    mutable output_list : (string * int) list;
+  }
+
+  let create name =
+    { name; gates = Array.make 64 (Const false); count = 0;
+      input_ids = []; output_list = [] }
+
+  let check b idx what =
+    if idx < 0 || idx >= b.count then
+      invalid_arg (Printf.sprintf "Netlist.Builder: %s refers to gate %d, have %d"
+                     what idx b.count)
+
+  let push b gate =
+    if b.count = Array.length b.gates then begin
+      let bigger = Array.make (2 * b.count) (Const false) in
+      Array.blit b.gates 0 bigger 0 b.count;
+      b.gates <- bigger
+    end;
+    b.gates.(b.count) <- gate;
+    b.count <- b.count + 1;
+    b.count - 1
+
+  let input b name =
+    let idx = push b (Input name) in
+    b.input_ids <- idx :: b.input_ids;
+    idx
+
+  let const b v = push b (Const v)
+
+  let buf b x =
+    check b x "Buf";
+    push b (Buf x)
+
+  let not_ b x =
+    check b x "Not";
+    push b (Not x)
+
+  let gate_of_list b what of_array = function
+    | [] -> invalid_arg (Printf.sprintf "Netlist.Builder: empty %s" what)
+    | [ x ] ->
+      check b x what;
+      push b (Buf x)
+    | xs ->
+      List.iter (fun x -> check b x what) xs;
+      push b (of_array (Array.of_list xs))
+
+  let and_ b xs = gate_of_list b "And" (fun a -> And a) xs
+
+  let or_ b xs = gate_of_list b "Or" (fun a -> Or a) xs
+
+  let xor_ b xs = gate_of_list b "Xor" (fun a -> Xor a) xs
+
+  let mux b ~sel ~a ~b:b' =
+    check b sel "Mux.sel";
+    check b a "Mux.a";
+    check b b' "Mux.b";
+    push b (Mux { sel; a; b = b' })
+
+  let output b name gate =
+    check b gate "output";
+    b.output_list <- (name, gate) :: b.output_list
+
+  let emit_cover b ~inputs (cover : Cover.t) =
+    if Array.length inputs <> cover.Cover.num_vars then
+      invalid_arg "Netlist.Builder.emit_cover: input count mismatch";
+    (* Shared input inverters, created on demand. *)
+    let inverted = Array.make cover.Cover.num_vars (-1) in
+    let inv k =
+      if inverted.(k) < 0 then inverted.(k) <- not_ b inputs.(k);
+      inverted.(k)
+    in
+    let term_of_cube cube =
+      let literals = ref [] in
+      Array.iteri
+        (fun k trit ->
+          match trit with
+          | Cube.One -> literals := inputs.(k) :: !literals
+          | Cube.Zero -> literals := inv k :: !literals
+          | Cube.Dc -> ())
+        cube.Cube.input;
+      match !literals with
+      | [] -> const b true
+      | ls -> and_ b (List.rev ls)
+    in
+    let terms = List.map (fun cube -> (cube, term_of_cube cube)) cover.Cover.cubes in
+    Array.init cover.Cover.num_outputs (fun o ->
+        let fanin =
+          List.filter_map
+            (fun (cube, term) -> if cube.Cube.output.(o) then Some term else None)
+            terms
+        in
+        match fanin with [] -> const b false | ls -> or_ b ls)
+
+  let finish b : netlist =
+    {
+      name = b.name;
+      gates = Array.sub b.gates 0 b.count;
+      inputs = Array.of_list (List.rev b.input_ids);
+      outputs = Array.of_list (List.rev b.output_list);
+    }
+end
+
+let num_gates (net : t) = Array.length net.gates
+
+type stats = { gates : int; literals : int; depth : int; inverters : int }
+
+let stats (net : t) =
+  let gates = ref 0 and literals = ref 0 and inverters = ref 0 in
+  let level = Array.make (num_gates net) 0 in
+  let depth = ref 0 in
+  Array.iteri
+    (fun idx gate ->
+      let operands =
+        match gate with
+        | Input _ | Const _ -> [||]
+        | Buf x | Not x -> [| x |]
+        | And xs | Or xs | Xor xs -> xs
+        | Mux { sel; a; b } -> [| sel; a; b |]
+      in
+      (match gate with
+      | Input _ | Const _ -> ()
+      | Not _ ->
+        incr gates;
+        incr inverters
+      | Buf _ -> incr gates
+      | And xs | Or xs | Xor xs ->
+        incr gates;
+        literals := !literals + Array.length xs
+      | Mux _ ->
+        incr gates;
+        literals := !literals + 3);
+      let lvl =
+        Array.fold_left (fun acc x -> max acc (level.(x) + 1)) 0 operands
+      in
+      level.(idx) <- lvl;
+      if lvl > !depth then depth := lvl)
+    net.gates;
+  { gates = !gates; literals = !literals; depth = !depth; inverters = !inverters }
+
+let all_ones = -1
+
+let eval ?fault (net : t) ~inputs =
+  if Array.length inputs <> Array.length net.inputs then
+    invalid_arg "Netlist.eval: input count mismatch";
+  let values = Array.make (num_gates net) 0 in
+  let next_input = ref 0 in
+  let faulty_output, faulty_pin =
+    match fault with
+    | None -> (-1, (-1, -1, false))
+    | Some { gate; pin = None; stuck_at } ->
+      ((gate lsl 1) lor Bool.to_int stuck_at, (-1, -1, false))
+    | Some { gate; pin = Some k; stuck_at } -> (-1, (gate, k, stuck_at))
+  in
+  let fgate, fpin, fstuck = faulty_pin in
+  Array.iteri
+    (fun idx gate ->
+      let read k x =
+        if idx = fgate && k = fpin then if fstuck then all_ones else 0
+        else values.(x)
+      in
+      let v =
+        match gate with
+        | Input _ ->
+          let v = inputs.(!next_input) in
+          incr next_input;
+          v
+        | Const true -> all_ones
+        | Const false -> 0
+        | Buf x -> read 0 x
+        | Not x -> lnot (read 0 x)
+        | And xs ->
+          let acc = ref all_ones in
+          Array.iteri (fun k x -> acc := !acc land read k x) xs;
+          !acc
+        | Or xs ->
+          let acc = ref 0 in
+          Array.iteri (fun k x -> acc := !acc lor read k x) xs;
+          !acc
+        | Xor xs ->
+          let acc = ref 0 in
+          Array.iteri (fun k x -> acc := !acc lxor read k x) xs;
+          !acc
+        | Mux { sel; a; b } ->
+          let s = read 0 sel in
+          (lnot s land read 1 a) lor (s land read 2 b)
+      in
+      values.(idx) <-
+        (if faulty_output = (idx lsl 1) lor 1 then all_ones
+         else if faulty_output = idx lsl 1 then 0
+         else v))
+    net.gates;
+  values
+
+let eval_outputs ?fault (net : t) ~inputs =
+  let values = eval ?fault net ~inputs in
+  Array.map (fun (_, g) -> values.(g)) net.outputs
+
+let fault_sites (net : t) =
+  let sites = ref [] in
+  let add gate pin =
+    sites :=
+      { gate; pin; stuck_at = true } :: { gate; pin; stuck_at = false } :: !sites
+  in
+  Array.iteri
+    (fun idx gate ->
+      match gate with
+      | Const _ -> ()
+      | Input _ -> add idx None
+      | Buf _ | Not _ ->
+        (* The input pin fault is equivalent to the driver's output fault
+           (possibly inverted), which is already in the list. *)
+        add idx None
+      | And xs | Or xs | Xor xs ->
+        add idx None;
+        Array.iteri (fun k _ -> add idx (Some k)) xs
+      | Mux _ ->
+        add idx None;
+        for k = 0 to 2 do
+          add idx (Some k)
+        done)
+    net.gates;
+  List.rev !sites
+
+let pp ppf (net : t) =
+  let open Format in
+  fprintf ppf "@[<v>netlist %s: %d gates, %d inputs, %d outputs@," net.name
+    (num_gates net) (Array.length net.inputs) (Array.length net.outputs);
+  Array.iteri
+    (fun idx gate ->
+      let show =
+        match gate with
+        | Input n -> Printf.sprintf "input %s" n
+        | Const v -> Printf.sprintf "const %b" v
+        | Buf x -> Printf.sprintf "buf g%d" x
+        | Not x -> Printf.sprintf "not g%d" x
+        | And xs ->
+          "and "
+          ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "g%d") xs))
+        | Or xs ->
+          "or "
+          ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "g%d") xs))
+        | Xor xs ->
+          "xor "
+          ^ String.concat " " (Array.to_list (Array.map (Printf.sprintf "g%d") xs))
+        | Mux { sel; a; b } -> Printf.sprintf "mux sel=g%d a=g%d b=g%d" sel a b
+      in
+      fprintf ppf "g%d: %s@," idx show)
+    net.gates;
+  Array.iter (fun (name, g) -> fprintf ppf "output %s = g%d@," name g) net.outputs;
+  fprintf ppf "@]"

@@ -1,0 +1,108 @@
+(** Combinational gate-level netlists with bit-parallel simulation.
+
+    Gates are stored in topological order (operands always refer to
+    earlier gates - the builder enforces this), so evaluation is a single
+    left-to-right pass.  Values are machine words: each of the low
+    {!word_bits} bit lanes carries an independent test pattern, giving
+    parallel-pattern evaluation for the fault simulator.
+
+    Sequential elements are deliberately absent: in every BIST session of
+    the paper's architectures the registers are driven by the test
+    hardware (LFSR / MISR), so each clock cycle evaluates a pure
+    combinational cone.  The register models live in [Stc_bist]. *)
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Buf of int
+  | Not of int
+  | And of int array  (** >= 1 operand *)
+  | Or of int array
+  | Xor of int array
+  | Mux of { sel : int; a : int; b : int }  (** [sel = 0 -> a, 1 -> b] *)
+
+type t = private {
+  name : string;
+  gates : gate array;
+  inputs : int array;  (** indices of the [Input] gates, in creation order *)
+  outputs : (string * int) array;
+}
+
+(** Number of independent pattern lanes per simulation word. *)
+val word_bits : int
+
+(** A single stuck-at fault: on a gate's output ([pin = None]) or on one of
+    its input pins ([pin = Some k], the [k]-th operand). *)
+type fault = { gate : int; pin : int option; stuck_at : bool }
+
+(** Imperative netlist construction. *)
+module Builder : sig
+  type netlist := t
+
+  type t
+
+  val create : string -> t
+
+  (** Each constructor returns the index of the new gate.  Operand indices
+      must refer to already-created gates.
+      @raise Invalid_argument on forward references or empty operand
+      lists. *)
+
+  val input : t -> string -> int
+
+  val const : t -> bool -> int
+
+  val buf : t -> int -> int
+
+  val not_ : t -> int -> int
+
+  val and_ : t -> int list -> int
+
+  val or_ : t -> int list -> int
+
+  val xor_ : t -> int list -> int
+
+  val mux : t -> sel:int -> a:int -> b:int -> int
+
+  (** [output b name gate] registers a named primary output. *)
+  val output : t -> string -> int -> unit
+
+  (** [emit_cover b ~inputs cover] instantiates a two-level (AND-OR with
+      input inverters) network for [cover]; [inputs] supplies the gate
+      index of each cover variable.  Returns one gate index per cover
+      output. *)
+  val emit_cover : t -> inputs:int array -> Stc_logic.Cover.t -> int array
+
+  val finish : t -> netlist
+end
+
+(** [num_gates n] counts all gates, inputs included. *)
+val num_gates : t -> int
+
+type stats = {
+  gates : int;  (** logic gates (excluding inputs and constants) *)
+  literals : int;  (** total fanin count of And/Or/Xor/Mux gates *)
+  depth : int;  (** maximum logic depth from any input *)
+  inverters : int;
+}
+
+val stats : t -> stats
+
+(** [eval net ?fault ~inputs] evaluates all gates; [inputs] gives one word
+    per [Input] gate (in creation order).  Returns the value of every
+    gate.  With [fault], the corresponding stuck-at is injected.
+    @raise Invalid_argument if [inputs] length mismatches. *)
+val eval : ?fault:fault -> t -> inputs:int array -> int array
+
+(** [eval_outputs net ?fault ~inputs] returns just the primary output
+    words, in declaration order. *)
+val eval_outputs : ?fault:fault -> t -> inputs:int array -> int array
+
+(** [fault_sites net] enumerates all stuck-at faults: two per gate output
+    and two per gate input pin, with trivial equivalences collapsed (a
+    [Buf]/[Not] input fault is equivalent to the output fault of its
+    driver; faults on [Input] outputs are kept, [Const] gates have
+    none). *)
+val fault_sites : t -> fault list
+
+val pp : Format.formatter -> t -> unit

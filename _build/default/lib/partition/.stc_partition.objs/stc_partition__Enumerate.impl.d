@@ -1,0 +1,1 @@
+lib/partition/enumerate.ml: Array List Partition

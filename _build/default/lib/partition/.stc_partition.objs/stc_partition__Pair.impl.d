@@ -1,0 +1,1 @@
+lib/partition/pair.ml: Array Hashtbl List Partition Queue Stc_util

@@ -1,0 +1,1 @@
+lib/partition/pair.mli: Partition

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Format Hashtbl List Printf Stc_util Stdlib String

@@ -1,0 +1,37 @@
+(* Restricted growth strings: element 0 gets class 0; element s may take any
+   class in [0 .. 1 + max of previous classes]. *)
+let all n =
+  if n < 1 || n > 12 then invalid_arg "Enumerate.all: n must be in [1,12]";
+  let cls = Array.make n 0 in
+  let acc = ref [] in
+  let rec go s highest =
+    if s = n then acc := Partition.of_class_map cls :: !acc
+    else
+      for c = 0 to highest + 1 do
+        cls.(s) <- c;
+        go (s + 1) (max highest c)
+      done
+  in
+  cls.(0) <- 0;
+  go 1 0;
+  List.rev !acc
+
+let bell n =
+  (* Bell triangle. *)
+  if n < 0 then invalid_arg "Enumerate.bell";
+  if n = 0 then 1
+  else begin
+    let row = ref [| 1 |] in
+    for _ = 2 to n do
+      let prev = !row in
+      let len = Array.length prev in
+      let next = Array.make (len + 1) 0 in
+      next.(0) <- prev.(len - 1);
+      for k = 1 to len do
+        next.(k) <- next.(k - 1) + prev.(k - 1)
+      done;
+      row := next
+    done;
+    let r = !row in
+    r.(Array.length r - 1)
+  end

@@ -1,0 +1,10 @@
+(** Exhaustive enumeration of all partitions of a small set.  Used as a
+    brute-force oracle in tests (Bell numbers grow fast: B(8) = 4140,
+    B(10) = 115975 - keep [n] small). *)
+
+(** [all n] lists every partition of [{0..n-1}], i.e. [Bell(n)] values.
+    @raise Invalid_argument when [n < 1] or [n > 12]. *)
+val all : int -> Partition.t list
+
+(** [bell n] is the Bell number [B(n)] (number of partitions). *)
+val bell : int -> int

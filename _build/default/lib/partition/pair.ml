@@ -1,0 +1,105 @@
+module Union_find = Stc_util.Union_find
+
+let dims next =
+  let n = Array.length next in
+  if n = 0 then invalid_arg "Pair: empty transition table";
+  (n, Array.length next.(0))
+
+let is_pair ~next pi rho =
+  let n, k = dims next in
+  if Partition.size pi <> n || Partition.size rho <> n then
+    invalid_arg "Pair.is_pair: size mismatch";
+  (* Enough to compare each state against its block representative. *)
+  let reps = Partition.representatives pi in
+  let ok = ref true in
+  let s = ref 0 in
+  while !ok && !s < n do
+    let r = reps.(Partition.class_of pi !s) in
+    if r <> !s then begin
+      let i = ref 0 in
+      while !ok && !i < k do
+        if not (Partition.same rho next.(!s).(!i) next.(r).(!i)) then ok := false;
+        incr i
+      done
+    end;
+    incr s
+  done;
+  !ok
+
+let is_symmetric_pair ~next pi rho =
+  is_pair ~next pi rho && is_pair ~next rho pi
+
+let m ~next pi =
+  let n, k = dims next in
+  let uf = Union_find.create n in
+  let reps = Partition.representatives pi in
+  for s = 0 to n - 1 do
+    let r = reps.(Partition.class_of pi s) in
+    if r <> s then
+      for i = 0 to k - 1 do
+        ignore (Union_find.union uf next.(s).(i) next.(r).(i))
+      done
+  done;
+  Partition.of_class_map (Union_find.class_map uf)
+
+let big_m ~next rho =
+  let n, k = dims next in
+  let table = Hashtbl.create 16 in
+  let cls = Array.make n 0 in
+  for s = 0 to n - 1 do
+    let signature = Array.init k (fun i -> Partition.class_of rho next.(s).(i)) in
+    cls.(s) <-
+      (match Hashtbl.find_opt table signature with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length table in
+        Hashtbl.replace table signature id;
+        id)
+  done;
+  Partition.of_class_map cls
+
+let is_mm_pair ~next pi rho =
+  Partition.equal (big_m ~next rho) pi && Partition.equal (m ~next pi) rho
+
+(* m(p_{s,t}) without building the intermediate pair relation: the join of
+   the pairs (delta(s,i), delta(t,i)). *)
+let m_of_state_pair ~next s t =
+  let n, k = dims next in
+  let uf = Union_find.create n in
+  for i = 0 to k - 1 do
+    ignore (Union_find.union uf next.(s).(i) next.(t).(i))
+  done;
+  ignore n;
+  Partition.of_class_map (Union_find.class_map uf)
+
+let basis ~next =
+  let n, _ = dims next in
+  let seen = Hashtbl.create 64 in
+  for s = 0 to n - 1 do
+    for t = s + 1 to n - 1 do
+      let p = m_of_state_pair ~next s t in
+      if not (Hashtbl.mem seen p) then Hashtbl.replace seen p ()
+    done
+  done;
+  Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort Partition.compare
+
+let basis_size ~next = List.length (basis ~next)
+
+let mm_pairs ~next =
+  let n, _ = dims next in
+  let base = basis ~next in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let add p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.replace seen p ();
+      Queue.add p queue
+    end
+  in
+  add (Partition.identity n);
+  while not (Queue.is_empty queue) do
+    let p = Queue.take queue in
+    List.iter (fun b -> add (Partition.join p b)) base
+  done;
+  Hashtbl.fold (fun p () acc -> (p, big_m ~next p) :: acc) seen []
+  |> List.sort (fun (a, _) (b, _) -> Partition.compare a b)

@@ -1,0 +1,161 @@
+module Union_find = Stc_util.Union_find
+
+type t = {
+  n : int;
+  cls : int array;  (* canonical: dense class ids by first occurrence *)
+  count : int;
+}
+
+let size p = p.n
+
+let num_classes p = p.count
+
+let class_of p s = p.cls.(s)
+
+let same p s t = p.cls.(s) = p.cls.(t)
+
+let canonicalize cls =
+  let n = Array.length cls in
+  let remap = Hashtbl.create 16 in
+  let out = Array.make n 0 in
+  for s = 0 to n - 1 do
+    out.(s) <-
+      (match Hashtbl.find_opt remap cls.(s) with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length remap in
+        Hashtbl.replace remap cls.(s) id;
+        id)
+  done;
+  { n; cls = out; count = Hashtbl.length remap }
+
+let of_class_map cls =
+  if Array.length cls = 0 then invalid_arg "Partition.of_class_map: empty";
+  canonicalize cls
+
+let class_map p = Array.copy p.cls
+
+let identity n =
+  if n <= 0 then invalid_arg "Partition.identity: n must be positive";
+  { n; cls = Array.init n (fun s -> s); count = n }
+
+let universal n =
+  if n <= 0 then invalid_arg "Partition.universal: n must be positive";
+  { n; cls = Array.make n 0; count = 1 }
+
+let is_identity p = p.count = p.n
+
+let is_universal p = p.count = 1
+
+let of_blocks ~n blocks =
+  let cls = Array.make n (-1) in
+  List.iteri
+    (fun b block ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            invalid_arg (Printf.sprintf "Partition.of_blocks: %d out of range" s);
+          if cls.(s) >= 0 then
+            invalid_arg (Printf.sprintf "Partition.of_blocks: %d in two blocks" s);
+          cls.(s) <- b)
+        block)
+    blocks;
+  let next = ref (List.length blocks) in
+  for s = 0 to n - 1 do
+    if cls.(s) < 0 then begin
+      cls.(s) <- !next;
+      incr next
+    end
+  done;
+  canonicalize cls
+
+let blocks p =
+  let buckets = Array.make p.count [] in
+  for s = p.n - 1 downto 0 do
+    buckets.(p.cls.(s)) <- s :: buckets.(p.cls.(s))
+  done;
+  Array.to_list buckets
+
+let pair_relation ~n s t =
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Partition.pair_relation: out of range";
+  let cls = Array.init n (fun x -> x) in
+  cls.(max s t) <- min s t;
+  canonicalize cls
+
+let meet p q =
+  if p.n <> q.n then invalid_arg "Partition.meet: size mismatch";
+  let table = Hashtbl.create 16 in
+  let cls = Array.make p.n 0 in
+  for s = 0 to p.n - 1 do
+    let key = (p.cls.(s), q.cls.(s)) in
+    cls.(s) <-
+      (match Hashtbl.find_opt table key with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length table in
+        Hashtbl.replace table key id;
+        id)
+  done;
+  { n = p.n; cls; count = Hashtbl.length table }
+
+let join p q =
+  if p.n <> q.n then invalid_arg "Partition.join: size mismatch";
+  let uf = Union_find.create p.n in
+  let first_p = Array.make p.count (-1) and first_q = Array.make q.count (-1) in
+  for s = 0 to p.n - 1 do
+    let cp = p.cls.(s) and cq = q.cls.(s) in
+    if first_p.(cp) < 0 then first_p.(cp) <- s
+    else ignore (Union_find.union uf first_p.(cp) s);
+    if first_q.(cq) < 0 then first_q.(cq) <- s
+    else ignore (Union_find.union uf first_q.(cq) s)
+  done;
+  canonicalize (Union_find.class_map uf)
+
+let join_all ~n ps = List.fold_left join (identity n) ps
+
+let subseteq p q =
+  p.n = q.n
+  && begin
+    (* p refines q iff each p-class maps into a single q-class. *)
+    let image = Array.make p.count (-1) in
+    let ok = ref true in
+    let s = ref 0 in
+    while !ok && !s < p.n do
+      let cp = p.cls.(!s) and cq = q.cls.(!s) in
+      if image.(cp) < 0 then image.(cp) <- cq
+      else if image.(cp) <> cq then ok := false;
+      incr s
+    done;
+    !ok
+  end
+
+let equal p q = p.n = q.n && p.cls = q.cls
+
+let compare p q =
+  let c = Stdlib.compare p.n q.n in
+  if c <> 0 then c else Stdlib.compare p.cls q.cls
+
+let hash p = Hashtbl.hash p.cls
+
+let representatives p =
+  let reps = Array.make p.count (-1) in
+  for s = p.n - 1 downto 0 do
+    reps.(p.cls.(s)) <- s
+  done;
+  reps
+
+let members p c =
+  let rec go s acc =
+    if s < 0 then acc else go (s - 1) (if p.cls.(s) = c then s :: acc else acc)
+  in
+  go (p.n - 1) []
+
+let pp ppf p =
+  List.iter
+    (fun block ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map string_of_int block)))
+    (blocks p)
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,95 @@
+(** Partitions (equivalence relations) on the finite set [{0..n-1}].
+
+    The paper manipulates equivalence relations as subsets of [S x S]
+    ordered by inclusion; this module represents them as canonical class
+    maps.  Inclusion of relations corresponds to refinement of partitions:
+    [subseteq p q] holds when every block of [p] lies inside a block of
+    [q], i.e. [p] (as a relation) is a subset of [q].  Intersection of
+    relations is {!meet}; the transitive closure of a union is {!join}.
+
+    Values are canonical (classes numbered 0,1,... by first occurrence),
+    so structural equality coincides with semantic equality and values can
+    be used as keys. *)
+
+type t
+
+(** [size p] is [n], the number of underlying elements. *)
+val size : t -> int
+
+(** [num_classes p] is the number of blocks. *)
+val num_classes : t -> int
+
+(** [class_of p s] is the dense class index of element [s]. *)
+val class_of : t -> int -> int
+
+(** [same p s t] tests whether [s] and [t] lie in the same block. *)
+val same : t -> int -> int -> bool
+
+(** [identity n] is the finest partition (all singletons) - the relation
+    written [=] in the paper. *)
+val identity : int -> t
+
+(** [universal n] is the coarsest partition (one block). *)
+val universal : int -> t
+
+(** [is_identity p], [is_universal p]. *)
+val is_identity : t -> bool
+
+val is_universal : t -> bool
+
+(** [of_class_map cls] builds a partition from an arbitrary class map
+    (values need not be dense; they are canonicalized). *)
+val of_class_map : int array -> t
+
+(** [class_map p] returns a copy of the canonical class map. *)
+val class_map : t -> int array
+
+(** [of_blocks ~n blocks] builds a partition from explicit blocks;
+    elements not mentioned become singletons.
+    @raise Invalid_argument if blocks overlap or indices are out of
+    range. *)
+val of_blocks : n:int -> int list list -> t
+
+(** [blocks p] lists the blocks, each sorted, ordered by smallest
+    element. *)
+val blocks : t -> int list list
+
+(** [pair_relation ~n s t] is the basis relation [p_{s,t}] of the paper:
+    identity except that [s] and [t] are identified. *)
+val pair_relation : n:int -> int -> int -> t
+
+(** [meet p q] is the coarsest common refinement - the intersection of the
+    relations. *)
+val meet : t -> t -> t
+
+(** [join p q] is the finest common coarsening - the transitive closure of
+    the union of the relations. *)
+val join : t -> t -> t
+
+(** [join_all ~n ps] folds {!join} over a list, starting from
+    [identity n]. *)
+val join_all : n:int -> t list -> t
+
+(** [subseteq p q] is relation inclusion ([p] refines [q]). *)
+val subseteq : t -> t -> bool
+
+(** [equal p q] is semantic (= structural) equality. *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order compatible with [equal] (for use in
+    sets/maps). *)
+val compare : t -> t -> int
+
+(** [hash p] is compatible with [equal]. *)
+val hash : t -> int
+
+(** [representatives p] maps each class to its smallest member. *)
+val representatives : t -> int array
+
+(** [members p c] lists the elements of class [c], sorted. *)
+val members : t -> int -> int list
+
+(** [pp] prints blocks as [{0,3}{1,2}]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

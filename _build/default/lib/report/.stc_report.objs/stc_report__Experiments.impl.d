@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Float List Printf Stc_benchmarks Stc_core Stc_encoding Stc_faultsim Stc_fsm Stc_logic Stc_partition String Table

@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Stc_benchmarks Stc_core Stc_fsm

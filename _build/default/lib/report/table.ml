@@ -1,0 +1,27 @@
+let render ~header rows =
+  let num_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let cell row k = match List.nth_opt row k with Some c -> c | None -> "" in
+  let widths =
+    Array.init num_cols (fun k ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (cell row k)))
+          (String.length (cell header k))
+          rows)
+  in
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.init num_cols (fun k -> Printf.sprintf "%-*s" widths.(k) (cell row k))
+    |> String.concat "  "
+    |> fun line ->
+    Buffer.add_string buf (String.trim line |> fun l -> if l = "" then "" else line);
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  Buffer.add_string buf
+    (String.concat "  "
+       (List.init num_cols (fun k -> String.make widths.(k) '-')));
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf

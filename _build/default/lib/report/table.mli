@@ -1,0 +1,6 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+(** [render ~header rows] lays out a left-aligned column table with a
+    separator under the header.  Rows may be ragged; missing cells are
+    blank. *)
+val render : header:string list -> string list list -> string

@@ -1,0 +1,41 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    All randomized code in this project uses this generator rather than
+    [Stdlib.Random] so that benchmark machines, property seeds and workload
+    sweeps are reproducible bit-for-bit across runs and platforms. *)
+
+type t
+
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] returns a statistically independent generator and advances
+    [t]. *)
+val split : t -> t
+
+(** [bits64 t] returns the next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must
+    be positive. *)
+val int : t -> int -> int
+
+(** [bool t] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [pick t arr] returns a uniform element of [arr].  [arr] must be
+    non-empty. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [permutation t n] returns a uniform permutation of [\[0..n-1\]]. *)
+val permutation : t -> int -> int array

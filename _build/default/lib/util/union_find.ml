@@ -1,0 +1,52 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable sets : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let size t = Array.length t.parent
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.sets <- t.sets - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let count t = t.sets
+
+let class_map t =
+  let n = size t in
+  let ids = Array.make n (-1) in
+  let next = ref 0 in
+  let out = Array.make n (-1) in
+  for x = 0 to n - 1 do
+    let r = find t x in
+    if ids.(r) < 0 then begin
+      ids.(r) <- !next;
+      incr next
+    end;
+    out.(x) <- ids.(r)
+  done;
+  out

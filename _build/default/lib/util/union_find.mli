@@ -1,0 +1,28 @@
+(** Imperative union-find (disjoint sets) over the integers [0..n-1], with
+    path compression and union by rank.  This is the workhorse behind
+    partition joins and the [m] operator of partition-pair algebra. *)
+
+type t
+
+(** [create n] returns [n] singleton sets. *)
+val create : int -> t
+
+(** [size t] is the number of elements (not sets). *)
+val size : t -> int
+
+(** [find t x] returns the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns [true] when the
+    two were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [class_map t] returns an array mapping each element to a dense class
+    index in [0..count-1], numbered by first occurrence. *)
+val class_map : t -> int array

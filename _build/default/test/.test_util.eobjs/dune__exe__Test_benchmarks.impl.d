@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest List Printf Result Stc_benchmarks Stc_core Stc_fsm Stc_partition

@@ -1,0 +1,1 @@
+test/test_bist.ml: Alcotest Array Printf QCheck QCheck_alcotest Stc_bist Stc_util

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Fun List Printf Stc_core Stc_encoding Stc_fsm Stc_logic Stc_partition Stc_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List QCheck QCheck_alcotest Stc_benchmarks Stc_core Stc_faultsim Stc_fsm Stc_partition Stc_util

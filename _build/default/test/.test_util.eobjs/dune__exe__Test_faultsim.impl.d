@@ -1,0 +1,1 @@
+test/test_faultsim.ml: Alcotest Array List Printf Stc_benchmarks Stc_faultsim Stc_fsm Stc_netlist

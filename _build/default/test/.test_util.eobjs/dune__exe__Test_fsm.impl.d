@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Stc_fsm Stc_partition Stc_util String

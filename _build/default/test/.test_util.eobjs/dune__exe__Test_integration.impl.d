@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Printf QCheck QCheck_alcotest Stc_benchmarks Stc_core Stc_encoding Stc_fsm Stc_logic Stc_netlist Stc_partition Stc_util

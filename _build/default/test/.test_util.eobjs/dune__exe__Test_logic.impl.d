@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Fun List QCheck QCheck_alcotest Stc_logic Stc_util String

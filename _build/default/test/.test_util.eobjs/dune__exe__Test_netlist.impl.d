@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Format Fun List Printf QCheck QCheck_alcotest Stc_logic Stc_netlist Stc_util String

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Stc_benchmarks Stc_core Stc_report String

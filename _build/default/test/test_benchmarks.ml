@@ -1,0 +1,113 @@
+module Suite = Stc_benchmarks.Suite
+module Machine = Stc_fsm.Machine
+module Kiss = Stc_fsm.Kiss
+module Reach = Stc_fsm.Reach
+module Equiv = Stc_fsm.Equiv
+module Partition = Stc_partition.Partition
+module Solver = Stc_core.Solver
+module Realization = Stc_core.Realization
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_registry () =
+  check_int "13 benchmarks" 13 (List.length Suite.all);
+  check_bool "find works" true (Suite.find "dk27" <> None);
+  check_bool "find misses unknown" true (Suite.find "nonesuch" = None);
+  check_bool "names sorted as in the paper" true
+    (Suite.names
+    = [ "bbara"; "bbtas"; "dk14"; "dk15"; "dk16"; "dk17"; "dk27"; "dk512";
+        "mc"; "s1"; "shiftreg"; "tav"; "tbk" ])
+
+let test_paper_rows_consistent () =
+  (* Flip-flop columns of Table 1 must satisfy their defining formulas. *)
+  List.iter
+    (fun (spec : Suite.spec) ->
+      check_int
+        (spec.name ^ " conventional FF")
+        (2 * Machine.bits_for spec.states)
+        spec.paper.ff_conventional;
+      check_int
+        (spec.name ^ " pipeline FF")
+        (Machine.bits_for spec.paper.s1 + Machine.bits_for spec.paper.s2)
+        spec.paper.ff_pipeline)
+    Suite.all
+
+let test_machines_well_formed () =
+  List.iter
+    (fun (spec : Suite.spec) ->
+      let m = Suite.machine spec in
+      check_int (spec.name ^ " states") spec.states m.Machine.num_states;
+      check_int (spec.name ^ " inputs") (1 lsl spec.input_bits) m.Machine.num_inputs;
+      check_bool (spec.name ^ " connected") true (Reach.is_connected m);
+      check_bool (spec.name ^ " reduced") true (Equiv.is_reduced m))
+    Suite.all
+
+let test_machines_deterministic () =
+  List.iter
+    (fun (spec : Suite.spec) ->
+      let a = Suite.machine spec and b = Suite.machine spec in
+      check_bool (spec.name ^ " rebuilds identically") true
+        (a.Machine.next = b.Machine.next && a.Machine.output = b.Machine.output))
+    Suite.all
+
+let test_kiss_roundtrip () =
+  List.iter
+    (fun (spec : Suite.spec) ->
+      let m = Suite.machine spec in
+      let m' = Kiss.parse ~name:spec.name (Kiss.print m) in
+      check_bool (spec.name ^ " kiss roundtrip") true (Machine.equal_behaviour m m'))
+    Suite.all
+
+let test_nontrivial_flags () =
+  let nontrivial =
+    List.filter Suite.nontrivial Suite.all |> List.map (fun s -> s.Suite.name)
+  in
+  (* Section 4: "for eight examples a nontrivial solution ... could be
+     found" - the paper's table marks these seven plus tbk via timeout;
+     in our reading bbara, dk16, dk27, dk512, shiftreg, tav, tbk. *)
+  check_bool "nontrivial set" true
+    (nontrivial = [ "bbara"; "dk16"; "dk27"; "dk512"; "shiftreg"; "tav"; "tbk" ])
+
+(* Table 1 reproduction: the solver finds exactly the expected row. *)
+let solve_and_check (spec : Suite.spec) () =
+  let m = Suite.machine spec in
+  let r = Solver.solve ~timeout:120.0 m in
+  check_bool (spec.name ^ " solution valid") true
+    (Result.is_ok (Solver.validate m r.best));
+  let a = Partition.num_classes r.best.pi
+  and b = Partition.num_classes r.best.rho in
+  let expected = (min spec.expected.s1 spec.expected.s2,
+                  max spec.expected.s1 spec.expected.s2) in
+  check_bool
+    (Printf.sprintf "%s factors (%d,%d)" spec.name a b)
+    true
+    ((min a b, max a b) = expected);
+  check_int (spec.name ^ " pipeline FF") spec.expected.ff_pipeline r.best.cost.bits;
+  (* The realization must actually realize the machine. *)
+  let real = Realization.of_solution m r.best in
+  check_bool (spec.name ^ " realizes") true (Realization.realizes real);
+  check_bool (spec.name ^ " behaviour") true
+    (Machine.equal_behaviour m real.Realization.product)
+
+let table1_cases =
+  List.map
+    (fun (spec : Suite.spec) ->
+      let speed = if spec.states > 14 then `Slow else `Quick in
+      Alcotest.test_case ("table1 " ^ spec.name) speed (solve_and_check spec))
+    Suite.all
+
+let () =
+  Alcotest.run "stc_benchmarks"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "paper rows consistent" `Quick test_paper_rows_consistent;
+          Alcotest.test_case "machines well-formed" `Quick test_machines_well_formed;
+          Alcotest.test_case "machines deterministic" `Quick test_machines_deterministic;
+          Alcotest.test_case "kiss roundtrip" `Quick test_kiss_roundtrip;
+          Alcotest.test_case "nontrivial flags" `Quick test_nontrivial_flags;
+        ] );
+      ("table1", table1_cases);
+    ]

@@ -1,0 +1,216 @@
+module Lfsr = Stc_bist.Lfsr
+module Misr = Stc_bist.Misr
+module Bilbo = Stc_bist.Bilbo
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Lfsr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_period () =
+  for w = 1 to 14 do
+    let l = Lfsr.create ~width:w ~seed:1 () in
+    check_int
+      (Printf.sprintf "period of width %d" w)
+      ((1 lsl w) - 1)
+      (Lfsr.period l)
+  done
+
+let test_never_zero =
+  QCheck.Test.make ~count:100 ~name:"lfsr state never reaches zero"
+    QCheck.(pair (int_range 2 16) (int_bound 100000))
+    (fun (w, seed) ->
+      let l = Lfsr.create ~width:w ~seed:(1 + (seed mod ((1 lsl w) - 1))) () in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        if Lfsr.step l = 0 then ok := false
+      done;
+      !ok)
+
+let test_sequence_deterministic () =
+  let a = Lfsr.create ~width:8 ~seed:17 () in
+  let b = Lfsr.create ~width:8 ~seed:17 () in
+  check_bool "same sequences" true (Lfsr.sequence a 50 = Lfsr.sequence b 50)
+
+let test_next_pattern_returns_current () =
+  let l = Lfsr.create ~width:4 ~seed:0b1010 () in
+  check_int "first pattern is the seed" 0b1010 (Lfsr.next_pattern l);
+  check_bool "then it advanced" true (Lfsr.state l <> 0b1010)
+
+let test_create_validation () =
+  check_bool "zero seed" true
+    (match Lfsr.create ~width:4 ~seed:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "seed masked to width" true
+    (match Lfsr.create ~width:4 ~seed:16 () with
+    | exception Invalid_argument _ -> true (* 16 mod 16 = 0 *)
+    | _ -> false);
+  check_bool "width range" true
+    (match Lfsr.create ~width:0 ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_bit_accessor () =
+  let l = Lfsr.create ~width:4 ~seed:0b0110 () in
+  check_bool "bit 0" false (Lfsr.bit l 0);
+  check_bool "bit 1" true (Lfsr.bit l 1);
+  check_bool "bit 2" true (Lfsr.bit l 2);
+  check_bool "bit 3" false (Lfsr.bit l 3)
+
+let test_sequence_covers_all_nonzero () =
+  let l = Lfsr.create ~width:6 ~seed:1 () in
+  let seen = Array.make 64 false in
+  Array.iter (fun v -> seen.(v) <- true) (Lfsr.sequence l 63);
+  check_bool "zero never" false seen.(0);
+  for v = 1 to 63 do
+    check_bool (Printf.sprintf "state %d visited" v) true seen.(v)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Misr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_misr_zero_stream_is_lfsr () =
+  (* With all-zero inputs a MISR seeded non-zero is exactly the LFSR. *)
+  let m = Misr.create ~width:8 ~seed:0b1011 () in
+  let l = Lfsr.create ~width:8 ~seed:0b1011 () in
+  for _ = 1 to 100 do
+    check_int "same step" (Lfsr.step l) (Misr.absorb m 0)
+  done
+
+let test_misr_linearity =
+  QCheck.Test.make ~count:100 ~name:"signatures are GF(2)-linear in the stream"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let w = 4 + Rng.int rng 12 in
+      let n = 1 + Rng.int rng 30 in
+      let mask = (1 lsl w) - 1 in
+      let a = Array.init n (fun _ -> Rng.int rng (mask + 1)) in
+      let b = Array.init n (fun _ -> Rng.int rng (mask + 1)) in
+      let sig_of stream =
+        Misr.absorb_all (Misr.create ~width:w ~seed:0 ()) stream
+      in
+      let xor = Array.map2 ( lxor ) a b in
+      sig_of xor = sig_of a lxor sig_of b)
+
+let test_misr_detects_single_corruption () =
+  let w = 8 in
+  let stream = Array.init 40 (fun k -> (k * 37) land 0xFF) in
+  let reference = Misr.absorb_all (Misr.create ~width:w ~seed:0 ()) stream in
+  (* A single corrupted word always changes the signature (no aliasing for
+     a single error). *)
+  for k = 0 to 39 do
+    let corrupted = Array.copy stream in
+    corrupted.(k) <- corrupted.(k) lxor 0x10;
+    let s = Misr.absorb_all (Misr.create ~width:w ~seed:0 ()) corrupted in
+    check_bool (Printf.sprintf "corruption at %d detected" k) true (s <> reference)
+  done
+
+let test_misr_reset () =
+  let m = Misr.create ~width:8 ~seed:0 () in
+  ignore (Misr.absorb m 0xAB);
+  Misr.reset m 0;
+  check_int "back to zero" 0 (Misr.signature m)
+
+(* ------------------------------------------------------------------ *)
+(* Bilbo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bilbo_system_mode () =
+  let b = Bilbo.create ~width:8 () in
+  Bilbo.set_mode b Bilbo.System;
+  ignore (Bilbo.clock b ~parallel:0x5A ~serial:false);
+  check_int "parallel load" 0x5A (Bilbo.state b)
+
+let test_bilbo_scan_mode () =
+  let b = Bilbo.create ~width:4 () in
+  Bilbo.load b 0b1001;
+  Bilbo.set_mode b Bilbo.Scan;
+  check_bool "scan out is lsb" true (Bilbo.scan_out b);
+  ignore (Bilbo.clock b ~parallel:0 ~serial:true);
+  check_int "shifted with serial in" 0b1100 (Bilbo.state b)
+
+let test_bilbo_pattern_gen_is_lfsr () =
+  let b = Bilbo.create ~width:8 () in
+  Bilbo.load b 0x35;
+  Bilbo.set_mode b Bilbo.Pattern_gen;
+  let l = Lfsr.create ~width:8 ~seed:0x35 () in
+  for _ = 1 to 60 do
+    check_int "tracks lfsr" (Lfsr.step l)
+      (Bilbo.clock b ~parallel:0xFF ~serial:false)
+  done
+
+let test_bilbo_signature_is_misr () =
+  let b = Bilbo.create ~width:8 () in
+  Bilbo.load b 0;
+  Bilbo.set_mode b Bilbo.Signature;
+  let m = Misr.create ~width:8 ~seed:0 () in
+  let rng = Rng.create 99 in
+  for _ = 1 to 60 do
+    let word = Rng.int rng 256 in
+    check_int "tracks misr" (Misr.absorb m word)
+      (Bilbo.clock b ~parallel:word ~serial:false)
+  done
+
+let test_bilbo_two_session_roles () =
+  (* The fig. 4 usage: R1 generates while R2 compresses, then swap. *)
+  let r1 = Bilbo.create ~width:4 () and r2 = Bilbo.create ~width:4 () in
+  Bilbo.load r1 0b0101;
+  Bilbo.set_mode r1 Bilbo.Pattern_gen;
+  Bilbo.set_mode r2 Bilbo.Signature;
+  for _ = 1 to 15 do
+    let pattern = Bilbo.state r1 in
+    ignore (Bilbo.clock r1 ~parallel:0 ~serial:false);
+    ignore (Bilbo.clock r2 ~parallel:pattern ~serial:false)
+  done;
+  let session1_signature = Bilbo.state r2 in
+  check_bool "signature accumulated" true (session1_signature <> 0);
+  (* swap roles *)
+  Bilbo.set_mode r1 Bilbo.Signature;
+  Bilbo.set_mode r2 Bilbo.Pattern_gen;
+  Bilbo.load r2 0b0011;
+  for _ = 1 to 15 do
+    let pattern = Bilbo.state r2 in
+    ignore (Bilbo.clock r2 ~parallel:0 ~serial:false);
+    ignore (Bilbo.clock r1 ~parallel:pattern ~serial:false)
+  done;
+  check_bool "roles swapped" true (Bilbo.mode r1 = Bilbo.Signature)
+
+let () =
+  Alcotest.run "stc_bist"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "full period" `Quick test_full_period;
+          qcheck test_never_zero;
+          Alcotest.test_case "deterministic" `Quick test_sequence_deterministic;
+          Alcotest.test_case "next_pattern" `Quick test_next_pattern_returns_current;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "bit accessor" `Quick test_bit_accessor;
+          Alcotest.test_case "covers all nonzero states" `Quick
+            test_sequence_covers_all_nonzero;
+        ] );
+      ( "misr",
+        [
+          Alcotest.test_case "zero stream = lfsr" `Quick test_misr_zero_stream_is_lfsr;
+          qcheck test_misr_linearity;
+          Alcotest.test_case "single corruption detected" `Quick
+            test_misr_detects_single_corruption;
+          Alcotest.test_case "reset" `Quick test_misr_reset;
+        ] );
+      ( "bilbo",
+        [
+          Alcotest.test_case "system mode" `Quick test_bilbo_system_mode;
+          Alcotest.test_case "scan mode" `Quick test_bilbo_scan_mode;
+          Alcotest.test_case "pattern gen = lfsr" `Quick test_bilbo_pattern_gen_is_lfsr;
+          Alcotest.test_case "signature = misr" `Quick test_bilbo_signature_is_misr;
+          Alcotest.test_case "two-session roles" `Quick test_bilbo_two_session_roles;
+        ] );
+    ]

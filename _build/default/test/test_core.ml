@@ -1,0 +1,370 @@
+module Machine = Stc_fsm.Machine
+module Zoo = Stc_fsm.Zoo
+module Generate = Stc_fsm.Generate
+module Equiv = Stc_fsm.Equiv
+module Partition = Stc_partition.Partition
+module Pair = Stc_partition.Pair
+module Solver = Stc_core.Solver
+module Realization = Stc_core.Realization
+module Ostr = Stc_core.Ostr
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let factor_sizes (sol : Solver.solution) =
+  let a = Partition.num_classes sol.pi and b = Partition.num_classes sol.rho in
+  (min a b, max a b)
+
+(* ------------------------------------------------------------------ *)
+(* Solver on machines with known optima                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_fig5 () =
+  let m = Zoo.paper_fig5 () in
+  let r = Solver.solve m in
+  check_bool "valid" true (Result.is_ok (Solver.validate m r.best));
+  let a, b = factor_sizes r.best in
+  check_int "|S1|" 2 a;
+  check_int "|S2|" 2 b;
+  check_int "2 flip-flops" 2 r.best.cost.bits;
+  (* The optimum is exactly the pair of fig. 6 (in either orientation). *)
+  let pi_paper = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let rho_paper = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  let matches =
+    (Partition.equal r.best.pi pi_paper && Partition.equal r.best.rho rho_paper)
+    || (Partition.equal r.best.pi rho_paper && Partition.equal r.best.rho pi_paper)
+  in
+  check_bool "matches fig. 6 pair" true matches
+
+let test_solver_shiftreg () =
+  let m = Zoo.shift_register ~bits:3 in
+  let r = Solver.solve m in
+  let a, b = factor_sizes r.best in
+  check_int "|S1|" 2 a;
+  check_int "|S2|" 4 b;
+  check_int "3 flip-flops" 3 r.best.cost.bits
+
+let test_solver_shiftreg_4bit () =
+  (* A 4-bit shift register decomposes into (4, 4): pi by even taps, rho by
+     odd taps. *)
+  let m = Zoo.shift_register ~bits:4 in
+  let r = Solver.solve m in
+  let a, b = factor_sizes r.best in
+  check_int "|S1|" 4 a;
+  check_int "|S2|" 4 b;
+  check_int "4 flip-flops" 4 r.best.cost.bits
+
+let test_solver_counter_trivial () =
+  let m = Zoo.counter ~modulus:8 in
+  let r = Solver.solve m in
+  check_bool "trivial" true (Solver.is_trivial m r.best)
+
+let test_solver_toggle_trivial () =
+  let m = Zoo.toggle () in
+  let r = Solver.solve m in
+  check_bool "trivial" true (Solver.is_trivial m r.best);
+  check_int "2 flip-flops" 2 r.best.cost.bits
+
+let test_solver_stats_accounting () =
+  let m = Zoo.shift_register ~bits:3 in
+  let r = Solver.solve m in
+  check_bool "basis recorded" true (r.stats.basis_size > 0);
+  check_bool "investigated >= 1" true (r.stats.investigated >= 1);
+  check_bool "search space = 2^basis" true
+    (r.stats.search_space = Float.pow 2.0 (float_of_int r.stats.basis_size));
+  check_bool "not timed out" false r.stats.timed_out;
+  check_bool "solutions found" true (r.stats.solutions >= 1)
+
+let test_solver_pruning_soundness =
+  (* Pruning must never change the reported optimum. *)
+  QCheck.Test.make ~count:40 ~name:"pruned = unpruned optimum"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let m =
+        Generate.random ~rng ~name:"p" ~num_states:n ~num_inputs:2
+          ~num_outputs:2 ~ensure_reduced:false ()
+      in
+      let pruned = Solver.solve m in
+      let unpruned = Solver.solve ~prune:false m in
+      Solver.compare_cost pruned.best.cost unpruned.best.cost = 0
+      && pruned.stats.investigated <= unpruned.stats.investigated)
+
+let test_solver_matches_exhaustive =
+  (* The brute-force oracle over all partition pairs.  The DFS can, in rare
+     ties, return a pair with the same flip-flop count and the same total
+     factor states but slightly worse balance; bits and factor_states must
+     always match. *)
+  QCheck.Test.make ~count:60 ~name:"solver matches exhaustive optimum"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let m =
+        Generate.random ~rng ~name:"x" ~num_states:n ~num_inputs:2
+          ~num_outputs:2 ~ensure_reduced:false ()
+      in
+      let dfs = Solver.solve m in
+      let oracle = Solver.solve_exhaustive m in
+      dfs.best.cost.bits = oracle.cost.bits
+      && dfs.best.cost.factor_states = oracle.cost.factor_states)
+
+let test_solver_solutions_always_valid =
+  QCheck.Test.make ~count:60 ~name:"solver output is always a valid solution"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 8 in
+      let m =
+        Generate.random ~rng ~name:"v" ~num_states:n ~num_inputs:4
+          ~num_outputs:3 ~ensure_reduced:false ()
+      in
+      let r = Solver.solve m in
+      Result.is_ok (Solver.validate m r.best))
+
+let test_solver_planted_recovered =
+  QCheck.Test.make ~count:25 ~name:"planted factors are recovered or beaten"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let info =
+        Generate.block_product ~rng ~name:"pl"
+          ~blocks:[ (2, 2); (1, 2); (1, 1) ]
+          ~num_inputs:8 ~num_outputs:8 ()
+      in
+      let m = info.Generate.machine in
+      let planted_pi = Partition.of_class_map info.Generate.pi_classes in
+      let planted_rho = Partition.of_class_map info.Generate.rho_classes in
+      let planted_cost = Solver.cost_of m ~pi:planted_pi ~rho:planted_rho in
+      let r = Solver.solve m in
+      Solver.compare_cost r.best.cost planted_cost <= 0)
+
+let test_solver_timeout_returns_best () =
+  let rng = Rng.create 123 in
+  let info =
+    Generate.block_product ~rng ~name:"big"
+      ~blocks:(List.init 8 (fun _ -> (2, 2)))
+      ~num_inputs:8 ~num_outputs:8 ()
+  in
+  let r = Solver.solve ~timeout:0.0 info.Generate.machine in
+  check_bool "timed out" true r.stats.timed_out;
+  check_bool "still returns a valid solution" true
+    (Result.is_ok (Solver.validate info.Generate.machine r.best))
+
+let test_solver_max_nodes () =
+  let m = Zoo.counter ~modulus:8 in
+  let r = Solver.solve ~max_nodes:5 m in
+  check_bool "capped" true (r.stats.investigated <= 5)
+
+let test_solver_unreduced_machine () =
+  (* A machine with equivalent states: pi /\ rho only needs to refine the
+     equivalence, so the twins can share a class in both factors. *)
+  let m =
+    Machine.make ~name:"twin" ~num_states:3 ~num_inputs:2 ~num_outputs:2
+      ~next:[| [| 1; 2 |]; [| 0; 1 |]; [| 0; 2 |] |]
+      ~output:[| [| 0; 1 |]; [| 1; 0 |]; [| 1; 0 |] |]
+      ()
+  in
+  let r = Solver.solve m in
+  check_bool "valid on unreduced machine" true (Result.is_ok (Solver.validate m r.best));
+  (* |S1| * |S2| only needs to cover the 2 equivalence classes. *)
+  let a, b = factor_sizes r.best in
+  check_bool "factors cover the reduced machine" true (a * b >= 2)
+
+let test_validate_rejects_bad_pairs () =
+  let m = Zoo.paper_fig5 () in
+  let bad =
+    {
+      Solver.pi = Partition.of_blocks ~n:4 [ [ 0; 2 ] ];
+      rho = Partition.of_blocks ~n:4 [ [ 1; 3 ] ];
+      cost = Solver.cost_of m
+          ~pi:(Partition.of_blocks ~n:4 [ [ 0; 2 ] ])
+          ~rho:(Partition.of_blocks ~n:4 [ [ 1; 3 ] ]);
+    }
+  in
+  check_bool "rejected" true (Result.is_error (Solver.validate m bad))
+
+let test_compare_cost_ordering () =
+  let c bits factor_states imbalance = { Solver.bits; factor_states; imbalance } in
+  check_bool "fewer bits wins" true (Solver.compare_cost (c 3 20 0.0) (c 4 4 0.0) < 0);
+  check_bool "fewer states breaks ties" true
+    (Solver.compare_cost (c 4 13 0.2) (c 4 14 0.0) < 0);
+  check_bool "balance breaks remaining ties" true
+    (Solver.compare_cost (c 4 12 0.0) (c 4 12 0.4) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Realization (Theorem 1)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig5_realization () =
+  let m = Zoo.paper_fig5 () in
+  let pi = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let rho = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  Realization.build m ~pi ~rho
+
+let test_realization_fig7_tables () =
+  let r = fig5_realization () in
+  (* fig. 7: delta1([1]pi, 1) = [2]rho, delta1([1]pi, 0) = [1]rho,
+             delta1([3]pi, 1) = [1]rho, delta1([3]pi, 0) = [2]rho.
+     Class 0 of pi is {s1,s2} = [1]pi; class 0 of rho is {s1,s4} = [1]rho. *)
+  check_int "delta1([1]pi, 1)" 1 r.Realization.delta1.(0).(1);
+  check_int "delta1([1]pi, 0)" 0 r.Realization.delta1.(0).(0);
+  check_int "delta1([3]pi, 1)" 0 r.Realization.delta1.(1).(1);
+  check_int "delta1([3]pi, 0)" 1 r.Realization.delta1.(1).(0);
+  (* fig. 7: delta2([1]rho, 1) = [3]pi, delta2([1]rho, 0) = [1]pi,
+             delta2([2]rho, 1) = [1]pi, delta2([2]rho, 0) = [3]pi. *)
+  check_int "delta2([1]rho, 1)" 1 r.Realization.delta2.(0).(1);
+  check_int "delta2([1]rho, 0)" 0 r.Realization.delta2.(0).(0);
+  check_int "delta2([2]rho, 1)" 0 r.Realization.delta2.(1).(1);
+  check_int "delta2([2]rho, 0)" 1 r.Realization.delta2.(1).(0)
+
+let test_realization_fig5_properties () =
+  let r = fig5_realization () in
+  check_bool "realizes" true (Realization.realizes r);
+  check_int "|S1|" 2 (Realization.num_s1 r);
+  check_int "|S2|" 2 (Realization.num_s2 r);
+  check_int "flipflops" 2 (Realization.flipflops r);
+  check_int "no filler needed" 0 r.Realization.filled;
+  check_bool "product behaviour equals spec" true
+    (Machine.equal_behaviour r.Realization.spec r.Realization.product);
+  check_int "spec transitions" 8 (Realization.spec_transitions r);
+  check_int "factor transitions" 8 (Realization.factor_transitions r)
+
+let test_realization_filler () =
+  (* dk27-style machine: |S1| * |S2| = 42 > 7 states, so most product
+     states need the filler output. *)
+  let rng = Rng.create 555 in
+  let info =
+    Generate.block_product ~rng ~name:"filler"
+      ~blocks:((1, 2) :: List.init 5 (fun _ -> (1, 1)))
+      ~num_inputs:2 ~num_outputs:4 ~distinct_signatures:false ()
+  in
+  let m = info.Generate.machine in
+  let pi = Partition.of_class_map info.Generate.pi_classes in
+  let rho = Partition.of_class_map info.Generate.rho_classes in
+  let r = Realization.build m ~pi ~rho in
+  check_int "42 product states" 42 r.Realization.product.Machine.num_states;
+  check_int "35 filled entries" 35 r.Realization.filled;
+  check_bool "still realizes" true (Realization.realizes r);
+  check_bool "behaviour preserved" true
+    (Machine.equal_behaviour m r.Realization.product)
+
+let test_realization_rejects_invalid () =
+  let m = Zoo.paper_fig5 () in
+  let pi = Partition.of_blocks ~n:4 [ [ 0; 2 ] ] in
+  let rho = Partition.of_blocks ~n:4 [ [ 1; 3 ] ] in
+  check_bool "rejected" true
+    (match Realization.build m ~pi ~rho with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_realization_trivial_is_doubling () =
+  (* The trivial solution (identity, identity) corresponds to doubling the
+     machine (fig. 3): the product machine restricted to reachable states
+     is the original machine. *)
+  let m = Zoo.counter ~modulus:4 in
+  let id = Partition.identity 4 in
+  let r = Realization.build m ~pi:id ~rho:id in
+  check_int "16 product states" 16 r.Realization.product.Machine.num_states;
+  check_bool "realizes" true (Realization.realizes r);
+  check_bool "behaviour preserved" true
+    (Machine.equal_behaviour m r.Realization.product)
+
+let test_realization_random_block_products =
+  QCheck.Test.make ~count:30 ~name:"realization of solver optimum always realizes"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let info =
+        Generate.block_product ~rng ~name:"rr"
+          ~blocks:[ (1, 2); (2, 1); (1, 1) ]
+          ~num_inputs:4 ~num_outputs:4 ()
+      in
+      let m = info.Generate.machine in
+      let r = Solver.solve m in
+      let real = Realization.of_solution m r.best in
+      Realization.realizes real
+      && Machine.equal_behaviour m real.Realization.product)
+
+let test_pp_factors_output () =
+  let r = fig5_realization () in
+  let s = Format.asprintf "@[<v>%a@]" Realization.pp_factors r in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mentions delta1" true (contains s "delta1");
+  check_bool "uses paper-style class names" true (contains s "[s1]")
+
+(* ------------------------------------------------------------------ *)
+(* Ostr facade                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ostr_shiftreg () =
+  let outcome = Ostr.run (Zoo.shift_register ~bits:3) in
+  check_bool "nontrivial" true (Ostr.nontrivial outcome);
+  check_bool "reaches lower bound" true (Ostr.reaches_lower_bound outcome);
+  check_int "pipeline flip-flops" 3 (Realization.flipflops outcome.realization)
+
+let test_ostr_counter () =
+  let outcome = Ostr.run (Zoo.counter ~modulus:8) in
+  check_bool "trivial" false (Ostr.nontrivial outcome);
+  check_bool "lower bound not reached" false (Ostr.reaches_lower_bound outcome)
+
+let test_ostr_summary_mentions_fields () =
+  let outcome = Ostr.run (Zoo.paper_fig5 ()) in
+  let s = Format.asprintf "%a" Ostr.pp_summary outcome in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "machine name" true (contains s "fig5");
+  check_bool "factors" true (contains s "|S1| = 2");
+  check_bool "search stats" true (contains s "investigated")
+
+let () =
+  Alcotest.run "stc_core"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "fig5 optimum" `Quick test_solver_fig5;
+          Alcotest.test_case "shiftreg optimum" `Quick test_solver_shiftreg;
+          Alcotest.test_case "4-bit shiftreg optimum" `Quick test_solver_shiftreg_4bit;
+          Alcotest.test_case "counter is trivial" `Quick test_solver_counter_trivial;
+          Alcotest.test_case "toggle is trivial" `Quick test_solver_toggle_trivial;
+          Alcotest.test_case "stats accounting" `Quick test_solver_stats_accounting;
+          qcheck test_solver_pruning_soundness;
+          qcheck test_solver_matches_exhaustive;
+          qcheck test_solver_solutions_always_valid;
+          qcheck test_solver_planted_recovered;
+          Alcotest.test_case "timeout returns best" `Quick test_solver_timeout_returns_best;
+          Alcotest.test_case "max_nodes cap" `Quick test_solver_max_nodes;
+          Alcotest.test_case "unreduced machine" `Quick test_solver_unreduced_machine;
+          Alcotest.test_case "validate rejects bad pairs" `Quick
+            test_validate_rejects_bad_pairs;
+          Alcotest.test_case "cost ordering" `Quick test_compare_cost_ordering;
+        ] );
+      ( "realization",
+        [
+          Alcotest.test_case "fig7 factor tables" `Quick test_realization_fig7_tables;
+          Alcotest.test_case "fig5 properties" `Quick test_realization_fig5_properties;
+          Alcotest.test_case "filler entries" `Quick test_realization_filler;
+          Alcotest.test_case "rejects invalid pair" `Quick test_realization_rejects_invalid;
+          Alcotest.test_case "trivial = doubling" `Quick
+            test_realization_trivial_is_doubling;
+          qcheck test_realization_random_block_products;
+          Alcotest.test_case "pp factors" `Quick test_pp_factors_output;
+        ] );
+      ( "ostr",
+        [
+          Alcotest.test_case "shiftreg" `Quick test_ostr_shiftreg;
+          Alcotest.test_case "counter" `Quick test_ostr_counter;
+          Alcotest.test_case "summary" `Quick test_ostr_summary_mentions_fields;
+        ] );
+    ]

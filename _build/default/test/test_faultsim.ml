@@ -1,0 +1,212 @@
+module N = Stc_netlist.Netlist
+module B = Stc_netlist.Netlist.Builder
+module Session = Stc_faultsim.Session
+module Arch = Stc_faultsim.Arch
+module Zoo = Stc_fsm.Zoo
+module Suite = Stc_benchmarks.Suite
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Session plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pack_roundtrip () =
+  let cycles = 150 and inputs = 3 in
+  let stimuli =
+    Array.init cycles (fun c -> Array.init inputs (fun k -> (c + k) land 1))
+  in
+  let batches = Session.pack stimuli in
+  check_int "batch count" 3 (List.length batches);
+  List.iteri
+    (fun b words ->
+      Array.iteri
+        (fun k word ->
+          for lane = 0 to N.word_bits - 1 do
+            let cycle = (b * N.word_bits) + lane in
+            if cycle < cycles then
+              check_int
+                (Printf.sprintf "bit c=%d k=%d" cycle k)
+                stimuli.(cycle).(k)
+                ((word lsr lane) land 1)
+          done)
+        words)
+    batches
+
+let and_netlist () =
+  let b = B.create "and2" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  B.output b "a" a;
+  (B.finish b, a)
+
+let test_run_detects_known_faults () =
+  let net, a = and_netlist () in
+  (* Exhaustive patterns on 2 inputs. *)
+  let stimuli = [| [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] |] in
+  let r = Session.run ~label:"and2" net ~stimuli ~observed:[| a |] in
+  (* All 10 faults of an AND with fanin-free inputs are testable
+     exhaustively: 2 inputs x 2 + output 2 + 2 pins x 2. *)
+  check_int "total" 10 r.Session.total;
+  check_int "all detected" 10 r.Session.detected;
+  check_bool "coverage 1.0" true (r.Session.coverage = 1.0)
+
+let test_run_misses_unapplied_patterns () =
+  let net, a = and_netlist () in
+  (* Never applying (1,1) leaves the output stuck-at-0 fault untested. *)
+  let stimuli = [| [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |] |] in
+  let r = Session.run ~label:"and2" net ~stimuli ~observed:[| a |] in
+  check_bool "some fault escapes" true (r.Session.detected < r.Session.total);
+  check_bool "sa0 on output undetected" true
+    (List.exists
+       (fun (f : N.fault) -> f.N.gate = a && f.N.pin = None && not f.N.stuck_at)
+       r.Session.undetected)
+
+let test_run_empty_observation_detects_nothing () =
+  let net, _ = and_netlist () in
+  let stimuli = [| [| 1; 1 |] |] in
+  let r = Session.run ~label:"blind" net ~stimuli ~observed:[||] in
+  check_int "nothing detected" 0 r.Session.detected
+
+let test_run_sessions_merges () =
+  let net, a = and_netlist () in
+  let s1 = [| [| 1; 1 |] |] and s2 = [| [| 0; 1 |]; [| 1; 0 |] |] in
+  let merged =
+    Session.run_sessions ~label:"merge" net
+      [ (s1, [| a |]); (s2, [| a |]) ]
+  in
+  let alone = Session.run ~label:"alone" net ~stimuli:s1 ~observed:[| a |] in
+  check_bool "second session adds detections" true
+    (merged.Session.detected > alone.Session.detected);
+  check_int "undetected + detected = total" merged.Session.total
+    (merged.Session.detected + List.length merged.Session.undetected)
+
+let test_fault_on_tags () =
+  let f = { N.gate = 7; pin = None; stuck_at = true } in
+  check_bool "found" true
+    (Session.fault_on f [ ("a", [ 1; 2 ]); ("b", [ 7 ]) ] = Some "b");
+  check_bool "missing" true (Session.fault_on f [ ("a", [ 1 ]) ] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Architectures (the fig. 1-4 experiment)                             *)
+(* ------------------------------------------------------------------ *)
+
+let shiftreg = Zoo.shift_register ~bits:3
+
+let test_fig2_feedback_faults_escape () =
+  (* The paper's drawback 3: faults on the feedback lines from R to C are
+     not detected by the conventional BIST, since T drives C during the
+     self-test. *)
+  let built = Arch.conventional_bist shiftreg in
+  let report = Arch.grade built in
+  let feedback = List.assoc "feedback" built.Arch.tags in
+  let r_input = List.assoc "r-input" built.Arch.tags in
+  let escaped gate =
+    List.length
+      (List.filter (fun (f : N.fault) -> f.N.gate = gate) report.Session.undetected)
+  in
+  List.iter
+    (fun g -> check_int "both feedback faults escape" 2 (escaped g))
+    feedback;
+  List.iter
+    (fun g -> check_int "both r faults escape" 2 (escaped g))
+    r_input;
+  check_bool "coverage below 100%" true (report.Session.coverage < 1.0)
+
+let test_fig4_shiftreg_full_coverage () =
+  let built = Arch.pipeline_of_machine shiftreg in
+  let report = Arch.grade built in
+  check_bool "100% coverage" true (report.Session.coverage = 1.0);
+  check_int "3 flip-flops (Table 1)" 3 built.Arch.flipflops
+
+let test_fig3_shiftreg_full_coverage () =
+  let built = Arch.doubled shiftreg in
+  let report = Arch.grade built in
+  check_bool "100% coverage" true (report.Session.coverage = 1.0);
+  check_int "6 flip-flops" 6 built.Arch.flipflops
+
+let test_fig4_beats_fig2 () =
+  (* The headline comparison, on several machines: the pipeline structure
+     has at least the coverage of the conventional BIST and no more
+     flip-flops. *)
+  List.iter
+    (fun machine ->
+      let fig2 = Arch.conventional_bist machine in
+      let fig4 = Arch.pipeline_of_machine machine in
+      let r2 = Arch.grade fig2 and r4 = Arch.grade fig4 in
+      check_bool
+        (machine.Stc_fsm.Machine.name ^ " coverage")
+        true
+        (r4.Session.coverage >= r2.Session.coverage);
+      check_bool
+        (machine.Stc_fsm.Machine.name ^ " flip-flops")
+        true
+        (fig4.Arch.flipflops <= fig2.Arch.flipflops))
+    [ Zoo.paper_fig5 (); shiftreg ]
+
+let test_fig1_has_no_sessions () =
+  let built = Arch.conventional shiftreg in
+  check_bool "no self-test sessions" true (built.Arch.sessions = []);
+  check_int "single register" 3 built.Arch.flipflops;
+  check_bool "netlist nonempty" true (N.num_gates built.Arch.netlist > 0)
+
+let test_grade_deterministic () =
+  let built = Arch.pipeline_of_machine (Zoo.paper_fig5 ()) in
+  let a = Arch.grade built and b = Arch.grade built in
+  check_int "same detected" a.Session.detected b.Session.detected;
+  check_int "same total" a.Session.total b.Session.total
+
+let test_undetected_by_tag_sums () =
+  let built = Arch.conventional_bist (Zoo.paper_fig5 ()) in
+  let report = Arch.grade built in
+  let sum =
+    List.fold_left (fun acc (_, n) -> acc + n) 0
+      (Arch.undetected_by_tag built report)
+  in
+  check_int "tag buckets cover all undetected" (List.length report.Session.undetected) sum
+
+let test_dk27_benchmark_comparison () =
+  (* An actual Table-1 machine through the full flow. *)
+  let spec = match Suite.find "dk27" with Some s -> s | None -> assert false in
+  let machine = Suite.machine spec in
+  let fig2 = Arch.conventional_bist machine in
+  let fig4 = Arch.pipeline_of_machine machine in
+  let r2 = Arch.grade fig2 and r4 = Arch.grade fig4 in
+  check_int "fig2 flip-flops = Table 1 conv." spec.Suite.paper.Suite.ff_conventional
+    fig2.Arch.flipflops;
+  check_int "fig4 flip-flops = Table 1 pipeline" spec.Suite.paper.Suite.ff_pipeline
+    fig4.Arch.flipflops;
+  check_bool "pipeline coverage at least conventional" true
+    (r4.Session.coverage >= r2.Session.coverage)
+
+let () =
+  Alcotest.run "stc_faultsim"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+          Alcotest.test_case "detects known faults" `Quick test_run_detects_known_faults;
+          Alcotest.test_case "misses unapplied patterns" `Quick
+            test_run_misses_unapplied_patterns;
+          Alcotest.test_case "empty observation" `Quick
+            test_run_empty_observation_detects_nothing;
+          Alcotest.test_case "session merge" `Quick test_run_sessions_merges;
+          Alcotest.test_case "fault_on tags" `Quick test_fault_on_tags;
+        ] );
+      ( "architectures",
+        [
+          Alcotest.test_case "fig2 feedback faults escape" `Quick
+            test_fig2_feedback_faults_escape;
+          Alcotest.test_case "fig4 shiftreg full coverage" `Quick
+            test_fig4_shiftreg_full_coverage;
+          Alcotest.test_case "fig3 shiftreg full coverage" `Quick
+            test_fig3_shiftreg_full_coverage;
+          Alcotest.test_case "fig4 beats fig2" `Quick test_fig4_beats_fig2;
+          Alcotest.test_case "fig1 has no sessions" `Quick test_fig1_has_no_sessions;
+          Alcotest.test_case "grade deterministic" `Quick test_grade_deterministic;
+          Alcotest.test_case "undetected by tag sums" `Quick test_undetected_by_tag_sums;
+          Alcotest.test_case "dk27 comparison" `Quick test_dk27_benchmark_comparison;
+        ] );
+    ]

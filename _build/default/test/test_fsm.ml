@@ -1,0 +1,529 @@
+module Machine = Stc_fsm.Machine
+module Kiss = Stc_fsm.Kiss
+module Reach = Stc_fsm.Reach
+module Equiv = Stc_fsm.Equiv
+module Zoo = Stc_fsm.Zoo
+module Generate = Stc_fsm.Generate
+module Dot = Stc_fsm.Dot
+module Partition = Stc_partition.Partition
+module Pair = Stc_partition.Pair
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_for () =
+  List.iter
+    (fun (n, bits) -> check_int (Printf.sprintf "bits_for %d" n) bits (Machine.bits_for n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (16, 4); (27, 5); (32, 5) ]
+
+let test_make_validates_dimensions () =
+  let attempt () =
+    ignore
+      (Machine.make ~name:"bad" ~num_states:2 ~num_inputs:2 ~num_outputs:1
+         ~next:[| [| 0; 1 |] |]
+         ~output:[| [| 0; 0 |]; [| 0; 0 |] |]
+         ())
+  in
+  check_bool "wrong row count rejected" true
+    (match attempt () with exception Invalid_argument _ -> true | () -> false)
+
+let test_make_validates_range () =
+  let attempt () =
+    ignore
+      (Machine.make ~name:"bad" ~num_states:2 ~num_inputs:1 ~num_outputs:1
+         ~next:[| [| 2 |]; [| 0 |] |]
+         ~output:[| [| 0 |]; [| 0 |] |]
+         ())
+  in
+  check_bool "next out of range rejected" true
+    (match attempt () with exception Invalid_argument _ -> true | () -> false)
+
+let test_make_validates_reset () =
+  let attempt () =
+    ignore
+      (Machine.make ~name:"bad" ~num_states:2 ~num_inputs:1 ~num_outputs:1
+         ~next:[| [| 0 |]; [| 0 |] |]
+         ~output:[| [| 0 |]; [| 0 |] |]
+         ~reset:5 ())
+  in
+  check_bool "reset out of range rejected" true
+    (match attempt () with exception Invalid_argument _ -> true | () -> false)
+
+let test_make_copies_tables () =
+  let next = [| [| 0 |]; [| 0 |] |] and output = [| [| 0 |]; [| 0 |] |] in
+  let m =
+    Machine.make ~name:"copy" ~num_states:2 ~num_inputs:1 ~num_outputs:1 ~next
+      ~output ()
+  in
+  next.(0).(0) <- 1;
+  check_int "internal table unaffected" 0 (Machine.delta m 0 0)
+
+let test_fig5_table () =
+  let m = Zoo.paper_fig5 () in
+  (* Row s1: 1 -> 3/1, 0 -> 1/1 (paper's fig. 5). *)
+  check_int "delta(s1,1)" 2 (Machine.delta m 0 1);
+  check_int "lambda(s1,1)" 1 (Machine.lambda m 0 1);
+  check_int "delta(s1,0)" 0 (Machine.delta m 0 0);
+  check_int "delta(s2,1)" 1 (Machine.delta m 1 1);
+  check_int "lambda(s2,1)" 0 (Machine.lambda m 1 1);
+  check_int "delta(s4,0)" 1 (Machine.delta m 3 0);
+  check_int "lambda(s4,0)" 1 (Machine.lambda m 3 0)
+
+let test_fig5_simulation () =
+  let m = Zoo.paper_fig5 () in
+  (* From s1: 1/1 -> s3, 1/1 -> s1, 0/1 -> s1. *)
+  let outputs, final = Machine.simulate m [ 1; 1; 0 ] in
+  check_bool "outputs" true (outputs = [ 1; 1; 1 ]);
+  check_int "final state" 0 final
+
+let test_run_from_state () =
+  let m = Zoo.paper_fig5 () in
+  let outputs, final = Machine.run m ~start:1 [ 0; 0 ] in
+  (* s2 -0/0-> s4 -0/1-> s2 *)
+  check_bool "outputs" true (outputs = [ 0; 1 ]);
+  check_int "final" 1 final
+
+let test_relabel_behaviour () =
+  let m = Zoo.paper_fig5 () in
+  let m' = Machine.relabel_states m [| 2; 0; 3; 1 |] in
+  check_bool "behaviourally equal" true (Machine.equal_behaviour m m');
+  check_int "reset follows" 2 m'.Machine.reset
+
+let test_relabel_rejects_non_permutation () =
+  let m = Zoo.paper_fig5 () in
+  check_bool "rejected" true
+    (match Machine.relabel_states m [| 0; 0; 1; 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_equal_behaviour_negative () =
+  let m = Zoo.paper_fig5 () in
+  let output = Array.map Array.copy m.Machine.output in
+  output.(0).(0) <- 0;
+  let m' =
+    Machine.make ~name:"tweaked" ~num_states:4 ~num_inputs:2 ~num_outputs:2
+      ~next:m.Machine.next ~output
+      ~output_names:m.Machine.output_names ()
+  in
+  check_bool "differs" false (Machine.equal_behaviour m m')
+
+let test_iter_transitions_count () =
+  let m = Zoo.paper_fig5 () in
+  let count = ref 0 in
+  Machine.iter_transitions m (fun _ _ _ _ -> incr count);
+  check_int "4 states x 2 inputs" 8 !count
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp_contains_cells () =
+  let s = Machine.to_string (Zoo.paper_fig5 ()) in
+  check_bool "mentions machine name" true (contains s "fig5");
+  check_bool "contains s3/1 cell" true (contains s "s3/1")
+
+let test_flipflops_conventional () =
+  check_int "fig5" 4 (Machine.flipflops_conventional (Zoo.paper_fig5 ()));
+  check_int "shiftreg" 6
+    (Machine.flipflops_conventional (Zoo.shift_register ~bits:3))
+
+(* ------------------------------------------------------------------ *)
+(* Zoo semantics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shiftreg_semantics =
+  QCheck.Test.make ~count:100 ~name:"shift register delays input by 3"
+    QCheck.(list_of_size (Gen.int_range 4 20) (int_bound 1))
+    (fun word ->
+      let m = Zoo.shift_register ~bits:3 in
+      let outputs, _ = Machine.simulate m word in
+      (* Output at step t is the input of step t-3 (zero-initialised). *)
+      let expected =
+        List.mapi (fun t _ -> if t < 3 then 0 else List.nth word (t - 3)) word
+      in
+      outputs = expected)
+
+let test_serial_adder_adds =
+  QCheck.Test.make ~count:100 ~name:"serial adder computes a + b"
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let m = Zoo.serial_adder () in
+      (* Feed 9 bit-pairs LSB first: input symbol = 2*a_bit + b_bit. *)
+      let word =
+        List.init 9 (fun k -> (2 * ((a lsr k) land 1)) + ((b lsr k) land 1))
+      in
+      let outputs, _ = Machine.simulate m word in
+      let sum = List.fold_right (fun bit acc -> (2 * acc) + bit) outputs 0 in
+      sum = a + b)
+
+let test_parity_tracks_ones =
+  QCheck.Test.make ~count:100 ~name:"parity machine tracks running parity"
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 1))
+    (fun word ->
+      let m = Zoo.parity () in
+      let outputs, _ = Machine.simulate m word in
+      let rec go acc word outputs =
+        match (word, outputs) with
+        | [], [] -> true
+        | x :: w, o :: os ->
+          let acc = acc lxor x in
+          o = acc && go acc w os
+        | _ -> false
+      in
+      go 0 word outputs)
+
+let test_counter_wraps () =
+  let m = Zoo.counter ~modulus:4 in
+  let outputs, final = Machine.simulate m [ 1; 1; 1; 1; 0; 1 ] in
+  check_bool "carry on 4th increment" true (outputs = [ 0; 0; 0; 1; 0; 0 ]);
+  check_int "state" 1 final
+
+let test_toggle () =
+  let m = Zoo.toggle () in
+  let outputs, final = Machine.simulate m [ 1; 1; 0; 1 ] in
+  check_bool "old state reported" true (outputs = [ 0; 1; 0; 0 ]);
+  check_int "final" 1 final
+
+(* ------------------------------------------------------------------ *)
+(* Kiss                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let kiss_example =
+  ".i 2\n.o 1\n.s 2\n.r a\n00 a a 0\n01 a b 1\n1- a b 0\n-- b a 1\n.e\n"
+
+let test_kiss_parse_basic () =
+  let m = Kiss.parse ~name:"t" kiss_example in
+  check_int "states" 2 m.Machine.num_states;
+  check_int "inputs (2 bits)" 4 m.Machine.num_inputs;
+  check_int "reset" 0 m.Machine.reset;
+  (* "1-" expands to minterms 10 and 11. *)
+  check_int "delta(a, 10)" 1 (Machine.delta m 0 2);
+  check_int "delta(a, 11)" 1 (Machine.delta m 0 3);
+  check_string "output of (a, 01)" "1"
+    m.Machine.output_names.(Machine.lambda m 0 1)
+
+let test_kiss_roundtrip_fig5 () =
+  let m = Zoo.paper_fig5 () in
+  let m' = Kiss.parse ~name:"fig5" (Kiss.print m) in
+  check_bool "roundtrip behaviour" true (Machine.equal_behaviour m m')
+
+let test_kiss_roundtrip_shiftreg () =
+  let m = Zoo.shift_register ~bits:3 in
+  let m' = Kiss.parse (Kiss.print m) in
+  check_bool "roundtrip behaviour" true (Machine.equal_behaviour m m')
+
+let expect_parse_error text =
+  match Kiss.parse text with
+  | exception Kiss.Parse_error _ -> true
+  | _ -> false
+
+let test_kiss_conflict_rejected () =
+  check_bool "conflicting rows" true
+    (expect_parse_error ".i 1\n.o 1\n0 a a 0\n0 a b 0\n1 a a 0\n1 b b 0\n0 b b 0\n.e\n")
+
+let test_kiss_missing_entry_rejected () =
+  check_bool "incomplete machine" true
+    (expect_parse_error ".i 1\n.o 1\n0 a b 0\n0 b a 1\n1 b b 0\n.e\n")
+
+let test_kiss_completion_self_loop () =
+  let m =
+    Kiss.parse ~on_missing:`Self_loop ".i 1\n.o 1\n0 a b 1\n0 b a 1\n1 b b 1\n.e\n"
+  in
+  check_int "missing entry self-loops" 0 (Machine.delta m 0 1);
+  check_string "zero output" "0" m.Machine.output_names.(Machine.lambda m 0 1)
+
+let test_kiss_completion_reset () =
+  let m =
+    Kiss.parse ~on_missing:`Reset ".i 1\n.o 1\n.r b\n0 a b 1\n0 b a 1\n1 b b 1\n.e\n"
+  in
+  check_int "missing entry goes to reset" 1 (Machine.delta m 0 1)
+
+let test_kiss_bad_output_rejected () =
+  check_bool "dash output" true (expect_parse_error ".i 1\n.o 1\n0 a a -\n1 a a 0\n.e\n");
+  check_bool "wide output" true (expect_parse_error ".i 1\n.o 1\n0 a a 00\n1 a a 0\n.e\n")
+
+let test_kiss_bad_cube_rejected () =
+  check_bool "bad char" true (expect_parse_error ".i 1\n.o 1\nx a a 0\n.e\n");
+  check_bool "wrong width" true (expect_parse_error ".i 2\n.o 1\n0 a a 0\n.e\n")
+
+let test_kiss_unknown_reset_rejected () =
+  check_bool "unknown reset" true
+    (expect_parse_error ".i 1\n.o 1\n.r zz\n0 a a 0\n1 a a 1\n.e\n")
+
+let test_kiss_state_count_mismatch_rejected () =
+  check_bool ".s mismatch" true
+    (expect_parse_error ".i 1\n.o 1\n.s 3\n0 a a 0\n1 a a 1\n.e\n")
+
+let test_kiss_comments_and_whitespace () =
+  let m =
+    Kiss.parse "# header comment\n.i 1\n.o 1\n\n0 a a 0 # trailing\n1 a\tb 1\n0 b a 1\n1 b b 0\n.e\n"
+  in
+  check_int "states" 2 m.Machine.num_states
+
+let test_kiss_print_declares_products () =
+  let text = Kiss.print (Zoo.paper_fig5 ()) in
+  let m = Kiss.parse text in
+  check_int "8 minterm rows" 8 (m.Machine.num_states * m.Machine.num_inputs)
+
+let test_kiss_input_output_bits () =
+  let m = Zoo.shift_register ~bits:3 in
+  check_int "input bits" 1 (Kiss.input_bits m);
+  check_int "output bits" 1 (Kiss.output_bits m)
+
+(* ------------------------------------------------------------------ *)
+(* Reach                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let machine_with_unreachable () =
+  (* State 2 is unreachable from reset 0. *)
+  Machine.make ~name:"unreach" ~num_states:3 ~num_inputs:2 ~num_outputs:2
+    ~next:[| [| 0; 1 |]; [| 1; 0 |]; [| 2; 0 |] |]
+    ~output:[| [| 0; 0 |]; [| 1; 1 |]; [| 0; 1 |] |]
+    ()
+
+let test_reach_flags () =
+  let m = machine_with_unreachable () in
+  let r = Reach.reachable m in
+  check_bool "0 reachable" true r.(0);
+  check_bool "1 reachable" true r.(1);
+  check_bool "2 unreachable" false r.(2);
+  check_int "count" 2 (Reach.reachable_count m);
+  check_bool "not connected" false (Reach.is_connected m)
+
+let test_reach_trim () =
+  let m = machine_with_unreachable () in
+  let t = Reach.trim m in
+  check_int "two states" 2 t.Machine.num_states;
+  check_bool "behaviour preserved" true (Machine.equal_behaviour m t);
+  check_bool "trim is idempotent" true (Reach.trim t == t)
+
+let test_strongly_connected () =
+  check_bool "shiftreg strongly connected" true
+    (Reach.is_strongly_connected (Zoo.shift_register ~bits:3));
+  let sink =
+    Machine.make ~name:"sink" ~num_states:2 ~num_inputs:1 ~num_outputs:1
+      ~next:[| [| 1 |]; [| 1 |] |]
+      ~output:[| [| 0 |]; [| 0 |] |]
+      ()
+  in
+  check_bool "sink not strongly connected" false (Reach.is_strongly_connected sink)
+
+(* ------------------------------------------------------------------ *)
+(* Equiv                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let machine_with_twin () =
+  (* States 1 and 2 are equivalent twins. *)
+  Machine.make ~name:"twin" ~num_states:3 ~num_inputs:2 ~num_outputs:2
+    ~next:[| [| 1; 2 |]; [| 0; 1 |]; [| 0; 2 |] |]
+    ~output:[| [| 0; 1 |]; [| 1; 0 |]; [| 1; 0 |] |]
+    ()
+
+let test_equiv_classes () =
+  let m = machine_with_twin () in
+  let cls = Equiv.classes m in
+  check_bool "1 ~ 2" true (cls.(1) = cls.(2));
+  check_bool "0 not~ 1" true (cls.(0) <> cls.(1));
+  check_int "two classes" 2 (Equiv.num_classes m);
+  check_bool "not reduced" false (Equiv.is_reduced m);
+  check_bool "equivalent" true (Equiv.equivalent m 1 2)
+
+let test_equiv_minimize () =
+  let m = machine_with_twin () in
+  let r = Equiv.minimize m in
+  check_int "two states" 2 r.Machine.num_states;
+  check_bool "behaviour preserved" true (Machine.equal_behaviour m r);
+  check_bool "result reduced" true (Equiv.is_reduced r);
+  check_bool "minimize idempotent" true (Equiv.minimize r == r)
+
+let test_equiv_fig5_reduced () =
+  check_bool "fig5 reduced" true (Equiv.is_reduced (Zoo.paper_fig5 ()));
+  check_bool "shiftreg reduced" true (Equiv.is_reduced (Zoo.shift_register ~bits:3))
+
+let test_equiv_distinguishes_late () =
+  (* Two states that agree on immediate outputs but diverge after two
+     steps: 0 and 1 produce the same outputs now, successors differ. *)
+  let m =
+    Machine.make ~name:"late" ~num_states:4 ~num_inputs:1 ~num_outputs:2
+      ~next:[| [| 2 |]; [| 3 |]; [| 2 |]; [| 3 |] |]
+      ~output:[| [| 0 |]; [| 0 |]; [| 0 |]; [| 1 |] |]
+      ()
+  in
+  check_bool "0 and 1 distinguished" false (Equiv.equivalent m 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_random_connected_reduced =
+  QCheck.Test.make ~count:50 ~name:"random machines are connected and reduced"
+    QCheck.(pair (int_bound 1000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let m =
+        Generate.random ~rng ~name:"r" ~num_states:n ~num_inputs:4
+          ~num_outputs:4 ()
+      in
+      m.Machine.num_states = n && Reach.is_connected m && Equiv.is_reduced m)
+
+let test_generate_block_product_plants_pair =
+  QCheck.Test.make ~count:30 ~name:"block product plants a symmetric pair"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let info =
+        Generate.block_product ~rng ~name:"bp"
+          ~blocks:[ (1, 2); (2, 1); (1, 1) ]
+          ~num_inputs:8 ~num_outputs:4 ()
+      in
+      let m = info.Generate.machine in
+      let pi = Partition.of_class_map info.Generate.pi_classes in
+      let rho = Partition.of_class_map info.Generate.rho_classes in
+      Partition.num_classes pi = info.Generate.num_pi
+      && Partition.num_classes rho = info.Generate.num_rho
+      && Pair.is_symmetric_pair ~next:m.Machine.next pi rho
+      && Partition.is_identity (Partition.meet pi rho)
+      && Reach.is_connected m && Equiv.is_reduced m)
+
+let test_generate_shuffled_preserves () =
+  let rng = Rng.create 77 in
+  let info =
+    Generate.block_product ~rng ~name:"bp" ~blocks:[ (1, 2); (1, 1); (1, 1) ]
+      ~num_inputs:4 ~num_outputs:4 ~distinct_signatures:false ()
+  in
+  let shuffled = Generate.shuffled ~rng info in
+  let m = shuffled.Generate.machine in
+  check_bool "behaviour preserved" true
+    (Machine.equal_behaviour info.Generate.machine m);
+  let pi = Partition.of_class_map shuffled.Generate.pi_classes in
+  let rho = Partition.of_class_map shuffled.Generate.rho_classes in
+  check_bool "planted pair still symmetric" true
+    (Pair.is_symmetric_pair ~next:m.Machine.next pi rho)
+
+let test_generate_distinct_signatures_mm_clean () =
+  let rng = Rng.create 3 in
+  let info =
+    Generate.block_product ~rng ~name:"bp" ~blocks:[ (2, 2); (2, 2) ]
+      ~num_inputs:8 ~num_outputs:8 ~distinct_signatures:true ()
+  in
+  let m = info.Generate.machine in
+  let pi = Partition.of_class_map info.Generate.pi_classes in
+  let rho = Partition.of_class_map info.Generate.rho_classes in
+  check_bool "M(rho) = pi" true
+    (Partition.equal (Pair.big_m ~next:m.Machine.next rho) pi);
+  check_bool "M(pi) = rho" true
+    (Partition.equal (Pair.big_m ~next:m.Machine.next pi) rho)
+
+let test_binary_output_names () =
+  let names = Generate.binary_output_names 5 in
+  check_int "five names" 5 (Array.length names);
+  check_string "width 3" "000" names.(0);
+  check_string "last" "100" names.(4)
+
+(* ------------------------------------------------------------------ *)
+(* Dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dot_render () =
+  let s = Dot.render (Zoo.paper_fig5 ()) in
+  check_bool "digraph header" true (contains s "digraph \"fig5\"");
+  check_bool "reset arrow" true (contains s "__start -> q0");
+  check_bool "edge label" true (contains s "q0 -> q2")
+
+let test_dot_clusters () =
+  let m = Zoo.paper_fig5 () in
+  let s = Dot.render ~pi_classes:[| 0; 0; 1; 1 |] m in
+  check_bool "cluster 0" true (contains s "subgraph cluster_0");
+  check_bool "cluster 1" true (contains s "subgraph cluster_1")
+
+let () =
+  Alcotest.run "stc_fsm"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "bits_for" `Quick test_bits_for;
+          Alcotest.test_case "make validates dimensions" `Quick
+            test_make_validates_dimensions;
+          Alcotest.test_case "make validates range" `Quick test_make_validates_range;
+          Alcotest.test_case "make validates reset" `Quick test_make_validates_reset;
+          Alcotest.test_case "make copies tables" `Quick test_make_copies_tables;
+          Alcotest.test_case "fig5 table" `Quick test_fig5_table;
+          Alcotest.test_case "fig5 simulation" `Quick test_fig5_simulation;
+          Alcotest.test_case "run from state" `Quick test_run_from_state;
+          Alcotest.test_case "relabel preserves behaviour" `Quick test_relabel_behaviour;
+          Alcotest.test_case "relabel rejects non-permutation" `Quick
+            test_relabel_rejects_non_permutation;
+          Alcotest.test_case "equal_behaviour negative" `Quick
+            test_equal_behaviour_negative;
+          Alcotest.test_case "iter_transitions count" `Quick test_iter_transitions_count;
+          Alcotest.test_case "pp contains cells" `Quick test_pp_contains_cells;
+          Alcotest.test_case "conventional flip-flops" `Quick test_flipflops_conventional;
+        ] );
+      ( "zoo",
+        [
+          qcheck test_shiftreg_semantics;
+          qcheck test_serial_adder_adds;
+          qcheck test_parity_tracks_ones;
+          Alcotest.test_case "counter wraps" `Quick test_counter_wraps;
+          Alcotest.test_case "toggle" `Quick test_toggle;
+        ] );
+      ( "kiss",
+        [
+          Alcotest.test_case "parse basic" `Quick test_kiss_parse_basic;
+          Alcotest.test_case "roundtrip fig5" `Quick test_kiss_roundtrip_fig5;
+          Alcotest.test_case "roundtrip shiftreg" `Quick test_kiss_roundtrip_shiftreg;
+          Alcotest.test_case "conflict rejected" `Quick test_kiss_conflict_rejected;
+          Alcotest.test_case "missing entry rejected" `Quick
+            test_kiss_missing_entry_rejected;
+          Alcotest.test_case "completion self-loop" `Quick test_kiss_completion_self_loop;
+          Alcotest.test_case "completion reset" `Quick test_kiss_completion_reset;
+          Alcotest.test_case "bad output rejected" `Quick test_kiss_bad_output_rejected;
+          Alcotest.test_case "bad cube rejected" `Quick test_kiss_bad_cube_rejected;
+          Alcotest.test_case "unknown reset rejected" `Quick
+            test_kiss_unknown_reset_rejected;
+          Alcotest.test_case ".s mismatch rejected" `Quick
+            test_kiss_state_count_mismatch_rejected;
+          Alcotest.test_case "comments and whitespace" `Quick
+            test_kiss_comments_and_whitespace;
+          Alcotest.test_case "print declares products" `Quick
+            test_kiss_print_declares_products;
+          Alcotest.test_case "input/output bits" `Quick test_kiss_input_output_bits;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "flags" `Quick test_reach_flags;
+          Alcotest.test_case "trim" `Quick test_reach_trim;
+          Alcotest.test_case "strongly connected" `Quick test_strongly_connected;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "classes" `Quick test_equiv_classes;
+          Alcotest.test_case "minimize" `Quick test_equiv_minimize;
+          Alcotest.test_case "fig5 reduced" `Quick test_equiv_fig5_reduced;
+          Alcotest.test_case "distinguishes late divergence" `Quick
+            test_equiv_distinguishes_late;
+        ] );
+      ( "generate",
+        [
+          qcheck test_generate_random_connected_reduced;
+          qcheck test_generate_block_product_plants_pair;
+          Alcotest.test_case "shuffled preserves" `Quick test_generate_shuffled_preserves;
+          Alcotest.test_case "distinct signatures are Mm-clean" `Quick
+            test_generate_distinct_signatures_mm_clean;
+          Alcotest.test_case "binary output names" `Quick test_binary_output_names;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "render" `Quick test_dot_render;
+          Alcotest.test_case "clusters" `Quick test_dot_clusters;
+        ] );
+    ]

@@ -1,0 +1,413 @@
+module Cube = Stc_logic.Cube
+module Cover = Stc_logic.Cover
+module Minimize = Stc_logic.Minimize
+module Pla = Stc_logic.Pla
+module Truth = Stc_logic.Truth
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Random cube / cover generators driven by a seed. *)
+let random_cube rng ~num_vars ~num_outputs =
+  let input =
+    Array.init num_vars (fun _ ->
+        match Rng.int rng 3 with 0 -> Cube.Zero | 1 -> Cube.One | _ -> Cube.Dc)
+  in
+  let output = Array.init num_outputs (fun _ -> Rng.bool rng) in
+  if Array.exists Fun.id output then Cube.make ~input ~output
+  else begin
+    output.(Rng.int rng num_outputs) <- true;
+    Cube.make ~input ~output
+  end
+
+let random_cover rng ~num_vars ~num_outputs ~max_cubes =
+  let n = 1 + Rng.int rng max_cubes in
+  Cover.make ~num_vars ~num_outputs
+    (List.init n (fun _ -> random_cube rng ~num_vars ~num_outputs))
+
+let dims rng =
+  let num_vars = 2 + Rng.int rng 4 in
+  let num_outputs = 1 + Rng.int rng 3 in
+  (num_vars, num_outputs)
+
+(* ------------------------------------------------------------------ *)
+(* Cube                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cube_string_roundtrip () =
+  let c = Cube.of_string "1-0 10" in
+  check_string "roundtrip" "1-0 10" (Cube.to_string c);
+  check_int "literals" 2 (Cube.literals c);
+  check_bool "matches 100" true (Cube.matches c 0b100);
+  check_bool "matches 110" true (Cube.matches c 0b110);
+  check_bool "rejects 101" false (Cube.matches c 0b101)
+
+let test_cube_of_string_rejects () =
+  check_bool "bad char" true
+    (match Cube.of_string "1x0 1" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "empty output" true
+    (match Cube.of_string "111 00" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cube_minterm () =
+  let c = Cube.minterm ~num_vars:3 ~num_outputs:1 0b101 in
+  check_string "string" "101 1" (Cube.to_string c);
+  check_bool "only itself" true
+    (List.for_all
+       (fun v -> Cube.matches c v = (v = 0b101))
+       (List.init 8 (fun v -> v)))
+
+let test_cube_input_size () =
+  check_bool "2 dc -> 4 minterms" true
+    (Cube.input_size (Cube.of_string "1-- 1") = 4.0)
+
+let test_cube_contains_semantic =
+  QCheck.Test.make ~count:300 ~name:"contains = minterm subset + output subset"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let a = random_cube rng ~num_vars ~num_outputs
+      and b = random_cube rng ~num_vars ~num_outputs in
+      let input_subset = ref true in
+      for v = 0 to (1 lsl num_vars) - 1 do
+        if Cube.matches b v && not (Cube.matches a v) then input_subset := false
+      done;
+      let output_subset = ref true in
+      Array.iteri
+        (fun o bo -> if bo && not a.Cube.output.(o) then output_subset := false)
+        b.Cube.output;
+      Cube.contains a b = (!input_subset && !output_subset))
+
+let test_cube_intersect_semantic =
+  QCheck.Test.make ~count:300 ~name:"intersect matches minterm intersection"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let a = random_cube rng ~num_vars ~num_outputs
+      and b = random_cube rng ~num_vars ~num_outputs in
+      let both v = Cube.matches a v && Cube.matches b v in
+      let out_overlap =
+        Array.exists Fun.id
+          (Array.mapi (fun o bo -> bo && b.Cube.output.(o)) a.Cube.output)
+      in
+      match Cube.intersect a b with
+      | None ->
+        (* empty: either inputs disjoint or outputs disjoint *)
+        List.for_all (fun v -> not (both v)) (List.init (1 lsl num_vars) Fun.id)
+        || not out_overlap
+      | Some c ->
+        List.for_all
+          (fun v -> Cube.matches c v = both v)
+          (List.init (1 lsl num_vars) Fun.id))
+
+let test_cube_supercube_is_bound =
+  QCheck.Test.make ~count:300 ~name:"supercube contains both arguments"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let a = random_cube rng ~num_vars ~num_outputs
+      and b = random_cube rng ~num_vars ~num_outputs in
+      let s = Cube.supercube a b in
+      Cube.contains s a && Cube.contains s b)
+
+let test_cube_distance () =
+  check_int "distance" 3 (Cube.distance (Cube.of_string "110 1") (Cube.of_string "001 1"));
+  check_int "zero when overlapping" 0
+    (Cube.distance (Cube.of_string "1-- 1") (Cube.of_string "-01 1"))
+
+(* ------------------------------------------------------------------ *)
+(* Cover                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cover_eval () =
+  let c = Cover.of_strings ~num_vars:2 ~num_outputs:2 [ "1- 10"; "-1 01" ] in
+  check_bool "11 -> both" true (Cover.eval c 0b11 = [| true; true |]);
+  check_bool "10 -> first" true (Cover.eval c 0b10 = [| true; false |]);
+  check_bool "00 -> none" true (Cover.eval c 0b00 = [| false; false |])
+
+let test_cover_tautology_examples () =
+  let taut = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "1- 1"; "0- 1" ] in
+  check_bool "x + x' tautology" true (Cover.tautology taut);
+  let no = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "1- 1"; "01 1" ] in
+  check_bool "not tautology" false (Cover.tautology no);
+  let dc = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "-- 1" ] in
+  check_bool "universal cube" true (Cover.tautology dc)
+
+let test_cover_tautology_oracle =
+  QCheck.Test.make ~count:300 ~name:"tautology agrees with truth table"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let table = Truth.table c in
+      let full = Array.for_all (fun row -> Array.for_all Fun.id row) table in
+      Cover.tautology c = full)
+
+let test_cover_complement_oracle =
+  QCheck.Test.make ~count:200 ~name:"complement flips every minterm"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let comp = Cover.complement c in
+      let ok = ref true in
+      for v = 0 to (1 lsl num_vars) - 1 do
+        let a = Cover.eval c v and b = Cover.eval comp v in
+        Array.iteri (fun o av -> if av = b.(o) then ok := false) a
+      done;
+      !ok)
+
+let test_cover_covers_cube_oracle =
+  QCheck.Test.make ~count:300 ~name:"covers_cube agrees with truth table"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:6 in
+      let cube = random_cube rng ~num_vars ~num_outputs in
+      let semantic = ref true in
+      for v = 0 to (1 lsl num_vars) - 1 do
+        if Cube.matches cube v then begin
+          let row = Cover.eval c v in
+          Array.iteri
+            (fun o want -> if want && not row.(o) then semantic := false)
+            cube.Cube.output
+        end
+      done;
+      Cover.covers_cube c cube = !semantic)
+
+let test_cover_sharp_cube_oracle =
+  QCheck.Test.make ~count:200 ~name:"sharp_cube = cube minus cover"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:6 in
+      let cube = random_cube rng ~num_vars ~num_outputs in
+      let diff = Cover.sharp_cube cube c in
+      let ok = ref true in
+      for v = 0 to (1 lsl num_vars) - 1 do
+        let in_diff = Cover.eval diff v and in_c = Cover.eval c v in
+        Array.iteri
+          (fun o want ->
+            let expected = want && Cube.matches cube v && not in_c.(o) in
+            if in_diff.(o) <> expected then ok := false)
+          cube.Cube.output
+      done;
+      !ok)
+
+let test_cover_scc_preserves =
+  QCheck.Test.make ~count:200 ~name:"single-cube containment preserves function"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:10 in
+      Truth.equivalent c (Cover.single_cube_containment c))
+
+let test_cover_minterms_equals_eval =
+  QCheck.Test.make ~count:100 ~name:"minterm expansion preserves function"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:6 in
+      Truth.equivalent c (Cover.minterms c))
+
+let test_cover_equivalent_mutual =
+  QCheck.Test.make ~count:150 ~name:"equivalent agrees with truth tables"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let a = random_cover rng ~num_vars ~num_outputs ~max_cubes:5 in
+      let b = random_cover rng ~num_vars ~num_outputs ~max_cubes:5 in
+      Cover.equivalent a b = Truth.equivalent a b)
+
+(* ------------------------------------------------------------------ *)
+(* Minimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_minimize_xor_stays_two_cubes () =
+  (* XOR has no two-level minimization: 2 cubes, 4 literals. *)
+  let on = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "10 1"; "01 1" ] in
+  let result, _ = Minimize.minimize on in
+  check_int "2 cubes" 2 (Cover.size result);
+  check_bool "exact" true (Truth.equivalent on result)
+
+let test_minimize_merges_adjacent () =
+  (* ab + ab' = a. *)
+  let on = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "11 1"; "10 1" ] in
+  let result, report = Minimize.minimize on in
+  check_int "1 cube" 1 (Cover.size result);
+  check_int "1 literal" 2 report.Minimize.final_literals
+  (* input literal + output literal *)
+
+let test_minimize_uses_dont_cares () =
+  (* f = m(1); dc = m(3): minimizer should produce the single cube -1. *)
+  let on = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "01 1" ] in
+  let dc = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "11 1" ] in
+  let result, _ = Minimize.minimize ~dc on in
+  check_int "1 cube" 1 (Cover.size result);
+  check_bool "contract" true (Truth.equivalent_with_dc ~on ~dc result)
+
+let test_minimize_contract =
+  QCheck.Test.make ~count:150 ~name:"minimize satisfies on <= f <= on+dc"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let dc = random_cover rng ~num_vars ~num_outputs ~max_cubes:4 in
+      let result, _ = Minimize.minimize ~dc on in
+      Truth.equivalent_with_dc ~on ~dc result
+      && Minimize.verify ~on ~dc result
+      && Minimize.is_irredundant ~dc result)
+
+let test_minimize_never_worse =
+  (* Cube count never increases (expand keeps it, containment/irredundant
+     only remove).  Literal counts can trade input literals for output
+     literals, so only the cube bound is guaranteed. *)
+  QCheck.Test.make ~count:150 ~name:"minimize never increases the cube count"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:10 in
+      let result, report = Minimize.minimize on in
+      let cubes, lits = Cover.cost result in
+      cubes <= report.Minimize.initial_cubes
+      && report.Minimize.final_cubes = cubes
+      && report.Minimize.final_literals = lits)
+
+let test_expand_yields_primes =
+  QCheck.Test.make ~count:100 ~name:"expanded cubes cannot be raised further"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:6 in
+      let off = Minimize.off_set on in
+      let expanded = Minimize.expand ~off on in
+      List.for_all
+        (fun cube ->
+          (* every remaining literal conflicts with the off-set if raised *)
+          let prime = ref true in
+          Array.iteri
+            (fun k trit ->
+              if trit <> Cube.Dc then begin
+                let input = Array.copy cube.Cube.input in
+                input.(k) <- Cube.Dc;
+                let raised = Cube.make ~input ~output:cube.Cube.output in
+                let hits_off =
+                  List.exists
+                    (fun r -> Cube.intersect raised r <> None)
+                    off.Cover.cubes
+                in
+                if not hits_off then prime := false
+              end)
+            cube.Cube.input;
+          !prime)
+        expanded.Cover.cubes)
+
+let test_reduce_keeps_function =
+  QCheck.Test.make ~count:100 ~name:"reduce preserves the function"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      Truth.equivalent on (Minimize.reduce on))
+
+(* ------------------------------------------------------------------ *)
+(* Pla                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pla_roundtrip () =
+  let on = Cover.of_strings ~num_vars:3 ~num_outputs:2 [ "1-0 10"; "011 01" ] in
+  let dc = Cover.of_strings ~num_vars:3 ~num_outputs:2 [ "111 11" ] in
+  let text = Pla.print ~name:"t" ~dc on in
+  let file = Pla.parse text in
+  check_bool "on preserved" true (Truth.equivalent on file.Pla.on);
+  check_bool "dc preserved" true (Truth.equivalent dc file.Pla.dc);
+  check_bool "name" true (file.Pla.name = Some "t")
+
+let test_pla_type_f () =
+  let on = Cover.of_strings ~num_vars:2 ~num_outputs:1 [ "11 1" ] in
+  let text = Pla.print on in
+  check_bool "type f emitted" true
+    (String.split_on_char '\n' text |> List.exists (fun l -> l = ".type f"));
+  let file = Pla.parse text in
+  check_int "empty dc" 0 (Cover.size file.Pla.dc)
+
+let test_pla_parse_errors () =
+  let bad text =
+    match Pla.parse text with exception Pla.Parse_error _ -> true | _ -> false
+  in
+  check_bool "missing .i" true (bad ".o 1\n11 1\n");
+  check_bool "width mismatch" true (bad ".i 2\n.o 1\n111 1\n.e\n");
+  check_bool "bad type" true (bad ".i 1\n.o 1\n.type fr\n1 1\n.e\n")
+
+let test_pla_dash_outputs_are_dc () =
+  let file = Pla.parse ".i 2\n.o 2\n11 1-\n00 01\n.e\n" in
+  check_int "one on-cube has output 0" 1
+    (List.length
+       (List.filter (fun c -> c.Cube.output.(0)) file.Pla.on.Cover.cubes));
+  check_int "dc set has one cube" 1 (Cover.size file.Pla.dc)
+
+let () =
+  Alcotest.run "stc_logic"
+    [
+      ( "cube",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_cube_string_roundtrip;
+          Alcotest.test_case "of_string rejects" `Quick test_cube_of_string_rejects;
+          Alcotest.test_case "minterm" `Quick test_cube_minterm;
+          Alcotest.test_case "input size" `Quick test_cube_input_size;
+          qcheck test_cube_contains_semantic;
+          qcheck test_cube_intersect_semantic;
+          qcheck test_cube_supercube_is_bound;
+          Alcotest.test_case "distance" `Quick test_cube_distance;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "eval" `Quick test_cover_eval;
+          Alcotest.test_case "tautology examples" `Quick test_cover_tautology_examples;
+          qcheck test_cover_tautology_oracle;
+          qcheck test_cover_complement_oracle;
+          qcheck test_cover_covers_cube_oracle;
+          qcheck test_cover_sharp_cube_oracle;
+          qcheck test_cover_scc_preserves;
+          qcheck test_cover_minterms_equals_eval;
+          qcheck test_cover_equivalent_mutual;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "xor stays two cubes" `Quick test_minimize_xor_stays_two_cubes;
+          Alcotest.test_case "merges adjacent" `Quick test_minimize_merges_adjacent;
+          Alcotest.test_case "uses don't cares" `Quick test_minimize_uses_dont_cares;
+          qcheck test_minimize_contract;
+          qcheck test_minimize_never_worse;
+          qcheck test_expand_yields_primes;
+          qcheck test_reduce_keeps_function;
+        ] );
+      ( "pla",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pla_roundtrip;
+          Alcotest.test_case "type f" `Quick test_pla_type_f;
+          Alcotest.test_case "parse errors" `Quick test_pla_parse_errors;
+          Alcotest.test_case "dash outputs are dc" `Quick test_pla_dash_outputs_are_dc;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+module N = Stc_netlist.Netlist
+module B = Stc_netlist.Netlist.Builder
+module Cover = Stc_logic.Cover
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A tiny reference netlist: f = (a & b) | ~c, g = a ^ c. *)
+let reference () =
+  let b = B.create "ref" in
+  let a = B.input b "a" in
+  let bb = B.input b "b" in
+  let c = B.input b "c" in
+  let ab = B.and_ b [ a; bb ] in
+  let nc = B.not_ b c in
+  let f = B.or_ b [ ab; nc ] in
+  let g = B.xor_ b [ a; c ] in
+  B.output b "f" f;
+  B.output b "g" g;
+  (B.finish b, f, g)
+
+let test_eval_reference () =
+  let net, _, _ = reference () in
+  for v = 0 to 7 do
+    let a = (v lsr 2) land 1 and bb = (v lsr 1) land 1 and c = v land 1 in
+    let out = N.eval_outputs net ~inputs:[| a; bb; c |] in
+    let f = (a land bb) lor (1 - c) and g = a lxor c in
+    check_int (Printf.sprintf "f at %d" v) f (out.(0) land 1);
+    check_int (Printf.sprintf "g at %d" v) g (out.(1) land 1)
+  done
+
+let test_word_parallel_matches_scalar () =
+  let net, _, _ = reference () in
+  (* Pack all 8 combinations into one word. *)
+  let word k = List.init 8 (fun v -> ((v lsr k) land 1) lsl v)
+               |> List.fold_left ( lor ) 0 in
+  let out = N.eval_outputs net ~inputs:[| word 2; word 1; word 0 |] in
+  for v = 0 to 7 do
+    let a = (v lsr 2) land 1 and bb = (v lsr 1) land 1 and c = v land 1 in
+    check_int "lane f" ((a land bb) lor (1 - c)) ((out.(0) lsr v) land 1);
+    check_int "lane g" (a lxor c) ((out.(1) lsr v) land 1)
+  done
+
+let test_mux_semantics () =
+  let b = B.create "mux" in
+  let s = B.input b "s" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let m = B.mux b ~sel:s ~a:x ~b:y in
+  B.output b "m" m;
+  let net = B.finish b in
+  List.iter
+    (fun (s, x, y, want) ->
+      let out = N.eval_outputs net ~inputs:[| s; x; y |] in
+      check_int "mux" want (out.(0) land 1))
+    [ (0, 1, 0, 1); (0, 0, 1, 0); (1, 1, 0, 0); (1, 0, 1, 1) ]
+
+let test_const_and_buf () =
+  let b = B.create "c" in
+  let x = B.input b "x" in
+  let t = B.const b true in
+  let f = B.const b false in
+  let bx = B.buf b x in
+  let o = B.or_ b [ f; bx ] in
+  let a = B.and_ b [ t; o ] in
+  B.output b "a" a;
+  let net = B.finish b in
+  (* a = true & (false | buf x) = x *)
+  check_int "passes x=1" 1 ((N.eval_outputs net ~inputs:[| 1 |]).(0) land 1);
+  check_int "passes x=0" 0 ((N.eval_outputs net ~inputs:[| 0 |]).(0) land 1)
+
+let test_builder_rejects_forward_refs () =
+  let b = B.create "bad" in
+  check_bool "forward ref" true
+    (match B.buf b 3 with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "empty and" true
+    (match B.and_ b [] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_eval_rejects_wrong_input_count () =
+  let net, _, _ = reference () in
+  check_bool "rejected" true
+    (match N.eval net ~inputs:[| 0; 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stats () =
+  let net, _, _ = reference () in
+  let s = N.stats net in
+  check_int "gates" 4 s.N.gates;
+  check_int "inverters" 1 s.N.inverters;
+  check_bool "depth >= 2" true (s.N.depth >= 2);
+  check_int "literals (and2 + or2 + xor2)" 6 s.N.literals
+
+let test_fault_stuck_output () =
+  let net, f_gate, _ = reference () in
+  (* f stuck-at-0: output f is 0 regardless. *)
+  let out =
+    N.eval_outputs ~fault:{ N.gate = f_gate; pin = None; stuck_at = false } net
+      ~inputs:[| 1; 1; 1 |]
+  in
+  check_int "forced 0" 0 (out.(0) land 1);
+  let out =
+    N.eval_outputs ~fault:{ N.gate = f_gate; pin = None; stuck_at = true } net
+      ~inputs:[| 0; 0; 1 |]
+  in
+  check_int "forced 1" 1 (out.(0) land 1)
+
+let test_fault_stuck_pin () =
+  let b = B.create "pin" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  B.output b "a" a;
+  let net = B.finish b in
+  (* Pin 1 (y) stuck-at-1: gate computes x & 1 = x. *)
+  let out =
+    N.eval_outputs ~fault:{ N.gate = a; pin = Some 1; stuck_at = true } net
+      ~inputs:[| 1; 0 |]
+  in
+  check_int "pin stuck 1" 1 (out.(0) land 1);
+  (* But the y input itself is unaffected elsewhere. *)
+  let out = N.eval_outputs net ~inputs:[| 1; 0 |] in
+  check_int "fault-free" 0 (out.(0) land 1)
+
+let test_fault_sites_count () =
+  let b = B.create "sites" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  let n = B.not_ b a in
+  B.output b "n" n;
+  let net = B.finish b in
+  (* inputs: 2 gates x 2 = 4; and: output 2 + 2 pins x 2 = 6; not: 2. *)
+  check_int "site count" 12 (List.length (N.fault_sites net))
+
+let test_emit_cover_matches_eval =
+  QCheck.Test.make ~count:150 ~name:"emit_cover netlist computes Cover.eval"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 2 + Rng.int rng 4 in
+      let num_outputs = 1 + Rng.int rng 3 in
+      let cube _ =
+        let input =
+          Array.init num_vars (fun _ ->
+              match Rng.int rng 3 with
+              | 0 -> Stc_logic.Cube.Zero
+              | 1 -> Stc_logic.Cube.One
+              | _ -> Stc_logic.Cube.Dc)
+        in
+        let output = Array.init num_outputs (fun _ -> Rng.bool rng) in
+        if not (Array.exists Fun.id output) then output.(0) <- true;
+        Stc_logic.Cube.make ~input ~output
+      in
+      let cover =
+        Cover.make ~num_vars ~num_outputs (List.init (1 + Rng.int rng 6) cube)
+      in
+      let b = B.create "cover" in
+      let inputs =
+        Array.init num_vars (fun k -> B.input b (Printf.sprintf "x%d" k))
+      in
+      let outs = B.emit_cover b ~inputs cover in
+      Array.iteri (fun o g -> B.output b (Printf.sprintf "y%d" o) g) outs;
+      let net = B.finish b in
+      let ok = ref true in
+      for v = 0 to (1 lsl num_vars) - 1 do
+        let bits =
+          Array.init num_vars (fun k -> (v lsr (num_vars - 1 - k)) land 1)
+        in
+        let got = N.eval_outputs net ~inputs:bits in
+        let want = Cover.eval cover v in
+        Array.iteri
+          (fun o w -> if (got.(o) land 1 = 1) <> w then ok := false)
+          want
+      done;
+      !ok)
+
+let test_pp_lists_gates () =
+  let net, _, _ = reference () in
+  let s = Format.asprintf "%a" N.pp net in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "header" true (contains s "netlist ref");
+  check_bool "output" true (contains s "output f")
+
+let () =
+  Alcotest.run "stc_netlist"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "reference truth table" `Quick test_eval_reference;
+          Alcotest.test_case "word-parallel = scalar" `Quick
+            test_word_parallel_matches_scalar;
+          Alcotest.test_case "mux semantics" `Quick test_mux_semantics;
+          Alcotest.test_case "const and buf" `Quick test_const_and_buf;
+          Alcotest.test_case "rejects wrong input count" `Quick
+            test_eval_rejects_wrong_input_count;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "rejects forward refs" `Quick
+            test_builder_rejects_forward_refs;
+          qcheck test_emit_cover_matches_eval;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "pp" `Quick test_pp_lists_gates;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "stuck output" `Quick test_fault_stuck_output;
+          Alcotest.test_case "stuck pin" `Quick test_fault_stuck_pin;
+          Alcotest.test_case "site count" `Quick test_fault_sites_count;
+        ] );
+    ]

@@ -1,0 +1,391 @@
+module Partition = Stc_partition.Partition
+module Pair = Stc_partition.Pair
+module Enumerate = Stc_partition.Enumerate
+module Machine = Stc_fsm.Machine
+module Zoo = Stc_fsm.Zoo
+module Generate = Stc_fsm.Generate
+module Rng = Stc_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Random partition of size n from a seed. *)
+let random_partition rng n =
+  let k = 1 + Rng.int rng n in
+  Partition.of_class_map (Array.init n (fun _ -> Rng.int rng k))
+
+(* Random transition table. *)
+let random_next rng n k =
+  Array.init n (fun _ -> Array.init k (fun _ -> Rng.int rng n))
+
+(* ------------------------------------------------------------------ *)
+(* Partition basics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_identity_universal () =
+  let id = Partition.identity 4 and u = Partition.universal 4 in
+  check_int "identity classes" 4 (Partition.num_classes id);
+  check_int "universal classes" 1 (Partition.num_classes u);
+  check_bool "is_identity" true (Partition.is_identity id);
+  check_bool "is_universal" true (Partition.is_universal u);
+  check_bool "id not universal" false (Partition.is_universal id);
+  check_bool "same in universal" true (Partition.same u 0 3);
+  check_bool "distinct in identity" false (Partition.same id 0 3)
+
+let test_of_class_map_canonical () =
+  let p = Partition.of_class_map [| 7; 3; 7; 1 |] in
+  check_int "three classes" 3 (Partition.num_classes p);
+  check_int "first class is 0" 0 (Partition.class_of p 0);
+  check_int "second class is 1" 1 (Partition.class_of p 1);
+  check_bool "0 ~ 2" true (Partition.same p 0 2);
+  (* Canonical class maps make structural equality semantic. *)
+  let q = Partition.of_class_map [| 0; 9; 0; 4 |] in
+  check_bool "equal" true (Partition.equal p q)
+
+let test_of_blocks () =
+  let p = Partition.of_blocks ~n:5 [ [ 0; 3 ]; [ 1; 4 ] ] in
+  check_int "three classes (2 is a singleton)" 3 (Partition.num_classes p);
+  check_bool "0 ~ 3" true (Partition.same p 0 3);
+  check_bool "2 alone" false (Partition.same p 2 0);
+  check_bool "blocks roundtrip" true
+    (Partition.blocks p = [ [ 0; 3 ]; [ 1; 4 ]; [ 2 ] ])
+
+let test_of_blocks_rejects_overlap () =
+  check_bool "overlap rejected" true
+    (match Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 1; 2 ] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "out of range rejected" true
+    (match Partition.of_blocks ~n:3 [ [ 0; 5 ] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pair_relation () =
+  let p = Partition.pair_relation ~n:5 1 3 in
+  check_int "four classes" 4 (Partition.num_classes p);
+  check_bool "1 ~ 3" true (Partition.same p 1 3);
+  check_bool "others singleton" false (Partition.same p 0 2)
+
+let test_meet_join_examples () =
+  let p = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let q = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  check_bool "meet is identity" true (Partition.is_identity (Partition.meet p q));
+  check_bool "join is universal" true (Partition.is_universal (Partition.join p q))
+
+let test_subseteq () =
+  let fine = Partition.of_blocks ~n:4 [ [ 0; 1 ] ] in
+  let coarse = Partition.of_blocks ~n:4 [ [ 0; 1; 2 ] ] in
+  check_bool "fine <= coarse" true (Partition.subseteq fine coarse);
+  check_bool "coarse not<= fine" false (Partition.subseteq coarse fine);
+  check_bool "reflexive" true (Partition.subseteq fine fine)
+
+let test_representatives_members () =
+  let p = Partition.of_blocks ~n:5 [ [ 1; 4 ]; [ 0; 2 ] ] in
+  let reps = Partition.representatives p in
+  check_int "rep of class of 1" 1 reps.(Partition.class_of p 1);
+  check_int "rep of class of 2" 0 reps.(Partition.class_of p 2);
+  check_bool "members of class of 4" true
+    (Partition.members p (Partition.class_of p 4) = [ 1; 4 ])
+
+let test_pp () =
+  let p = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  check_string "printed" "{0,3}{1,2}" (Partition.to_string p)
+
+let test_join_all () =
+  let ps = [ Partition.pair_relation ~n:4 0 1; Partition.pair_relation ~n:4 1 2 ] in
+  let j = Partition.join_all ~n:4 ps in
+  check_bool "transitive closure" true (Partition.same j 0 2);
+  check_bool "3 apart" false (Partition.same j 0 3)
+
+(* Lattice laws, exhaustive on n = 4 (Bell(4) = 15). *)
+let test_lattice_laws_exhaustive () =
+  let all = Enumerate.all 4 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          let m = Partition.meet p q and j = Partition.join p q in
+          check_bool "meet commutative" true (Partition.equal m (Partition.meet q p));
+          check_bool "join commutative" true (Partition.equal j (Partition.join q p));
+          check_bool "meet lower bound" true
+            (Partition.subseteq m p && Partition.subseteq m q);
+          check_bool "join upper bound" true
+            (Partition.subseteq p j && Partition.subseteq q j);
+          (* order characterisations *)
+          check_bool "p<=q iff join=q" true
+            (Partition.subseteq p q = Partition.equal j q);
+          check_bool "p<=q iff meet=p" true
+            (Partition.subseteq p q = Partition.equal m p);
+          (* absorption *)
+          check_bool "absorb 1" true
+            (Partition.equal p (Partition.meet p (Partition.join p q)));
+          check_bool "absorb 2" true
+            (Partition.equal p (Partition.join p (Partition.meet p q))))
+        all)
+    all
+
+let test_lattice_laws_random =
+  QCheck.Test.make ~count:200 ~name:"lattice laws on random partitions"
+    QCheck.(pair (int_bound 10000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = random_partition rng n
+      and q = random_partition rng n
+      and r = random_partition rng n in
+      let ( = ) = Partition.equal in
+      Partition.meet p (Partition.meet q r) = Partition.meet (Partition.meet p q) r
+      && Partition.join p (Partition.join q r) = Partition.join (Partition.join p q) r
+      && Partition.meet p p = p
+      && Partition.join p p = p)
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bell_numbers () =
+  List.iter
+    (fun (n, b) -> check_int (Printf.sprintf "bell %d" n) b (Enumerate.bell n))
+    [ (0, 1); (1, 1); (2, 2); (3, 5); (4, 15); (5, 52); (6, 203); (7, 877) ]
+
+let test_enumerate_counts () =
+  for n = 1 to 6 do
+    let all = Enumerate.all n in
+    check_int
+      (Printf.sprintf "count for n=%d" n)
+      (Enumerate.bell n) (List.length all);
+    (* all distinct *)
+    let distinct = List.sort_uniq Partition.compare all in
+    check_int "distinct" (List.length all) (List.length distinct)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pair: the m / M Galois connection                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Direct quadratic definition of a partition pair, as an oracle. *)
+let is_pair_oracle next pi rho =
+  let n = Array.length next and k = Array.length next.(0) in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if Partition.same pi s t then
+        for i = 0 to k - 1 do
+          if not (Partition.same rho next.(s).(i) next.(t).(i)) then ok := false
+        done
+    done
+  done;
+  !ok
+
+let test_is_pair_matches_oracle =
+  QCheck.Test.make ~count:200 ~name:"is_pair agrees with quadratic oracle"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let pi = random_partition rng n and rho = random_partition rng n in
+      Pair.is_pair ~next pi rho = is_pair_oracle next pi rho)
+
+let test_galois_connection =
+  QCheck.Test.make ~count:300 ~name:"(pi,rho) pair <-> m pi <= rho <-> pi <= M rho"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let pi = random_partition rng n and rho = random_partition rng n in
+      let p = Pair.is_pair ~next pi rho in
+      p = Partition.subseteq (Pair.m ~next pi) rho
+      && p = Partition.subseteq pi (Pair.big_m ~next rho))
+
+let test_m_minimality =
+  QCheck.Test.make ~count:100 ~name:"m pi is the minimal right member"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let next = random_next rng n 2 in
+      let pi = random_partition rng n in
+      let mpi = Pair.m ~next pi in
+      (* m pi is itself a valid right member... *)
+      Pair.is_pair ~next pi mpi
+      (* ...and no strictly finer partition is. *)
+      && List.for_all
+           (fun rho ->
+             if Partition.subseteq rho mpi && not (Partition.equal rho mpi) then
+               not (Pair.is_pair ~next pi rho)
+             else true)
+           (Enumerate.all n))
+
+let test_big_m_maximality =
+  QCheck.Test.make ~count:100 ~name:"M rho is the maximal left member"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 4 in
+      let next = random_next rng n 2 in
+      let rho = random_partition rng n in
+      let bm = Pair.big_m ~next rho in
+      Pair.is_pair ~next bm rho
+      && List.for_all
+           (fun pi ->
+             if Partition.subseteq bm pi && not (Partition.equal bm pi) then
+               not (Pair.is_pair ~next pi rho)
+             else true)
+           (Enumerate.all n))
+
+let test_adjunction_identities =
+  QCheck.Test.make ~count:300 ~name:"m M m = m and M m M = M"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let p = random_partition rng n in
+      let m = Pair.m ~next and big_m = Pair.big_m ~next in
+      Partition.equal (m (big_m (m p))) (m p)
+      && Partition.equal (big_m (m (big_m p))) (big_m p))
+
+let test_m_monotone =
+  QCheck.Test.make ~count:200 ~name:"m and M are monotone"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let p = random_partition rng n in
+      let q = Partition.join p (random_partition rng n) in
+      (* p <= q by construction *)
+      Partition.subseteq (Pair.m ~next p) (Pair.m ~next q)
+      && Partition.subseteq (Pair.big_m ~next p) (Pair.big_m ~next q))
+
+(* The identity behind the search tree: m(pi) is the join of the basis
+   elements m(p_{s,t}) over the pairs (s,t) inside pi. *)
+let test_m_is_join_of_basis =
+  QCheck.Test.make ~count:200 ~name:"m pi = join of m(p_st) over (s,t) in pi"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let pi = random_partition rng n in
+      let parts = ref [] in
+      for s = 0 to n - 1 do
+        for t = s + 1 to n - 1 do
+          if Partition.same pi s t then begin
+            let p_st = Partition.pair_relation ~n s t in
+            parts := Pair.m ~next p_st :: !parts
+          end
+        done
+      done;
+      Partition.equal (Pair.m ~next pi) (Partition.join_all ~n !parts))
+
+let test_basis_properties () =
+  let m = Zoo.paper_fig5 () in
+  let next = m.Machine.next in
+  let basis = Pair.basis ~next in
+  check_int "basis size" (Pair.basis_size ~next) (List.length basis);
+  (* deduplicated *)
+  let distinct = List.sort_uniq Partition.compare basis in
+  check_int "distinct" (List.length basis) (List.length distinct);
+  (* each element is m of some pair relation *)
+  let n = m.Machine.num_states in
+  List.iter
+    (fun b ->
+      let found = ref false in
+      for s = 0 to n - 1 do
+        for t = s + 1 to n - 1 do
+          if Partition.equal b (Pair.m ~next (Partition.pair_relation ~n s t))
+          then found := true
+        done
+      done;
+      check_bool "is m of a pair relation" true !found)
+    basis
+
+let test_mm_pairs_are_mm =
+  QCheck.Test.make ~count:60 ~name:"mm_pairs returns genuine Mm-pairs"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 5 and k = 1 + Rng.int rng 2 in
+      let next = random_next rng n k in
+      let pairs = Pair.mm_pairs ~next in
+      pairs <> []
+      && List.for_all
+           (fun (p, bm) ->
+             Partition.equal bm (Pair.big_m ~next p)
+             && Partition.equal (Pair.m ~next bm) p)
+           pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Paper's fig. 6 oracle                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6_symmetric_pair () =
+  let m = Zoo.paper_fig5 () in
+  let next = m.Machine.next in
+  (* states s1..s4 are indices 0..3 *)
+  let pi = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let rho = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  check_bool "(pi,rho) is a pair" true (Pair.is_pair ~next pi rho);
+  check_bool "(rho,pi) is a pair" true (Pair.is_pair ~next rho pi);
+  check_bool "symmetric" true (Pair.is_symmetric_pair ~next pi rho);
+  check_bool "intersection is identity" true
+    (Partition.is_identity (Partition.meet pi rho))
+
+let test_fig6_mm_structure () =
+  let m = Zoo.paper_fig5 () in
+  let next = m.Machine.next in
+  let pi = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let rho = Partition.of_blocks ~n:4 [ [ 0; 3 ]; [ 1; 2 ] ] in
+  check_bool "M rho >= pi" true (Partition.subseteq pi (Pair.big_m ~next rho));
+  check_bool "m pi <= rho" true (Partition.subseteq (Pair.m ~next pi) rho)
+
+let () =
+  Alcotest.run "stc_partition"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "identity/universal" `Quick test_identity_universal;
+          Alcotest.test_case "of_class_map canonical" `Quick
+            test_of_class_map_canonical;
+          Alcotest.test_case "of_blocks" `Quick test_of_blocks;
+          Alcotest.test_case "of_blocks rejects overlap" `Quick
+            test_of_blocks_rejects_overlap;
+          Alcotest.test_case "pair relation" `Quick test_pair_relation;
+          Alcotest.test_case "meet/join examples" `Quick test_meet_join_examples;
+          Alcotest.test_case "subseteq" `Quick test_subseteq;
+          Alcotest.test_case "representatives/members" `Quick
+            test_representatives_members;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "join_all closure" `Quick test_join_all;
+          Alcotest.test_case "lattice laws (exhaustive n=4)" `Quick
+            test_lattice_laws_exhaustive;
+          qcheck test_lattice_laws_random;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "bell numbers" `Quick test_bell_numbers;
+          Alcotest.test_case "enumeration counts" `Quick test_enumerate_counts;
+        ] );
+      ( "pair",
+        [
+          qcheck test_is_pair_matches_oracle;
+          qcheck test_galois_connection;
+          qcheck test_m_minimality;
+          qcheck test_big_m_maximality;
+          qcheck test_adjunction_identities;
+          qcheck test_m_monotone;
+          qcheck test_m_is_join_of_basis;
+          Alcotest.test_case "basis properties" `Quick test_basis_properties;
+          qcheck test_mm_pairs_are_mm;
+        ] );
+      ( "paper_oracle",
+        [
+          Alcotest.test_case "fig6 symmetric pair" `Quick test_fig6_symmetric_pair;
+          Alcotest.test_case "fig6 Mm structure" `Quick test_fig6_mm_structure;
+        ] );
+    ]

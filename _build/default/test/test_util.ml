@@ -1,0 +1,163 @@
+module Rng = Stc_util.Rng
+module Union_find = Stc_util.Union_find
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_int "different seeds diverge" 0 !same
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_covers_range () =
+  let rng = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_unit_interval () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  check_bool "copy continues identically" true (va = vb);
+  ignore (Rng.bits64 a);
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  (* a advanced once more than b, so the streams are now offset *)
+  check_bool "streams are offset" true (va <> vb)
+
+let test_rng_split_diverges () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "split streams differ" true (!same <= 1)
+
+let test_rng_permutation () =
+  let rng = Rng.create 13 in
+  for n = 1 to 20 do
+    let p = Rng.permutation rng n in
+    let seen = Array.make n false in
+    Array.iter (fun v -> seen.(v) <- true) p;
+    check_bool "is a permutation" true (Array.for_all Fun.id seen)
+  done
+
+let test_rng_shuffle_preserves_multiset () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 (fun i -> i mod 7) in
+  let sorted_before = Array.copy arr in
+  Array.sort compare sorted_before;
+  Rng.shuffle rng arr;
+  Array.sort compare arr;
+  check_bool "multiset preserved" true (arr = sorted_before)
+
+let test_rng_pick_member () =
+  let rng = Rng.create 19 in
+  let arr = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 100 do
+    check_bool "picked element present" true (Array.mem (Rng.pick rng arr) arr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_initial () =
+  let uf = Union_find.create 5 in
+  check_int "five singletons" 5 (Union_find.count uf);
+  check_int "size" 5 (Union_find.size uf);
+  check_bool "distinct" false (Union_find.same uf 0 1)
+
+let test_uf_union_count () =
+  let uf = Union_find.create 6 in
+  check_bool "fresh union" true (Union_find.union uf 0 1);
+  check_bool "repeat union" false (Union_find.union uf 1 0);
+  check_int "count" 5 (Union_find.count uf);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 2);
+  check_int "count after chain" 3 (Union_find.count uf);
+  check_bool "transitive" true (Union_find.same uf 0 3)
+
+let test_uf_class_map_dense () =
+  let uf = Union_find.create 7 in
+  ignore (Union_find.union uf 5 6);
+  ignore (Union_find.union uf 1 3);
+  let cls = Union_find.class_map uf in
+  check_int "class of 0 is 0" 0 cls.(0);
+  check_bool "1 and 3 same" true (cls.(1) = cls.(3));
+  check_bool "5 and 6 same" true (cls.(5) = cls.(6));
+  let max_class = Array.fold_left max 0 cls in
+  check_int "dense numbering" (Union_find.count uf - 1) max_class
+
+let test_uf_total_merge () =
+  let uf = Union_find.create 10 in
+  for i = 1 to 9 do
+    ignore (Union_find.union uf 0 i)
+  done;
+  check_int "single set" 1 (Union_find.count uf);
+  let cls = Union_find.class_map uf in
+  check_bool "all zero" true (Array.for_all (fun c -> c = 0) cls)
+
+let () =
+  Alcotest.run "stc_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects non-positive" `Quick
+            test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "shuffle preserves multiset" `Quick
+            test_rng_shuffle_preserves_multiset;
+          Alcotest.test_case "pick member" `Quick test_rng_pick_member;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "initial" `Quick test_uf_initial;
+          Alcotest.test_case "union and count" `Quick test_uf_union_count;
+          Alcotest.test_case "class map dense" `Quick test_uf_class_map_dense;
+          Alcotest.test_case "total merge" `Quick test_uf_total_merge;
+        ] );
+    ]
