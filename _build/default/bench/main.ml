@@ -1,13 +1,19 @@
 (* Benchmark harness.
 
-   Running `dune exec bench/main.exe` first regenerates every evaluation
-   artifact of the paper (Tables 1 and 2, the section-4 area discussion and
-   the figs. 1-4 fault-coverage comparison - see EXPERIMENTS.md), then runs
-   Bechamel micro-benchmarks, one per experiment family plus the hot
-   kernels.
+   Modes (`dune exec bench/main.exe -- MODE`):
 
-   `dune exec bench/main.exe -- quick` skips the slow artifact
-   regeneration; `-- tables` skips the micro-benchmarks. *)
+   - `all` (default): regenerate every evaluation artifact of the paper
+     (Tables 1 and 2, the section-4 area discussion and the figs. 1-4
+     fault-coverage comparison - see EXPERIMENTS.md), then run the
+     Bechamel micro-benchmarks.
+   - `tables`: artifacts only.
+   - `micro`: micro-benchmarks only.
+   - `quick`: solver smoke test - solve the three heavy Table-1 rows
+     (dk16, dk512, tbk) under a hard wall-clock cap and check the factor
+     sizes against the paper; nonzero exit on timeout or mismatch.  This
+     is the CI entry point (tools/check.sh).
+   - `json`: write BENCH_solver.json - per-row sequential vs parallel
+     wall time, investigated / deduped node counts and speedup. *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -21,6 +27,7 @@ module Tables = Stc_encoding.Tables
 module Minimize = Stc_logic.Minimize
 module Arch = Stc_faultsim.Arch
 module Experiments = Stc_report.Experiments
+module Clock = Stc_util.Clock
 
 (* ------------------------------------------------------------------ *)
 (* Artifact regeneration (the paper's tables and figures)              *)
@@ -58,20 +65,162 @@ let print_tables () =
   print_string (Experiments.render_aliasing (Experiments.aliasing ()))
 
 (* ------------------------------------------------------------------ *)
-(* Micro-benchmarks                                                    *)
+(* Solver trajectory: the heavy Table-1 rows, timed                    *)
 (* ------------------------------------------------------------------ *)
 
-open Bechamel
-open Toolkit
+let heavy_names = [ "dk16"; "dk512"; "tbk" ]
 
 let benchmark_machine name =
   match Suite.find name with
   | Some spec -> Suite.machine spec
   | None -> invalid_arg name
 
+type solver_run = {
+  spec : Suite.spec;
+  seq : Solver.result;
+  seq_wall : float;
+  par : Solver.result;
+  par_wall : float;
+  par_jobs : int;
+}
+
+let timed f =
+  let t0 = Clock.now () in
+  let r = f () in
+  (r, Clock.elapsed ~since:t0)
+
+let solver_runs ~timeout =
+  let par_jobs = max 2 (Domain.recommended_domain_count ()) in
+  List.map
+    (fun name ->
+      let spec = Option.get (Suite.find name) in
+      let machine = Suite.machine spec in
+      let seq, seq_wall = timed (fun () -> Solver.solve ~timeout machine) in
+      let par, par_wall =
+        timed (fun () -> Solver.solve ~timeout ~jobs:par_jobs machine)
+      in
+      { spec; seq; seq_wall; par; par_wall; par_jobs })
+    heavy_names
+
+(* Quick smoke: hard wall-clock cap, factors checked against the paper.
+   Exit status is the number of failing rows, so CI can gate on it. *)
+let run_quick () =
+  let cap = 30.0 in
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let spec = Option.get (Suite.find name) in
+      let machine = Suite.machine spec in
+      let r, wall = timed (fun () -> Solver.solve ~timeout:cap machine) in
+      let s1 = Partition.num_classes r.Solver.best.Solver.pi
+      and s2 = Partition.num_classes r.Solver.best.Solver.rho in
+      let expected = (spec.Suite.paper.Suite.s1, spec.Suite.paper.Suite.s2) in
+      let ok = (not r.Solver.stats.Solver.timed_out) && (s1, s2) = expected in
+      if not ok then incr failures;
+      Printf.printf
+        "%-8s %s  %.2fs  factors %d/%d (paper %d/%d)  investigated %d  deduped %d%s\n"
+        name
+        (if ok then "ok  " else "FAIL")
+        wall s1 s2 (fst expected) (snd expected)
+        r.Solver.stats.Solver.investigated r.Solver.stats.Solver.deduped
+        (if r.Solver.stats.Solver.timed_out then "  (timeout)" else ""))
+    heavy_names;
+  if !failures > 0 then
+    Printf.printf "quick smoke: %d of %d rows failed\n" !failures
+      (List.length heavy_names)
+  else Printf.printf "quick smoke: all %d rows ok\n" (List.length heavy_names);
+  exit !failures
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory (no JSON library in the image: hand-rolled printer) *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_stats (stats : Solver.stats) wall =
+  Printf.sprintf
+    "{ \"wall_s\": %.6f, \"investigated\": %d, \"deduped\": %d, \"pruned\": \
+     %d, \"memo_hits\": %d, \"timed_out\": %b }"
+    wall stats.Solver.investigated stats.Solver.deduped stats.Solver.pruned
+    stats.Solver.memo_hits stats.Solver.timed_out
+
+let json_of_run r =
+  let best = r.seq.Solver.best in
+  let cost_equal =
+    Solver.compare_cost best.Solver.cost r.par.Solver.best.Solver.cost = 0
+  in
+  Printf.sprintf
+    "    { \"name\": %S,\n\
+    \      \"states\": %d,\n\
+    \      \"basis\": %d,\n\
+    \      \"s1\": %d,\n\
+    \      \"s2\": %d,\n\
+    \      \"bits\": %d,\n\
+    \      \"sequential\": %s,\n\
+    \      \"parallel\": %s,\n\
+    \      \"parallel_jobs\": %d,\n\
+    \      \"speedup\": %.3f,\n\
+    \      \"cost_equal\": %b }"
+    r.spec.Suite.name r.spec.Suite.states r.seq.Solver.stats.Solver.basis_size
+    (Partition.num_classes best.Solver.pi)
+    (Partition.num_classes best.Solver.rho)
+    best.Solver.cost.Solver.bits
+    (json_of_stats r.seq.Solver.stats r.seq_wall)
+    (json_of_stats r.par.Solver.stats r.par_wall)
+    r.par_jobs
+    (r.seq_wall /. Float.max 1e-9 r.par_wall)
+    cost_equal
+
+let run_json () =
+  let runs = solver_runs ~timeout:120.0 in
+  let path = "BENCH_solver.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"solver\",\n\
+    \  \"cores\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map json_of_run runs));
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-8s seq %.2fs (%d nodes, %d deduped)  par(x%d) %.2fs  speedup %.2f\n"
+        r.spec.Suite.name r.seq_wall r.seq.Solver.stats.Solver.investigated
+        r.seq.Solver.stats.Solver.deduped r.par_jobs r.par_wall
+        (r.seq_wall /. Float.max 1e-9 r.par_wall))
+    runs;
+  (* The trajectory is only meaningful if both searches agree on the cost. *)
+  let disagree =
+    List.filter
+      (fun r ->
+        Solver.compare_cost r.seq.Solver.best.Solver.cost
+          r.par.Solver.best.Solver.cost
+        <> 0)
+      runs
+  in
+  if disagree <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf "FAIL %s: sequential and parallel costs differ\n"
+          r.spec.Suite.name)
+      disagree;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
 let solver_tests =
   (* One Test per Table-1/Table-2 row that solves in well under a second;
-     the slow rows (dk16, dk512, tbk) are covered by the artifact run. *)
+     the slow rows (dk16, dk512, tbk) are covered by `quick` / `json`. *)
   let machines =
     [ "bbara"; "bbtas"; "dk14"; "dk15"; "dk17"; "dk27"; "mc"; "s1";
       "shiftreg"; "tav" ]
@@ -178,5 +327,16 @@ let run_benchmarks () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode <> "quick" then print_tables ();
-  if mode <> "tables" then run_benchmarks ()
+  match mode with
+  | "quick" -> run_quick ()
+  | "json" -> run_json ()
+  | "micro" -> run_benchmarks ()
+  | "tables" -> print_tables ()
+  | "all" ->
+    print_tables ();
+    run_benchmarks ()
+  | other ->
+    prerr_endline
+      ("bench: unknown mode " ^ other
+     ^ " (expected all, tables, micro, quick or json)");
+    exit 2

@@ -44,8 +44,18 @@ let machine_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc)
 
 let timeout_arg =
-  let doc = "CPU-time limit for the OSTR search, in seconds." in
+  let doc = "Wall-clock limit for the OSTR search, in seconds." in
   Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domains to fan the OSTR search over (default 1: deterministic \
+     sequential search; 0 means one per core)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
 
 let names_arg =
   let doc = "Comma-separated machine names (default: the usual set)." in
@@ -101,9 +111,9 @@ let minimize_cmd =
 (* ------------------------------------------------------------------ *)
 
 let solve_cmd =
-  let run spec timeout verbose =
+  let run spec timeout jobs verbose =
     let m = or_die (load_machine spec) in
-    let outcome = Ostr_core.run ~timeout m in
+    let outcome = Ostr_core.run ~timeout ~jobs:(resolve_jobs jobs) m in
     Format.printf "%a@." Ostr_core.pp_summary outcome;
     Format.printf "pi  (S1): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.pi);
     Format.printf "rho (S2): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.rho);
@@ -119,7 +129,7 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve problem OSTR: find the optimal self-testable realization.")
-    Term.(const run $ machine_arg $ timeout_arg $ verbose)
+    Term.(const run $ machine_arg $ timeout_arg $ jobs_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* realize                                                             *)
@@ -193,24 +203,30 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let table1_cmd =
-  let run timeout names =
-    let entries = Experiments.table1 ~timeout ?names:(split_names names) () in
+  let run timeout jobs names =
+    let entries =
+      Experiments.table1 ~timeout ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_table1 entries)
   in
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Reproduce Table 1: OSTR factors and flip-flop counts.")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
 
 let table2_cmd =
-  let run timeout names =
-    let entries = Experiments.table1 ~timeout ?names:(split_names names) () in
+  let run timeout jobs names =
+    let entries =
+      Experiments.table1 ~timeout ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_table2 entries)
   in
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Reproduce Table 2: search-space size vs nodes investigated.")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
 
 let area_cmd =
   let run timeout names =

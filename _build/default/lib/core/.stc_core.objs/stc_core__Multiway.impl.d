@@ -1,1 +1,1 @@
-lib/core/multiway.ml: Array Float Int Partition Stc_fsm Stc_partition Sys
+lib/core/multiway.ml: Array Float Int Partition Stc_fsm Stc_partition Stc_util

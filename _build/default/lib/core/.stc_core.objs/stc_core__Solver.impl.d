@@ -1,1 +1,1 @@
-lib/core/solver.ml: Array Float Int List Partition Stc_fsm Stc_partition Sys
+lib/core/solver.ml: Array Atomic Domain Float Hashtbl Int List Partition Seq Stc_fsm Stc_partition Stc_util

@@ -50,7 +50,7 @@ let solve ?(timeout = 60.0) ~stages (machine : Machine.t) =
   let equiv = equivalence machine in
   let basis = Array.of_list (Pair.basis ~next) in
   let num_basis = Array.length basis in
-  let start = Sys.time () in
+  let start = Stc_util.Clock.now () in
   let admissible_parts parts =
     Partition.subseteq (meet_all parts) equiv && is_chain ~next parts
   in
@@ -90,7 +90,8 @@ let solve ?(timeout = 60.0) ~stages (machine : Machine.t) =
   record (Array.make stages (Partition.identity n));
   let investigated = ref 0 in
   let rec visit pi from_index =
-    if !investigated > 0 && Sys.time () -. start > timeout then raise Timeout;
+    if !investigated > 0 && Stc_util.Clock.elapsed ~since:start > timeout then
+      raise Timeout;
     incr investigated;
     (* Forward m-closure chain from pi. *)
     let parts = Array.make stages pi in

@@ -7,8 +7,8 @@ type outcome = {
   stats : Solver.stats;
 }
 
-let run ?timeout machine =
-  let result = Solver.solve ?timeout machine in
+let run ?timeout ?jobs machine =
+  let result = Solver.solve ?timeout ?jobs machine in
   let realization = Realization.of_solution machine result.best in
   { machine; solution = result.best; realization; stats = result.stats }
 
@@ -35,7 +35,9 @@ let pp_summary ppf outcome =
   fprintf ppf "transitions to implement: C %d vs C1+C2 %d@,"
     (Realization.spec_transitions r)
     (Realization.factor_transitions r);
-  fprintf ppf "search: basis %d, |V| = 2^%d, investigated %d, pruned %d%s@]"
+  fprintf ppf
+    "search: basis %d, |V| = 2^%d, investigated %d, deduped %d, pruned %d%s@]"
     outcome.stats.Solver.basis_size outcome.stats.Solver.basis_size
-    outcome.stats.Solver.investigated outcome.stats.Solver.pruned
+    outcome.stats.Solver.investigated outcome.stats.Solver.deduped
+    outcome.stats.Solver.pruned
     (if outcome.stats.Solver.timed_out then "  (timeout)" else "")

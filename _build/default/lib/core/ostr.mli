@@ -8,9 +8,10 @@ type outcome = {
   stats : Solver.stats;
 }
 
-(** [run ?timeout machine] solves OSTR for [machine] (pruned depth-first
-    search) and builds the Theorem-1 realization of the optimum. *)
-val run : ?timeout:float -> Stc_fsm.Machine.t -> outcome
+(** [run ?timeout ?jobs machine] solves OSTR for [machine] (pruned,
+    memoized depth-first search, over [jobs] domains) and builds the
+    Theorem-1 realization of the optimum. *)
+val run : ?timeout:float -> ?jobs:int -> Stc_fsm.Machine.t -> outcome
 
 (** [nontrivial outcome] holds when at least one factor is smaller than the
     state set - the "nontrivial solution" notion of section 4. *)

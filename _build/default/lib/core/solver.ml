@@ -1,6 +1,7 @@
 module Machine = Stc_fsm.Machine
 module Equiv = Stc_fsm.Equiv
 module Pair = Stc_partition.Pair
+module Clock = Stc_util.Clock
 
 type cost = { bits : int; imbalance : float; factor_states : int }
 
@@ -21,8 +22,10 @@ type stats = {
   basis_size : int;
   search_space : float;
   investigated : int;
+  deduped : int;
   pruned : int;
   solutions : int;
+  memo_hits : int;
   elapsed : float;
   timed_out : bool;
 }
@@ -50,17 +53,98 @@ let validate (machine : Machine.t) sol =
 
 exception Timeout
 
+module PTbl = Hashtbl.Make (struct
+  type t = Partition.t
+
+  let equal = Partition.equal
+  let hash = Partition.hash
+end)
+
+(* Besides the single best solution, keep a small pool of the best distinct
+   candidates as starting points for the final hill climb. *)
+let pool_capacity = 16
+
+(* Per-domain search state.  Everything here is owned by exactly one domain
+   during the parallel walk and merged after the joins. *)
+type worker = {
+  memo : Pair.Memo.t;
+  (* Transposition table over the Mm-sub-lattice: partition -> lowest
+     [from_index] it has been expanded with ([closed_node] once the node
+     can never need re-expansion, e.g. after Lemma-1 pruning). *)
+  seen : int PTbl.t;
+  mutable investigated : int;
+  mutable deduped : int;
+  mutable pruned : int;
+  mutable solutions : int;
+  (* Sorted best-first, at most [pool_capacity] entries. *)
+  mutable pool : solution list;
+}
+
+let closed_node = 0
+
+let new_worker ~next () =
+  {
+    memo = Pair.Memo.create ~next;
+    seen = PTbl.create 4096;
+    investigated = 0;
+    deduped = 0;
+    pruned = 0;
+    solutions = 0;
+    pool = [];
+  }
+
+(* Bounded insertion sort keyed by [compare_cost]: O(pool_capacity) per
+   candidate instead of the former sort of the whole pool. *)
+let pool_add w sol =
+  let known existing =
+    Partition.equal existing.pi sol.pi && Partition.equal existing.rho sol.rho
+  in
+  if not (List.exists known w.pool) then begin
+    let rec insert slots l =
+      if slots = 0 then []
+      else
+        match l with
+        | [] -> [ sol ]
+        | x :: rest ->
+          if compare_cost sol.cost x.cost < 0 then sol :: keep (slots - 1) l
+          else x :: insert (slots - 1) rest
+    and keep slots l =
+      match l with
+      | [] -> []
+      | x :: rest -> if slots = 0 then [] else x :: keep (slots - 1) rest
+    in
+    w.pool <- insert pool_capacity w.pool
+  end
+
 let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
-    (machine : Machine.t) =
+    ?(jobs = 1) (machine : Machine.t) =
+  let jobs = max 1 jobs in
   let next = machine.next in
   let n = machine.num_states in
   let equiv = equivalence_partition machine in
   let basis = Array.of_list (Pair.basis ~next) in
   let num_basis = Array.length basis in
-  let start = Sys.time () in
-  let investigated = ref 0 and pruned = ref 0 and solutions = ref 0 in
-  let best = ref None in
-  let timed_out = ref false in
+  let start = Clock.now () in
+  (* Shared between domains: the incumbent best (pruning bound for the
+     recording path), the global node budget, and the cancellation flag
+     raised by whichever worker first exhausts a budget. *)
+  let best = Atomic.make (None : solution option) in
+  let node_count = Atomic.make 0 in
+  let cancelled = Atomic.make false in
+  let timed_out = Atomic.make false in
+  let rec offer_best sol =
+    let current = Atomic.get best in
+    let better =
+      match current with
+      | None -> true
+      | Some b -> compare_cost sol.cost b.cost < 0
+    in
+    if better && not (Atomic.compare_and_set best current (Some sol)) then
+      offer_best sol
+  in
+  let best_cost () =
+    match Atomic.get best with None -> None | Some b -> Some b.cost
+  in
   let admissible candidate_pi candidate_rho =
     Pair.is_symmetric_pair ~next candidate_pi candidate_rho
     && Partition.subseteq (Partition.meet candidate_pi candidate_rho) equiv
@@ -70,94 +154,163 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
      (M rho, rho) is a pair by definition of M, and (rho, M rho) is one
      because (rho, pi) is and pi is a subset of M rho.  Coarsening can only
      shrink class counts, so this is a monotone improvement. *)
-  let rec polish candidate_pi candidate_rho =
-    let pi' = Pair.big_m ~next candidate_rho in
+  let rec polish w candidate_pi candidate_rho =
+    let pi' = Pair.Memo.big_m w.memo candidate_rho in
     if
       (not (Partition.equal pi' candidate_pi))
       && admissible pi' candidate_rho
-    then polish pi' candidate_rho
+    then polish w pi' candidate_rho
     else begin
-      let rho' = Pair.big_m ~next candidate_pi in
+      let rho' = Pair.Memo.big_m w.memo candidate_pi in
       if
         (not (Partition.equal rho' candidate_rho))
         && admissible candidate_pi rho'
-      then polish candidate_pi rho'
+      then polish w candidate_pi rho'
       else (candidate_pi, candidate_rho)
     end
   in
-  (* Besides the single best solution, keep a small pool of the best
-     distinct candidates as starting points for the final hill climb. *)
-  let pool_capacity = 16 in
-  let pool = ref [] in
-  let pool_add sol =
-    let known existing =
-      Partition.equal existing.pi sol.pi && Partition.equal existing.rho sol.rho
-    in
-    if not (List.exists known !pool) then begin
-      let sorted =
-        List.sort (fun a b -> compare_cost a.cost b.cost) (sol :: !pool)
-      in
-      pool := List.filteri (fun i _ -> i < pool_capacity) sorted
-    end
-  in
-  let record candidate_pi candidate_rho =
+  let record w candidate_pi candidate_rho =
     if admissible candidate_pi candidate_rho then begin
-      incr solutions;
-      let candidate_pi, candidate_rho = polish candidate_pi candidate_rho in
+      w.solutions <- w.solutions + 1;
+      let candidate_pi, candidate_rho = polish w candidate_pi candidate_rho in
       let cost = cost_of machine ~pi:candidate_pi ~rho:candidate_rho in
       let sol = { pi = candidate_pi; rho = candidate_rho; cost } in
-      pool_add sol;
-      match !best with
-      | None -> best := Some sol
-      | Some b -> if compare_cost cost b.cost < 0 then best := Some sol
+      pool_add w sol;
+      (* The shared incumbent prunes nothing from the lattice walk (cost is
+         not monotone along joins) but keeps every domain's [best] the true
+         global one, so post-search refinement starts from the optimum. *)
+      match best_cost () with
+      | Some b when compare_cost cost b >= 0 -> ()
+      | _ -> offer_best sol
     end
   in
-  (* Depth-first walk over subsets of the basis, each node carrying the join
-     [pi] of its subset.  Children extend the subset with a strictly larger
-     basis index, exactly as in the paper's (V, E) definition. *)
-  let rec visit pi from_index =
-    (* The root always runs to completion so that the trivial solution is
-       recorded even under a zero timeout. *)
-    if !investigated > 0 then begin
-      if !investigated >= max_nodes then raise Timeout;
-      if Sys.time () -. start > timeout then raise Timeout
-    end;
-    incr investigated;
-    let mpi = Pair.m ~next pi in
-    let big_mpi = Pair.big_m ~next pi in
-    (* Candidate 1: the Mm-pair (M(pi), pi). *)
-    record big_mpi pi;
-    (* Candidate 2: (m(pi), pi), whose intersection with pi is minimal
-       among all pairs bracketed by the Mm-pair (Theorem 2 discussion). *)
-    if not (Partition.equal mpi big_mpi) then record mpi pi;
-    (* Lemma 1: if m(pi) /\ pi does not refine equivalence, no successor
-       can yield an admissible pair with right member above pi. *)
-    let viable = Partition.subseteq (Partition.meet mpi pi) equiv in
-    if prune && not viable then incr pruned
-    else
-      for j = from_index to num_basis - 1 do
-        let pi' = Partition.join pi basis.(j) in
-        visit pi' (j + 1)
-      done
+  (* The depth-first walk of the paper visits every subset of the basis;
+     but distinct subsets routinely join to the same partition, and the
+     whole subtree under a node is a function of (join, from_index) only.
+     [w.seen] therefore maps each join pi to the lowest [from_index] it has
+     been expanded with:
+
+     - arriving at (pi, i) with [seen pi <= i] adds nothing - the earlier
+       expansion already covered children [j >= seen pi  >=  j >= i] and,
+       recursively, everything below them - so the node is deduped;
+     - arriving with [i < seen pi] only needs the children in
+       [i .. seen pi - 1]; the candidate solutions at pi itself were
+       recorded by the first arrival.
+
+     Each (pi, j) join is thus computed at most once, collapsing the
+     2^|MM| subset tree to the Mm-sub-lattice it generates.  Lemma-1
+     pruning marks pi [closed_node] (= index 0): no re-arrival can sit
+     below index 0, so pruned nodes are never touched again. *)
+  let rec visit w pi from_index =
+    match PTbl.find_opt w.seen pi with
+    | Some lowest when lowest <= from_index -> w.deduped <- w.deduped + 1
+    | prior ->
+      (* The root always runs to completion so that the trivial solution is
+         recorded even under a zero timeout. *)
+      if Atomic.get node_count > 0 then begin
+        if Atomic.get cancelled then raise Timeout;
+        if Atomic.get node_count >= max_nodes then raise Timeout;
+        if Clock.now () -. start > timeout then raise Timeout
+      end;
+      Atomic.incr node_count;
+      w.investigated <- w.investigated + 1;
+      let upto = match prior with None -> num_basis | Some lowest -> lowest in
+      let expand () =
+        PTbl.replace w.seen pi from_index;
+        for j = from_index to upto - 1 do
+          visit w (Partition.join pi basis.(j)) (j + 1)
+        done
+      in
+      match prior with
+      | Some _ -> expand ()
+      | None ->
+        let mpi = Pair.Memo.m w.memo pi in
+        let big_mpi = Pair.Memo.big_m w.memo pi in
+        (* Candidate 1: the Mm-pair (M(pi), pi). *)
+        record w big_mpi pi;
+        (* Candidate 2: (m(pi), pi), whose intersection with pi is minimal
+           among all pairs bracketed by the Mm-pair (Theorem 2 discussion). *)
+        if not (Partition.equal mpi big_mpi) then record w mpi pi;
+        (* Lemma 1: if m(pi) /\ pi does not refine equivalence, no successor
+           can yield an admissible pair with right member above pi. *)
+        let viable = Partition.subseteq (Partition.meet mpi pi) equiv in
+        if prune && not viable then begin
+          w.pruned <- w.pruned + 1;
+          PTbl.replace w.seen pi closed_node
+        end
+        else expand ()
   in
-  begin
-    try visit (Partition.identity n) 0 with Timeout -> timed_out := true
-  end;
+  (* Root node, handled in the calling domain before any fan-out. *)
+  let root = Partition.identity n in
+  let main_worker = new_worker ~next () in
+  Atomic.incr node_count;
+  main_worker.investigated <- 1;
+  let m_root = Pair.Memo.m main_worker.memo root in
+  let big_m_root = Pair.Memo.big_m main_worker.memo root in
+  record main_worker big_m_root root;
+  if not (Partition.equal m_root big_m_root) then record main_worker m_root root;
+  let root_viable = Partition.subseteq (Partition.meet m_root root) equiv in
+  PTbl.replace main_worker.seen root closed_node;
+  if prune && not root_viable then main_worker.pruned <- main_worker.pruned + 1;
+  (* Fan the top-level basis branches out over domains: a shared atomic
+     cursor hands branch j (= subtree rooted at basis.(j)) to the next free
+     worker.  Each domain dedupes against its own transposition table;
+     overlap across domains costs repeated work, never correctness. *)
+  let next_branch = Atomic.make 0 in
+  let run_worker w =
+    try
+      let rec loop () =
+        let j = Atomic.fetch_and_add next_branch 1 in
+        if j < num_basis && not (Atomic.get cancelled) then begin
+          visit w (Partition.join root basis.(j)) (j + 1);
+          loop ()
+        end
+      in
+      loop ()
+    with Timeout ->
+      Atomic.set cancelled true;
+      Atomic.set timed_out true
+  in
+  let workers =
+    if (not prune) || root_viable then begin
+      if jobs = 1 || num_basis <= 1 then begin
+        (* Sequential fast path: identical traversal order (hence identical
+           stats) on every run, no domain overhead. *)
+        run_worker main_worker;
+        [ main_worker ]
+      end
+      else begin
+        let extras =
+          List.init
+            (min (jobs - 1) (num_basis - 1))
+            (fun _ -> new_worker ~next ())
+        in
+        let domains =
+          List.map (fun w -> Domain.spawn (fun () -> run_worker w)) extras
+        in
+        run_worker main_worker;
+        List.iter Domain.join domains;
+        main_worker :: extras
+      end
+    end
+    else [ main_worker ]
+  in
   let best =
-    match !best with
+    match Atomic.get best with
     | Some sol -> sol
     | None ->
       (* The root always records (M(identity), identity); unreachable. *)
       assert false
   in
-  (* Post-search refinement.  The paper's candidate set (M(pi), pi) /
-     (m(pi), pi) can miss optima whose right member is not a join of basis
-     elements; a greedy class-merge hill climb recovers them.  [close_pair]
-     computes the least symmetric partition pair above a seed pair by
-     alternating joins with the m images. *)
+  (* Post-search refinement, in the calling domain.  The paper's candidate
+     set (M(pi), pi) / (m(pi), pi) can miss optima whose right member is
+     not a join of basis elements; a greedy class-merge hill climb recovers
+     them.  [close_pair] computes the least symmetric partition pair above
+     a seed pair by alternating joins with the m images. *)
+  let memo = main_worker.memo in
   let rec close_pair pi rho =
-    let rho' = Partition.join rho (Pair.m ~next pi) in
-    let pi' = Partition.join pi (Pair.m ~next rho') in
+    let rho' = Partition.join rho (Pair.Memo.m memo pi) in
+    let pi' = Partition.join pi (Pair.Memo.m memo rho') in
     if Partition.equal pi pi' && Partition.equal rho rho' then (pi, rho')
     else close_pair pi' rho'
   in
@@ -181,7 +334,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
     in
     let pi', rho' = close_pair pi0 rho0 in
     if admissible pi' rho' then begin
-      let pi', rho' = polish pi' rho' in
+      let pi', rho' = polish main_worker pi' rho' in
       let cost = cost_of machine ~pi:pi' ~rho:rho' in
       if compare_cost cost sol.cost < 0 then Some { pi = pi'; rho = rho'; cost }
       else None
@@ -201,27 +354,32 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
     in
     match improved with None -> sol | Some better -> hill_climb better
   in
+  (* Merge the per-domain candidate pools before the hill climb. *)
+  let merged_pool = List.concat_map (fun w -> w.pool) workers in
   let best =
     List.fold_left
       (fun acc sol ->
         let sol = hill_climb sol in
         if compare_cost sol.cost acc.cost < 0 then sol else acc)
-      (hill_climb best) !pool
+      (hill_climb best) merged_pool
   in
   (match validate machine best with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Solver.solve: internal error: " ^ msg));
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
   {
     best;
     stats =
       {
         basis_size = num_basis;
         search_space = Float.pow 2.0 (float_of_int num_basis);
-        investigated = !investigated;
-        pruned = !pruned;
-        solutions = !solutions;
-        elapsed = Sys.time () -. start;
-        timed_out = !timed_out;
+        investigated = sum (fun w -> w.investigated);
+        deduped = sum (fun w -> w.deduped);
+        pruned = sum (fun w -> w.pruned);
+        solutions = sum (fun w -> w.solutions);
+        memo_hits = sum (fun w -> Pair.Memo.hits w.memo);
+        elapsed = Clock.now () -. start;
+        timed_out = Atomic.get timed_out;
       };
   }
 
@@ -229,11 +387,13 @@ let solve_exhaustive (machine : Machine.t) =
   let next = machine.next in
   let n = machine.num_states in
   let equiv = equivalence_partition machine in
-  let all = Stc_partition.Enumerate.all n in
+  (* Streamed: Bell(n)^2 pairs are visited but never materialized, so the
+     memory ceiling of the old list-based enumeration is gone. *)
+  let all = Stc_partition.Enumerate.partitions n in
   let best = ref None in
-  List.iter
+  Seq.iter
     (fun pi ->
-      List.iter
+      Seq.iter
         (fun rho ->
           if
             Pair.is_symmetric_pair ~next pi rho

@@ -40,33 +40,60 @@ type stats = {
   basis_size : int;  (** [|MM|] after deduplication *)
   search_space : float;  (** [2^basis_size], the [|V|] of Table 2 *)
   investigated : int;  (** nodes actually expanded (Table 2, last column) *)
+  deduped : int;
+      (** arrivals skipped by the transposition table: the node's subset
+          joined to a partition already expanded from an index at least as
+          low, so its whole subtree was subsumed by an earlier one *)
   pruned : int;  (** subtrees cut by Lemma 1 *)
   solutions : int;  (** candidate solutions that passed all checks *)
-  elapsed : float;  (** CPU seconds *)
+  memo_hits : int;  (** cache hits of the memoized [m] / [M] operators *)
+  elapsed : float;  (** wall-clock seconds (monotonic) *)
   timed_out : bool;
 }
 
 type result = { best : solution; stats : stats }
 
-(** [solve ?timeout ?prune ?max_nodes machine] runs the depth-first search.
+(** [solve ?timeout ?prune ?max_nodes ?jobs machine] runs the depth-first
+    search over the Mm-sub-lattice.
 
-    - [timeout] (CPU seconds): on expiry the best solution found so far is
-      returned with [timed_out = true] (the paper does the same for [tbk]).
+    Distinct basis subsets routinely join to the same partition; a
+    transposition table keyed on (partition, lowest expansion index)
+    expands each (partition, branch) combination at most once, and the
+    [m] / [M] operators are memoized per partition, so the [2^|MM|]
+    subset tree collapses to the sub-lattice it generates ([deduped]
+    counts the skipped arrivals).
+
+    - [timeout] (wall-clock seconds): on expiry the best solution found so
+      far is returned with [timed_out = true] (the paper does the same for
+      [tbk]).
     - [prune] (default [true]): disable to measure the effect of Lemma 1
       (only feasible for very small machines).
     - [max_nodes]: hard cap on investigated nodes, a safety net for
       experiments.
+    - [jobs] (default [1]): number of domains to fan the top-level basis
+      branches over.  The returned [best] has the same cost for every
+      [jobs] value; with [jobs = 1] the traversal (hence [stats]) is fully
+      deterministic, while parallel runs may investigate a few nodes more
+      or fewer depending on how branches land on domains (each domain
+      dedupes against its own transposition table).
 
     The search always returns at least the trivial solution found at the
     tree root, so [best] is total.  Every returned solution is validated:
     symmetric partition pair with intersection refining equivalence. *)
 val solve :
-  ?timeout:float -> ?prune:bool -> ?max_nodes:int -> Stc_fsm.Machine.t -> result
+  ?timeout:float ->
+  ?prune:bool ->
+  ?max_nodes:int ->
+  ?jobs:int ->
+  Stc_fsm.Machine.t ->
+  result
 
 (** [solve_exhaustive machine] enumerates {e all} partition pairs by brute
     force over every partition of the state set (Bell-number cost!) and
-    returns the optimum.  Oracle for testing [solve] on machines with at
-    most ~8 states. *)
+    returns the optimum.  The enumeration streams
+    ({!Stc_partition.Enumerate.partitions}), so memory stays flat; run
+    time makes ~9 states the practical ceiling for the [Bell(n)^2] pair
+    scan.  Oracle for testing [solve]. *)
 val solve_exhaustive : Stc_fsm.Machine.t -> solution
 
 (** [cost_of machine ~pi ~rho] computes the cost record of a candidate

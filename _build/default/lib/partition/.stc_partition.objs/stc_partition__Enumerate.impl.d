@@ -1,1 +1,1 @@
-lib/partition/enumerate.ml: Array List Partition
+lib/partition/enumerate.ml: Array List Partition Seq

@@ -1,1 +1,1 @@
-lib/partition/enumerate.mli: Partition
+lib/partition/enumerate.mli: Partition Seq

@@ -1,1 +1,1 @@
-lib/partition/partition.ml: Array Format Hashtbl List Printf Stc_util Stdlib String
+lib/partition/partition.ml: Array Domain Format Hashtbl List Printf Stc_util Stdlib String Weak

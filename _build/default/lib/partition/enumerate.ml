@@ -1,20 +1,33 @@
 (* Restricted growth strings: element 0 gets class 0; element s may take any
    class in [0 .. 1 + max of previous classes]. *)
+
+(* Streaming enumeration.  Each suspension carries its growth-string
+   prefix as an immutable list, so the sequence is persistent (interior
+   nodes can be re-forced or shared freely) and memory is O(n) per live
+   suspension regardless of Bell(n); the ceiling only guards against
+   unusable run times, not memory. *)
+let partitions n =
+  if n < 1 || n > 20 then invalid_arg "Enumerate.partitions: n must be in [1,20]";
+  let rec go prefix s highest =
+    if s = n then
+      Seq.return (Partition.of_class_map (Array.of_list (List.rev prefix)))
+    else
+      fun () ->
+        let rec branch c () =
+          if c > highest + 1 then Seq.Nil
+          else
+            Seq.append
+              (go (c :: prefix) (s + 1) (max highest c))
+              (branch (c + 1))
+              ()
+        in
+        branch 0 ()
+  in
+  go [ 0 ] 1 0
+
 let all n =
   if n < 1 || n > 12 then invalid_arg "Enumerate.all: n must be in [1,12]";
-  let cls = Array.make n 0 in
-  let acc = ref [] in
-  let rec go s highest =
-    if s = n then acc := Partition.of_class_map cls :: !acc
-    else
-      for c = 0 to highest + 1 do
-        cls.(s) <- c;
-        go (s + 1) (max highest c)
-      done
-  in
-  cls.(0) <- 0;
-  go 1 0;
-  List.rev !acc
+  List.of_seq (partitions n)
 
 let bell n =
   (* Bell triangle. *)

@@ -69,7 +69,6 @@ let m_of_state_pair ~next s t =
   for i = 0 to k - 1 do
     ignore (Union_find.union uf next.(s).(i) next.(t).(i))
   done;
-  ignore n;
   Partition.of_class_map (Union_find.class_map uf)
 
 let basis ~next =
@@ -84,6 +83,48 @@ let basis ~next =
   Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort Partition.compare
 
 let basis_size ~next = List.length (basis ~next)
+
+module PTbl = Hashtbl.Make (struct
+  type t = Partition.t
+
+  let equal = Partition.equal
+  let hash = Partition.hash
+end)
+
+module Memo = struct
+  type nonrec t = {
+    next : int array array;
+    m_tbl : Partition.t PTbl.t;
+    big_m_tbl : Partition.t PTbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~next =
+    {
+      next;
+      m_tbl = PTbl.create 1024;
+      big_m_tbl = PTbl.create 1024;
+      hits = 0;
+      misses = 0;
+    }
+
+  let lookup memo tbl op pi =
+    match PTbl.find_opt tbl pi with
+    | Some r ->
+      memo.hits <- memo.hits + 1;
+      r
+    | None ->
+      memo.misses <- memo.misses + 1;
+      let r = op ~next:memo.next pi in
+      PTbl.add tbl pi r;
+      r
+
+  let m memo pi = lookup memo memo.m_tbl m pi
+  let big_m memo rho = lookup memo memo.big_m_tbl big_m rho
+  let hits memo = memo.hits
+  let misses memo = memo.misses
+end
 
 let mm_pairs ~next =
   let n, _ = dims next in

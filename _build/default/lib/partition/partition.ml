@@ -4,7 +4,48 @@ type t = {
   n : int;
   cls : int array;  (* canonical: dense class ids by first occurrence *)
   count : int;
+  hcache : int;  (* cached hash over (n, cls) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every constructor funnels through [intern], which keeps one canonical
+   value per distinct class map in a weak table.  Within a domain, equal
+   partitions are therefore physically equal, [equal] is a pointer check
+   in the common case, and [hash] is a cached int - exactly what the
+   solver's memo tables need for O(1) keys.
+
+   The intern table is domain-local ([Domain.DLS]): [Weak.Make] tables
+   are not safe for concurrent mutation, and a lock around a global one
+   would serialize the parallel search's hottest allocation path.  The
+   price is that values built in different domains may be physically
+   distinct, so [equal] keeps a structural fallback (guarded by the
+   cached hash); all semantics are unchanged. *)
+
+(* Full-width FNV-style mix: [Hashtbl.hash] only samples a prefix of the
+   array, which collides badly on the long class maps of dk16/tbk. *)
+let hash_class_map n cls =
+  let h = ref (0x811c9dc5 + n) in
+  for i = 0 to Array.length cls - 1 do
+    h := ((!h lxor cls.(i)) * 0x01000193) land max_int
+  done;
+  !h
+
+module Intern = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a.hcache = b.hcache && a.n = b.n && a.cls = b.cls
+  let hash p = p.hcache
+end)
+
+let intern_table = Domain.DLS.new_key (fun () -> Intern.create 4096)
+
+(* [cls] must already be canonical and must not be mutated afterwards. *)
+let intern ~n ~count cls =
+  let p = { n; cls; count; hcache = hash_class_map n cls } in
+  Intern.merge (Domain.DLS.get intern_table) p
 
 let size p = p.n
 
@@ -27,7 +68,7 @@ let canonicalize cls =
         Hashtbl.replace remap cls.(s) id;
         id)
   done;
-  { n; cls = out; count = Hashtbl.length remap }
+  intern ~n ~count:(Hashtbl.length remap) out
 
 let of_class_map cls =
   if Array.length cls = 0 then invalid_arg "Partition.of_class_map: empty";
@@ -37,11 +78,11 @@ let class_map p = Array.copy p.cls
 
 let identity n =
   if n <= 0 then invalid_arg "Partition.identity: n must be positive";
-  { n; cls = Array.init n (fun s -> s); count = n }
+  intern ~n ~count:n (Array.init n (fun s -> s))
 
 let universal n =
   if n <= 0 then invalid_arg "Partition.universal: n must be positive";
-  { n; cls = Array.make n 0; count = 1 }
+  intern ~n ~count:1 (Array.make n 0)
 
 let is_identity p = p.count = p.n
 
@@ -97,20 +138,25 @@ let meet p q =
         Hashtbl.replace table key id;
         id)
   done;
-  { n = p.n; cls; count = Hashtbl.length table }
+  (* The (p-class, q-class) keying numbers classes by first occurrence, so
+     [cls] is already canonical. *)
+  intern ~n:p.n ~count:(Hashtbl.length table) cls
 
 let join p q =
   if p.n <> q.n then invalid_arg "Partition.join: size mismatch";
-  let uf = Union_find.create p.n in
-  let first_p = Array.make p.count (-1) and first_q = Array.make q.count (-1) in
-  for s = 0 to p.n - 1 do
-    let cp = p.cls.(s) and cq = q.cls.(s) in
-    if first_p.(cp) < 0 then first_p.(cp) <- s
-    else ignore (Union_find.union uf first_p.(cp) s);
-    if first_q.(cq) < 0 then first_q.(cq) <- s
-    else ignore (Union_find.union uf first_q.(cq) s)
-  done;
-  canonicalize (Union_find.class_map uf)
+  if p == q then p
+  else begin
+    let uf = Union_find.create p.n in
+    let first_p = Array.make p.count (-1) and first_q = Array.make q.count (-1) in
+    for s = 0 to p.n - 1 do
+      let cp = p.cls.(s) and cq = q.cls.(s) in
+      if first_p.(cp) < 0 then first_p.(cp) <- s
+      else ignore (Union_find.union uf first_p.(cp) s);
+      if first_q.(cq) < 0 then first_q.(cq) <- s
+      else ignore (Union_find.union uf first_q.(cq) s)
+    done;
+    canonicalize (Union_find.class_map uf)
+  end
 
 let join_all ~n ps = List.fold_left join (identity n) ps
 
@@ -130,13 +176,16 @@ let subseteq p q =
     !ok
   end
 
-let equal p q = p.n = q.n && p.cls = q.cls
+let equal p q =
+  p == q || (p.hcache = q.hcache && p.n = q.n && p.cls = q.cls)
 
 let compare p q =
-  let c = Stdlib.compare p.n q.n in
-  if c <> 0 then c else Stdlib.compare p.cls q.cls
+  if p == q then 0
+  else
+    let c = Stdlib.compare p.n q.n in
+    if c <> 0 then c else Stdlib.compare p.cls q.cls
 
-let hash p = Hashtbl.hash p.cls
+let hash p = p.hcache
 
 let representatives p =
   let reps = Array.make p.count (-1) in

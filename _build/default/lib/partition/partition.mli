@@ -9,7 +9,16 @@
 
     Values are canonical (classes numbered 0,1,... by first occurrence),
     so structural equality coincides with semantic equality and values can
-    be used as keys. *)
+    be used as keys.
+
+    Values are additionally {e hash-consed}: every constructor interns its
+    result in a domain-local weak table, so within a domain semantically
+    equal partitions are physically equal ([==]), {!equal} is a pointer
+    check in the common case, and {!hash} returns a cached integer.  This
+    makes partitions O(1) keys for the solver's memo tables.  Values built
+    in different domains may be physically distinct; {!equal} and
+    {!compare} fall back to a (hash-guarded) structural check, so all
+    observable semantics are domain-independent. *)
 
 type t
 
@@ -73,14 +82,16 @@ val join_all : n:int -> t list -> t
 (** [subseteq p q] is relation inclusion ([p] refines [q]). *)
 val subseteq : t -> t -> bool
 
-(** [equal p q] is semantic (= structural) equality. *)
+(** [equal p q] is semantic (= structural) equality; thanks to interning
+    it is usually decided by a pointer comparison. *)
 val equal : t -> t -> bool
 
 (** [compare] is a total order compatible with [equal] (for use in
     sets/maps). *)
 val compare : t -> t -> int
 
-(** [hash p] is compatible with [equal]. *)
+(** [hash p] is compatible with [equal].  The hash is computed once at
+    interning time over the full class map and cached, so this is O(1). *)
 val hash : t -> int
 
 (** [representatives p] maps each class to its smallest member. *)

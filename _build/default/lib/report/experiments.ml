@@ -29,11 +29,11 @@ let specs_named = function
         | None -> invalid_arg (Printf.sprintf "unknown benchmark %S" name))
       names
 
-let table1 ?(timeout = 120.0) ?names () =
+let table1 ?(timeout = 120.0) ?jobs ?names () =
   List.map
     (fun (spec : Suite.spec) ->
       let machine = Suite.machine spec in
-      let result = Solver.solve ~timeout machine in
+      let result = Solver.solve ~timeout ?jobs machine in
       let a = Partition.num_classes result.Solver.best.Solver.pi
       and b = Partition.num_classes result.Solver.best.Solver.rho in
       {
@@ -81,6 +81,7 @@ let render_table2 entries =
           string_of_int e.spec.Suite.states;
           Printf.sprintf "2^%d" e.stats.Solver.basis_size;
           string_of_int e.stats.Solver.investigated;
+          string_of_int e.stats.Solver.deduped;
           (match e.spec.Suite.paper_investigated with
           | Some n -> string_of_int n
           | None -> "-");
@@ -88,7 +89,8 @@ let render_table2 entries =
       entries
   in
   Table.render
-    ~header:[ "name"; "|S|"; "|V|"; "investigated"; "paper investigated" ]
+    ~header:
+      [ "name"; "|S|"; "|V|"; "investigated"; "deduped"; "paper investigated" ]
     rows
 
 type area_entry = {

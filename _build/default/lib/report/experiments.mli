@@ -14,11 +14,12 @@ type table1_entry = {
   stats : Stc_core.Solver.stats;
 }
 
-(** [table1 ?timeout ?names ()] solves OSTR for the selected benchmarks
-    (default: all 13).  [timeout] (default 120 s CPU) mirrors the paper's
-    time limit for [tbk]. *)
+(** [table1 ?timeout ?jobs ?names ()] solves OSTR for the selected
+    benchmarks (default: all 13).  [timeout] (default 120 s wall clock)
+    mirrors the paper's time limit for [tbk]; [jobs] fans each solve over
+    that many domains (see {!Stc_core.Solver.solve}). *)
 val table1 :
-  ?timeout:float -> ?names:string list -> unit -> table1_entry list
+  ?timeout:float -> ?jobs:int -> ?names:string list -> unit -> table1_entry list
 
 (** [render_table1 entries] prints name, |S|, |S1|, |S2|, conv. BIST FFs,
     pipeline FFs - the exact columns of Table 1 - plus the paper's values
@@ -27,7 +28,8 @@ val render_table1 : table1_entry list -> string
 
 (** [render_table2 entries] prints |S|, |V| = 2^|MM| and the number of
     nodes investigated with Lemma-1 pruning - the columns of Table 2 -
-    plus the paper's reported node counts. *)
+    plus the transposition-table dedupe count and the paper's reported
+    node counts. *)
 val render_table2 : table1_entry list -> string
 
 (** One row of the section-4 area discussion: two-level cost of the

@@ -1,0 +1,19 @@
+(** Monotonic wall clock for search budgets and benchmarks.
+
+    [Sys.time] is CPU time: under [d] running domains it advances up to
+    [d]x faster than the wall, so a CPU-time budget of [t] seconds would
+    cut a parallel search off after roughly [t/d] wall seconds.  All
+    timeouts in this repository are therefore wall-clock, measured with
+    the OS monotonic clock (immune to NTP steps, unlike
+    [Unix.gettimeofday]). *)
+
+(** [now_ns ()] is the monotonic clock in nanoseconds (arbitrary
+    origin). *)
+val now_ns : unit -> int64
+
+(** [now ()] is the monotonic clock in seconds (arbitrary origin);
+    only differences are meaningful. *)
+val now : unit -> float
+
+(** [elapsed ~since] is [now () -. since]. *)
+val elapsed : since:float -> float

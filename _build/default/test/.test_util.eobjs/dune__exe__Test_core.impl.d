@@ -1,1 +1,1 @@
-test/test_core.ml: Alcotest Array Float Format List QCheck QCheck_alcotest Result Stc_core Stc_fsm Stc_partition Stc_util String
+test/test_core.ml: Alcotest Array Float Format List QCheck QCheck_alcotest Result Stc_benchmarks Stc_core Stc_fsm Stc_partition Stc_util String

@@ -1,1 +1,1 @@
-test/test_partition.ml: Alcotest Array List Printf QCheck QCheck_alcotest Stc_fsm Stc_partition Stc_util
+test/test_partition.ml: Alcotest Array List Printf QCheck QCheck_alcotest Seq Stc_fsm Stc_partition Stc_util

@@ -160,6 +160,75 @@ let test_solver_max_nodes () =
   let r = Solver.solve ~max_nodes:5 m in
   check_bool "capped" true (r.stats.investigated <= 5)
 
+let test_solver_parallel_matches_sequential () =
+  (* Fanning the search over domains must not change the reported optimum
+     (cost-identical, valid), on the whole benchmark suite plus the zoo
+     machines with known structure. *)
+  let machines =
+    List.map
+      (fun spec -> Stc_benchmarks.Suite.machine spec)
+      Stc_benchmarks.Suite.all
+    @ [
+        Zoo.paper_fig5 ();
+        Zoo.shift_register ~bits:3;
+        Zoo.shift_register ~bits:4;
+        Zoo.serial_adder ();
+        Zoo.counter ~modulus:8;
+        Zoo.toggle ();
+        Zoo.parity ();
+      ]
+  in
+  List.iter
+    (fun m ->
+      let seq = Solver.solve ~jobs:1 m in
+      let par = Solver.solve ~jobs:4 m in
+      check_int
+        (m.Machine.name ^ ": parallel bits = sequential bits")
+        seq.best.cost.bits par.best.cost.bits;
+      check_bool
+        (m.Machine.name ^ ": costs compare equal")
+        true
+        (Solver.compare_cost seq.best.cost par.best.cost = 0);
+      check_bool
+        (m.Machine.name ^ ": parallel solution valid")
+        true
+        (Result.is_ok (Solver.validate m par.best)))
+    machines
+
+let test_solver_deterministic_stats () =
+  (* With jobs = 1 the traversal order is fixed, so repeated runs agree on
+     every counter, not just the optimum. *)
+  List.iter
+    (fun m ->
+      let a = Solver.solve ~jobs:1 m and b = Solver.solve ~jobs:1 m in
+      check_int (m.Machine.name ^ ": investigated") a.stats.investigated
+        b.stats.investigated;
+      check_int (m.Machine.name ^ ": deduped") a.stats.deduped b.stats.deduped;
+      check_int (m.Machine.name ^ ": pruned") a.stats.pruned b.stats.pruned;
+      check_int (m.Machine.name ^ ": solutions") a.stats.solutions
+        b.stats.solutions;
+      check_int (m.Machine.name ^ ": memo hits") a.stats.memo_hits
+        b.stats.memo_hits;
+      check_bool
+        (m.Machine.name ^ ": same optimum")
+        true
+        (Partition.equal a.best.pi b.best.pi
+        && Partition.equal a.best.rho b.best.rho))
+    [ Zoo.paper_fig5 (); Zoo.shift_register ~bits:4; Zoo.serial_adder () ]
+
+let test_solver_dedupe_accounting () =
+  (* The shift register's basis joins collide heavily, so the transposition
+     table must report skipped arrivals; every skipped arrival is a node
+     the seed search would have expanded. *)
+  let m = Zoo.shift_register ~bits:4 in
+  let r = Solver.solve m in
+  check_bool "deduped > 0" true (r.stats.deduped > 0);
+  check_bool "memoized operators hit" true (r.stats.memo_hits > 0);
+  (* Each distinct (partition, branch) pair is expanded at most once, so
+     the investigated count is bounded by the unpruned lattice walk. *)
+  check_bool "investigated bounded" true
+    (float_of_int r.stats.investigated <= r.stats.search_space)
+
 let test_solver_unreduced_machine () =
   (* A machine with equivalent states: pi /\ rho only needs to refine the
      equivalence, so the twins can share a class in both factors. *)
@@ -345,6 +414,12 @@ let () =
           qcheck test_solver_planted_recovered;
           Alcotest.test_case "timeout returns best" `Quick test_solver_timeout_returns_best;
           Alcotest.test_case "max_nodes cap" `Quick test_solver_max_nodes;
+          Alcotest.test_case "parallel = sequential (suite + zoo)" `Slow
+            test_solver_parallel_matches_sequential;
+          Alcotest.test_case "deterministic stats (jobs=1)" `Quick
+            test_solver_deterministic_stats;
+          Alcotest.test_case "dedupe accounting" `Quick
+            test_solver_dedupe_accounting;
           Alcotest.test_case "unreduced machine" `Quick test_solver_unreduced_machine;
           Alcotest.test_case "validate rejects bad pairs" `Quick
             test_validate_rejects_bad_pairs;

@@ -142,6 +142,67 @@ let test_lattice_laws_random =
       && Partition.join p p = p)
 
 (* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashcons_physical_equality () =
+  (* Equal partitions built independently intern to the same value. *)
+  let p = Partition.of_class_map [| 7; 3; 7; 1 |] in
+  let q = Partition.of_class_map [| 0; 9; 0; 4 |] in
+  check_bool "of_class_map interns" true (p == q);
+  let a = Partition.of_blocks ~n:4 [ [ 0; 2 ] ] in
+  let b = Partition.of_class_map [| 0; 1; 0; 2 |] in
+  check_bool "of_blocks interns to the same" true (a == b);
+  check_bool "pair_relation interns" true
+    (Partition.pair_relation ~n:4 0 2 == a)
+
+let test_hashcons_operations_intern =
+  QCheck.Test.make ~count:300 ~name:"meet/join results are interned"
+    QCheck.(pair (int_bound 10000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = random_partition rng n and q = random_partition rng n in
+      Partition.meet p q == Partition.meet q p
+      && Partition.join p q == Partition.join q p
+      && Partition.hash (Partition.meet p q) = Partition.hash (Partition.meet q p)
+      (* equal <-> physically equal, within one domain *)
+      && Partition.equal p q = (p == q))
+
+(* ------------------------------------------------------------------ *)
+(* Memoized operators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_matches_direct =
+  QCheck.Test.make ~count:200 ~name:"Memo.m / Memo.big_m = m / big_m"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 6 and k = 1 + Rng.int rng 3 in
+      let next = random_next rng n k in
+      let memo = Pair.Memo.create ~next in
+      let ps = List.init 10 (fun _ -> random_partition rng n) in
+      List.for_all
+        (fun p ->
+          Partition.equal (Pair.Memo.m memo p) (Pair.m ~next p)
+          && Partition.equal (Pair.Memo.big_m memo p) (Pair.big_m ~next p)
+          (* cached: second call returns the identical partition *)
+          && Pair.Memo.m memo p == Pair.Memo.m memo p)
+        ps)
+
+let test_memo_counters () =
+  let m = Zoo.paper_fig5 () in
+  let next = m.Machine.next in
+  let memo = Pair.Memo.create ~next in
+  let pi = Partition.of_blocks ~n:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  check_int "fresh cache" 0 (Pair.Memo.hits memo);
+  ignore (Pair.Memo.m memo pi);
+  check_int "first call misses" 1 (Pair.Memo.misses memo);
+  ignore (Pair.Memo.m memo pi);
+  ignore (Pair.Memo.m memo pi);
+  check_int "repeat calls hit" 2 (Pair.Memo.hits memo);
+  check_int "no extra misses" 1 (Pair.Memo.misses memo)
+
+(* ------------------------------------------------------------------ *)
 (* Enumerate                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -160,6 +221,31 @@ let test_enumerate_counts () =
     let distinct = List.sort_uniq Partition.compare all in
     check_int "distinct" (List.length all) (List.length distinct)
   done
+
+let test_enumerate_streaming () =
+  (* The Seq agrees with the materialized list... *)
+  for n = 1 to 6 do
+    let streamed = List.of_seq (Enumerate.partitions n) in
+    check_bool
+      (Printf.sprintf "streamed = all for n=%d" n)
+      true
+      (List.equal Partition.equal streamed (Enumerate.all n))
+  done;
+  (* ...is persistent (re-iterating from the head gives the same answer,
+     e.g. for nested loops over all pairs)... *)
+  let s = Enumerate.partitions 5 in
+  let count seq = Seq.fold_left (fun acc _ -> acc + 1) 0 seq in
+  check_int "first pass" (Enumerate.bell 5) (count s);
+  check_int "second pass" (Enumerate.bell 5) (count s);
+  let pairs = ref 0 in
+  Seq.iter (fun _ -> Seq.iter (fun _ -> incr pairs) s) s;
+  check_int "nested pairs" (Enumerate.bell 5 * Enumerate.bell 5) !pairs;
+  (* ...and is lazy: taking a prefix of a Bell-number space far beyond the
+     materialization ceiling terminates immediately. *)
+  let prefix = List.of_seq (Seq.take 100 (Enumerate.partitions 20)) in
+  check_int "lazy prefix" 100 (List.length prefix);
+  check_bool "prefix distinct" true
+    (List.length (List.sort_uniq Partition.compare prefix) = 100)
 
 (* ------------------------------------------------------------------ *)
 (* Pair: the m / M Galois connection                                   *)
@@ -366,10 +452,23 @@ let () =
             test_lattice_laws_exhaustive;
           qcheck test_lattice_laws_random;
         ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "physical equality" `Quick
+            test_hashcons_physical_equality;
+          qcheck test_hashcons_operations_intern;
+        ] );
+      ( "memo",
+        [
+          qcheck test_memo_matches_direct;
+          Alcotest.test_case "hit/miss counters" `Quick test_memo_counters;
+        ] );
       ( "enumerate",
         [
           Alcotest.test_case "bell numbers" `Quick test_bell_numbers;
           Alcotest.test_case "enumeration counts" `Quick test_enumerate_counts;
+          Alcotest.test_case "streaming enumeration" `Quick
+            test_enumerate_streaming;
         ] );
       ( "pair",
         [

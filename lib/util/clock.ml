@@ -1,0 +1,12 @@
+(* Monotonic wall clock.
+
+   [Sys.time] measures CPU time, which overshoots wall-clock budgets as
+   soon as more than one domain is running (each domain's CPU seconds
+   accumulate), and [Unix.gettimeofday] can jump under NTP adjustment.
+   Bechamel's CLOCK_MONOTONIC stub gives a steady nanosecond counter. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let now () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let elapsed ~since = now () -. since

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: full build, the complete test suite, and the solver smoke
+# benchmark (dk16 / dk512 / tbk must reproduce the paper's Table-1 factors
+# under a hard wall-clock cap - the bench exits nonzero on timeout or
+# factor mismatch).  Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== solver smoke (hard cap via timeout(1)) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- quick
+else
+  dune exec bench/main.exe -- quick
+fi
+
+echo "check.sh: all gates passed"
