@@ -28,6 +28,9 @@ module Minimize = Stc_logic.Minimize
 module Arch = Stc_faultsim.Arch
 module Experiments = Stc_report.Experiments
 module Clock = Stc_util.Clock
+module Json = Stc_obs.Json
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Artifact regeneration (the paper's tables and figures)              *)
@@ -75,31 +78,57 @@ let benchmark_machine name =
   | Some spec -> Suite.machine spec
   | None -> invalid_arg name
 
+(* One instrumented solver execution: result, wall clock, per-phase span
+   totals (seconds, summed across domains - concurrent DFS workers can
+   exceed wall time) and the merged metrics counters. *)
+type instrumented = {
+  result : Solver.result;
+  wall : float;
+  phases : (string * float) list;
+  counters : (string * int) list;
+}
+
 type solver_run = {
   spec : Suite.spec;
-  seq : Solver.result;
-  seq_wall : float;
-  par : Solver.result;
-  par_wall : float;
-  par_jobs : int;
+  seq : instrumented;
+  par : instrumented;
 }
+
+let par_jobs = max 2 (Domain.recommended_domain_count ())
 
 let timed f =
   let t0 = Clock.now () in
   let r = f () in
   (r, Clock.elapsed ~since:t0)
 
+let instrumented_solve ~timeout ?jobs machine =
+  Trace.set_enabled true;
+  Metrics.set_enabled true;
+  Trace.reset ();
+  Metrics.reset ();
+  let result, wall = timed (fun () -> Solver.solve ~timeout ?jobs machine) in
+  let phases = Trace.phase_totals () in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter n | Metrics.Gauge n ->
+          if n <> 0 then Some (name, n) else None
+        | Metrics.Histogram _ -> None)
+      (Metrics.snapshot ())
+  in
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  { result; wall; phases; counters }
+
 let solver_runs ~timeout =
-  let par_jobs = max 2 (Domain.recommended_domain_count ()) in
   List.map
     (fun name ->
       let spec = Option.get (Suite.find name) in
       let machine = Suite.machine spec in
-      let seq, seq_wall = timed (fun () -> Solver.solve ~timeout machine) in
-      let par, par_wall =
-        timed (fun () -> Solver.solve ~timeout ~jobs:par_jobs machine)
-      in
-      { spec; seq; seq_wall; par; par_wall; par_jobs })
+      let seq = instrumented_solve ~timeout machine in
+      let par = instrumented_solve ~timeout ~jobs:par_jobs machine in
+      { spec; seq; par })
     heavy_names
 
 (* Quick smoke: hard wall-clock cap, factors checked against the paper.
@@ -132,76 +161,82 @@ let run_quick () =
   exit !failures
 
 (* ------------------------------------------------------------------ *)
-(* JSON trajectory (no JSON library in the image: hand-rolled printer) *)
+(* JSON trajectory (built on the Stc_obs JSON tree - no external dep)  *)
 (* ------------------------------------------------------------------ *)
 
-let json_of_stats (stats : Solver.stats) wall =
-  Printf.sprintf
-    "{ \"wall_s\": %.6f, \"investigated\": %d, \"deduped\": %d, \"pruned\": \
-     %d, \"memo_hits\": %d, \"timed_out\": %b }"
-    wall stats.Solver.investigated stats.Solver.deduped stats.Solver.pruned
-    stats.Solver.memo_hits stats.Solver.timed_out
+let json_of_instrumented (i : instrumented) =
+  let stats = i.result.Solver.stats in
+  Json.Obj
+    [
+      ("wall_s", Json.Float i.wall);
+      ("investigated", Json.Int stats.Solver.investigated);
+      ("deduped", Json.Int stats.Solver.deduped);
+      ("pruned", Json.Int stats.Solver.pruned);
+      ("memo_hits", Json.Int stats.Solver.memo_hits);
+      ("timed_out", Json.Bool stats.Solver.timed_out);
+      (* Per-phase span seconds, summed over domains: the dfs entry of a
+         parallel run counts every worker's time, so dfs > wall_s means
+         the fan-out burned more CPU than the sequential walk - exactly
+         the BENCH_solver.json slowdown question. *)
+      ( "phases",
+        Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) i.phases) );
+      ( "metrics",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) i.counters) );
+    ]
+
+let cost_equal r =
+  Solver.compare_cost r.seq.result.Solver.best.Solver.cost
+    r.par.result.Solver.best.Solver.cost
+  = 0
 
 let json_of_run r =
-  let best = r.seq.Solver.best in
-  let cost_equal =
-    Solver.compare_cost best.Solver.cost r.par.Solver.best.Solver.cost = 0
-  in
-  Printf.sprintf
-    "    { \"name\": %S,\n\
-    \      \"states\": %d,\n\
-    \      \"basis\": %d,\n\
-    \      \"s1\": %d,\n\
-    \      \"s2\": %d,\n\
-    \      \"bits\": %d,\n\
-    \      \"sequential\": %s,\n\
-    \      \"parallel\": %s,\n\
-    \      \"parallel_jobs\": %d,\n\
-    \      \"speedup\": %.3f,\n\
-    \      \"cost_equal\": %b }"
-    r.spec.Suite.name r.spec.Suite.states r.seq.Solver.stats.Solver.basis_size
-    (Partition.num_classes best.Solver.pi)
-    (Partition.num_classes best.Solver.rho)
-    best.Solver.cost.Solver.bits
-    (json_of_stats r.seq.Solver.stats r.seq_wall)
-    (json_of_stats r.par.Solver.stats r.par_wall)
-    r.par_jobs
-    (r.seq_wall /. Float.max 1e-9 r.par_wall)
-    cost_equal
+  let best = r.seq.result.Solver.best in
+  Json.Obj
+    [
+      ("name", Json.String r.spec.Suite.name);
+      ("states", Json.Int r.spec.Suite.states);
+      ("basis", Json.Int r.seq.result.Solver.stats.Solver.basis_size);
+      ("s1", Json.Int (Partition.num_classes best.Solver.pi));
+      ("s2", Json.Int (Partition.num_classes best.Solver.rho));
+      ("bits", Json.Int best.Solver.cost.Solver.bits);
+      ("sequential", json_of_instrumented r.seq);
+      ("parallel", json_of_instrumented r.par);
+      ("parallel_jobs", Json.Int par_jobs);
+      ("speedup", Json.Float (r.seq.wall /. Float.max 1e-9 r.par.wall));
+      ("cost_equal", Json.Bool (cost_equal r));
+    ]
 
 let run_json () =
   let runs = solver_runs ~timeout:120.0 in
   let path = "BENCH_solver.json" in
-  let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"solver\",\n\
-    \  \"cores\": %d,\n\
-    \  \"rows\": [\n\
-     %s\n\
-    \  ]\n\
-     }\n"
-    (Domain.recommended_domain_count ())
-    (String.concat ",\n" (List.map json_of_run runs));
-  close_out oc;
+  Json.write path
+    (Json.Obj
+       [
+         ("bench", Json.String "solver");
+         ("parallel_jobs", Json.Int par_jobs);
+         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+         ("rows", Json.List (List.map json_of_run runs));
+       ]);
   Printf.printf "wrote %s\n" path;
+  let phase r name =
+    Option.value ~default:0.0 (List.assoc_opt name r.phases)
+  in
   List.iter
     (fun r ->
       Printf.printf
         "%-8s seq %.2fs (%d nodes, %d deduped)  par(x%d) %.2fs  speedup %.2f\n"
-        r.spec.Suite.name r.seq_wall r.seq.Solver.stats.Solver.investigated
-        r.seq.Solver.stats.Solver.deduped r.par_jobs r.par_wall
-        (r.seq_wall /. Float.max 1e-9 r.par_wall))
+        r.spec.Suite.name r.seq.wall r.seq.result.Solver.stats.Solver.investigated
+        r.seq.result.Solver.stats.Solver.deduped par_jobs r.par.wall
+        (r.seq.wall /. Float.max 1e-9 r.par.wall);
+      Printf.printf
+        "         phases seq basis %.3fs dfs %.3fs climb %.3fs | par dfs \
+         %.3fs (sum over %d domains)\n"
+        (phase r.seq "basis") (phase r.seq "dfs") (phase r.seq "hill_climb")
+        (phase r.par "dfs") par_jobs)
     runs;
-  (* The trajectory is only meaningful if both searches agree on the cost. *)
-  let disagree =
-    List.filter
-      (fun r ->
-        Solver.compare_cost r.seq.Solver.best.Solver.cost
-          r.par.Solver.best.Solver.cost
-        <> 0)
-      runs
-  in
+  (* The trajectory is only meaningful if both searches agree on the cost:
+     any cost_equal: false row fails the run. *)
+  let disagree = List.filter (fun r -> not (cost_equal r)) runs in
   if disagree <> [] then begin
     List.iter
       (fun r ->

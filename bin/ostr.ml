@@ -17,6 +17,9 @@ module Suite = Stc_benchmarks.Suite
 module Experiments = Stc_report.Experiments
 module Arch = Stc_faultsim.Arch
 module Session = Stc_faultsim.Session
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
+module Progress = Stc_obs.Progress
 
 open Cmdliner
 
@@ -70,6 +73,61 @@ let or_die = function
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Observability: --trace / --metrics / --progress                     *)
+(* ------------------------------------------------------------------ *)
+
+type obs = { trace : string option; metrics : string option; progress : bool }
+
+let obs_term =
+  let trace =
+    let doc =
+      "Write a span trace to $(docv): Chrome trace_event JSON (loadable in \
+       Perfetto / chrome://tracing), or JSONL when $(docv) ends in .jsonl."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Write a JSON metrics snapshot (counters, gauges, histograms) to \
+       $(docv) when the command finishes."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let progress =
+    let doc =
+      "Periodically report search progress (nodes/sec, incumbent cost, \
+       memo-hit and dedupe rates, per-domain queue depth) on stderr."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  Term.(
+    const (fun trace metrics progress -> { trace; metrics; progress })
+    $ trace $ metrics $ progress)
+
+(* Enable the requested observability sinks around [f], and flush them
+   even when [f] dies - a trace of a crashed run is the useful one. *)
+let with_obs obs f =
+  if obs.trace <> None then Trace.set_enabled true;
+  if obs.metrics <> None then Metrics.set_enabled true;
+  if obs.progress then Progress.set_enabled true;
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Trace.write path;
+          Format.eprintf "wrote trace %s (%d events)@." path
+            (List.length (Trace.events ())))
+        obs.trace;
+      Option.iter
+        (fun path ->
+          Metrics.write path;
+          Format.eprintf "wrote metrics %s@." path)
+        obs.metrics)
+    f
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -111,8 +169,9 @@ let minimize_cmd =
 (* ------------------------------------------------------------------ *)
 
 let solve_cmd =
-  let run spec timeout jobs verbose =
+  let run spec timeout jobs verbose obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     let outcome = Ostr_core.run ~timeout ~jobs:(resolve_jobs jobs) m in
     Format.printf "%a@." Ostr_core.pp_summary outcome;
     Format.printf "pi  (S1): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.pi);
@@ -129,15 +188,16 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve problem OSTR: find the optimal self-testable realization.")
-    Term.(const run $ machine_arg $ timeout_arg $ jobs_arg $ verbose)
+    Term.(const run $ machine_arg $ timeout_arg $ jobs_arg $ verbose $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* realize                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let realize_cmd =
-  let run spec timeout out_dir =
+  let run spec timeout out_dir obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     let outcome = Ostr_core.run ~timeout m in
     let p = Tables.pipeline outcome.Ostr_core.realization in
     let write name text =
@@ -173,7 +233,7 @@ let realize_cmd =
        ~doc:
          "Synthesize the fig. 4 pipeline realization: product machine as \
           KISS2 plus minimized PLAs for C1, C2 and the output block.")
-    Term.(const run $ machine_arg $ timeout_arg $ out_dir)
+    Term.(const run $ machine_arg $ timeout_arg $ out_dir $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -203,7 +263,8 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let table1_cmd =
-  let run timeout jobs names =
+  let run timeout jobs names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.table1 ~timeout ~jobs:(resolve_jobs jobs)
         ?names:(split_names names) ()
@@ -213,10 +274,11 @@ let table1_cmd =
   Cmd.v
     (Cmd.info "table1"
        ~doc:"Reproduce Table 1: OSTR factors and flip-flop counts.")
-    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg $ obs_term)
 
 let table2_cmd =
-  let run timeout jobs names =
+  let run timeout jobs names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.table1 ~timeout ~jobs:(resolve_jobs jobs)
         ?names:(split_names names) ()
@@ -226,7 +288,7 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2"
        ~doc:"Reproduce Table 2: search-space size vs nodes investigated.")
-    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg $ obs_term)
 
 let area_cmd =
   let run timeout names =
@@ -241,7 +303,8 @@ let area_cmd =
     Term.(const run $ timeout_arg $ names_arg)
 
 let faultcov_cmd =
-  let run cycles names =
+  let run cycles names obs =
+    with_obs obs @@ fun () ->
     let entries = Experiments.coverage ~cycles ?names:(split_names names) () in
     print_string (Experiments.render_coverage entries)
   in
@@ -254,7 +317,7 @@ let faultcov_cmd =
        ~doc:
          "Stuck-at fault coverage of the fig. 2/3/4 structures under their \
           BIST sessions.")
-    Term.(const run $ cycles $ names_arg)
+    Term.(const run $ cycles $ names_arg $ obs_term)
 
 let testlen_cmd =
   let run cycles names =
@@ -321,8 +384,9 @@ let aliasing_cmd =
 (* ------------------------------------------------------------------ *)
 
 let selftest_cmd =
-  let run spec cycles =
+  let run spec cycles obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     let built = Arch.pipeline_of_machine ~cycles m in
     Format.printf "pipeline structure of %s: %d flip-flops, %d gates@."
       m.Machine.name built.Arch.flipflops
@@ -352,7 +416,7 @@ let selftest_cmd =
   Cmd.v
     (Cmd.info "selftest"
        ~doc:"Run the two-session self-test of the pipeline structure.")
-    Term.(const run $ machine_arg $ cycles)
+    Term.(const run $ machine_arg $ cycles $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* export-benchmarks                                                   *)

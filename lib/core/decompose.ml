@@ -54,6 +54,7 @@ let nontrivial_partition n pi =
   k > 1 && k < n
 
 let parallel (machine : Machine.t) =
+  Stc_obs.Trace.span ~cat:"solver" "decompose.parallel" @@ fun () ->
   let next = machine.next in
   let n = machine.num_states in
   let equiv = Partition.of_class_map (Equiv.classes machine) in
@@ -82,6 +83,7 @@ let max_block_size pi =
     (Partition.blocks pi)
 
 let serial (machine : Machine.t) =
+  Stc_obs.Trace.span ~cat:"solver" "decompose.serial" @@ fun () ->
   let next = machine.next in
   let n = machine.num_states in
   let closed = closed_partitions ~next in

@@ -1,6 +1,10 @@
 module Machine = Stc_fsm.Machine
 module Equiv = Stc_fsm.Equiv
 module Pair = Stc_partition.Pair
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
+
+let m_investigated = Metrics.counter "multiway.investigated"
 
 type chain = {
   parts : Partition.t array;
@@ -45,6 +49,7 @@ exception Timeout
 
 let solve ?(timeout = 60.0) ~stages (machine : Machine.t) =
   if stages < 2 then invalid_arg "Multiway.solve: stages >= 2";
+  Trace.span ~cat:"solver" "multiway" @@ fun () ->
   let next = machine.next in
   let n = machine.num_states in
   let equiv = equivalence machine in
@@ -93,6 +98,7 @@ let solve ?(timeout = 60.0) ~stages (machine : Machine.t) =
     if !investigated > 0 && Stc_util.Clock.elapsed ~since:start > timeout then
       raise Timeout;
     incr investigated;
+    Metrics.incr m_investigated;
     (* Forward m-closure chain from pi. *)
     let parts = Array.make stages pi in
     for k = 1 to stages - 1 do

@@ -15,6 +15,7 @@ type t = {
 }
 
 let build (machine : Machine.t) ~pi ~rho =
+  Stc_obs.Trace.span ~cat:"synth" "realization" @@ fun () ->
   let next = machine.next in
   let n = machine.num_states and k = machine.num_inputs in
   if Partition.size pi <> n || Partition.size rho <> n then

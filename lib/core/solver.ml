@@ -2,6 +2,20 @@ module Machine = Stc_fsm.Machine
 module Equiv = Stc_fsm.Equiv
 module Pair = Stc_partition.Pair
 module Clock = Stc_util.Clock
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
+module Progress = Stc_obs.Progress
+
+(* Observability handles (no-ops unless the registry / tracer is enabled;
+   per-domain shards keep the hot-loop bumps contention-free).  The
+   per-domain totals of these counters equal the summed [stats] of the
+   run - `ostr solve --metrics` relies on that. *)
+let m_investigated = Metrics.counter "solver.investigated"
+let m_deduped = Metrics.counter "solver.deduped"
+let m_pruned = Metrics.counter "solver.pruned"
+let m_solutions = Metrics.counter "solver.solutions"
+let m_memo_hits = Metrics.counter "solver.memo_hits"
+let g_best_bits = Metrics.gauge "solver.best_bits"
 
 type cost = { bits : int; imbalance : float; factor_states : int }
 
@@ -118,11 +132,15 @@ let pool_add w sol =
 
 let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
     ?(jobs = 1) (machine : Machine.t) =
+  Trace.span ~cat:"solver" "solve" @@ fun () ->
   let jobs = max 1 jobs in
   let next = machine.next in
   let n = machine.num_states in
   let equiv = equivalence_partition machine in
-  let basis = Array.of_list (Pair.basis ~next) in
+  let basis =
+    Trace.span ~cat:"solver" "basis" (fun () ->
+        Array.of_list (Pair.basis ~next))
+  in
   let num_basis = Array.length basis in
   let start = Clock.now () in
   (* Shared between domains: the incumbent best (pruning bound for the
@@ -132,6 +150,9 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
   let node_count = Atomic.make 0 in
   let cancelled = Atomic.make false in
   let timed_out = Atomic.make false in
+  (* Top-level branch cursor for the domain fan-out (declared here so the
+     progress reporter can render the remaining queue depth). *)
+  let next_branch = Atomic.make 0 in
   let rec offer_best sol =
     let current = Atomic.get best in
     let better =
@@ -139,8 +160,48 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
       | None -> true
       | Some b -> compare_cost sol.cost b.cost < 0
     in
-    if better && not (Atomic.compare_and_set best current (Some sol)) then
-      offer_best sol
+    if better then begin
+      if Atomic.compare_and_set best current (Some sol) then
+        Metrics.set_gauge g_best_bits sol.cost.bits
+      else offer_best sol
+    end
+  in
+  let workers_ref = ref ([] : worker list) in
+  let progress =
+    Progress.create
+      ~label:("solve " ^ machine.name)
+      ~render:(fun () ->
+        let elapsed = Float.max 1e-9 (Clock.now () -. start) in
+        let nodes = Atomic.get node_count in
+        let investigated, deduped, hits, misses =
+          List.fold_left
+            (fun (i, d, h, ms) w ->
+              ( i + w.investigated,
+                d + w.deduped,
+                h + Pair.Memo.hits w.memo,
+                ms + Pair.Memo.misses w.memo ))
+            (0, 0, 0, 0) !workers_ref
+        in
+        let pct a b =
+          if a + b = 0 then 0.0
+          else 100.0 *. float_of_int a /. float_of_int (a + b)
+        in
+        let best_bits =
+          match Atomic.get best with
+          | None -> "-"
+          | Some b -> string_of_int b.cost.bits
+        in
+        Printf.sprintf
+          "%d nodes (%.0f/s)  best %s bits  memo-hit %.1f%%  dedupe %.1f%%  \
+           queue %d/%d  domains %d"
+          nodes
+          (float_of_int nodes /. elapsed)
+          best_bits (pct hits misses)
+          (pct deduped investigated)
+          (max 0 (num_basis - Atomic.get next_branch))
+          num_basis
+          (List.length !workers_ref))
+      ()
   in
   let best_cost () =
     match Atomic.get best with None -> None | Some b -> Some b.cost
@@ -172,6 +233,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
   let record w candidate_pi candidate_rho =
     if admissible candidate_pi candidate_rho then begin
       w.solutions <- w.solutions + 1;
+      Metrics.incr m_solutions;
       let candidate_pi, candidate_rho = polish w candidate_pi candidate_rho in
       let cost = cost_of machine ~pi:candidate_pi ~rho:candidate_rho in
       let sol = { pi = candidate_pi; rho = candidate_rho; cost } in
@@ -203,17 +265,21 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
      below index 0, so pruned nodes are never touched again. *)
   let rec visit w pi from_index =
     match PTbl.find_opt w.seen pi with
-    | Some lowest when lowest <= from_index -> w.deduped <- w.deduped + 1
+    | Some lowest when lowest <= from_index ->
+      w.deduped <- w.deduped + 1;
+      Metrics.incr m_deduped
     | prior ->
       (* The root always runs to completion so that the trivial solution is
          recorded even under a zero timeout. *)
       if Atomic.get node_count > 0 then begin
+        Progress.tick progress;
         if Atomic.get cancelled then raise Timeout;
         if Atomic.get node_count >= max_nodes then raise Timeout;
         if Clock.now () -. start > timeout then raise Timeout
       end;
       Atomic.incr node_count;
       w.investigated <- w.investigated + 1;
+      Metrics.incr m_investigated;
       let upto = match prior with None -> num_basis | Some lowest -> lowest in
       let expand () =
         PTbl.replace w.seen pi from_index;
@@ -236,6 +302,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
         let viable = Partition.subseteq (Partition.meet mpi pi) equiv in
         if prune && not viable then begin
           w.pruned <- w.pruned + 1;
+          Metrics.incr m_pruned;
           PTbl.replace w.seen pi closed_node
         end
         else expand ()
@@ -243,22 +310,31 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
   (* Root node, handled in the calling domain before any fan-out. *)
   let root = Partition.identity n in
   let main_worker = new_worker ~next () in
+  workers_ref := [ main_worker ];
   Atomic.incr node_count;
   main_worker.investigated <- 1;
-  let m_root = Pair.Memo.m main_worker.memo root in
-  let big_m_root = Pair.Memo.big_m main_worker.memo root in
-  record main_worker big_m_root root;
-  if not (Partition.equal m_root big_m_root) then record main_worker m_root root;
-  let root_viable = Partition.subseteq (Partition.meet m_root root) equiv in
+  Metrics.incr m_investigated;
+  let root_viable =
+    Trace.span ~cat:"solver" "root" (fun () ->
+        let m_root = Pair.Memo.m main_worker.memo root in
+        let big_m_root = Pair.Memo.big_m main_worker.memo root in
+        record main_worker big_m_root root;
+        if not (Partition.equal m_root big_m_root) then
+          record main_worker m_root root;
+        Partition.subseteq (Partition.meet m_root root) equiv)
+  in
   PTbl.replace main_worker.seen root closed_node;
-  if prune && not root_viable then main_worker.pruned <- main_worker.pruned + 1;
+  if prune && not root_viable then begin
+    main_worker.pruned <- main_worker.pruned + 1;
+    Metrics.incr m_pruned
+  end;
   (* Fan the top-level basis branches out over domains: a shared atomic
      cursor hands branch j (= subtree rooted at basis.(j)) to the next free
      worker.  Each domain dedupes against its own transposition table;
      overlap across domains costs repeated work, never correctness. *)
-  let next_branch = Atomic.make 0 in
   let run_worker w =
     try
+      Trace.span ~cat:"solver" "dfs" @@ fun () ->
       let rec loop () =
         let j = Atomic.fetch_and_add next_branch 1 in
         if j < num_basis && not (Atomic.get cancelled) then begin
@@ -285,6 +361,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
             (min (jobs - 1) (num_basis - 1))
             (fun _ -> new_worker ~next ())
         in
+        workers_ref := main_worker :: extras;
         let domains =
           List.map (fun w -> Domain.spawn (fun () -> run_worker w)) extras
         in
@@ -334,7 +411,10 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
     in
     let pi', rho' = close_pair pi0 rho0 in
     if admissible pi' rho' then begin
-      let pi', rho' = polish main_worker pi' rho' in
+      let pi', rho' =
+        Trace.span ~cat:"solver" "polish" (fun () ->
+            polish main_worker pi' rho')
+      in
       let cost = cost_of machine ~pi:pi' ~rho:rho' in
       if compare_cost cost sol.cost < 0 then Some { pi = pi'; rho = rho'; cost }
       else None
@@ -355,18 +435,24 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
     match improved with None -> sol | Some better -> hill_climb better
   in
   (* Merge the per-domain candidate pools before the hill climb. *)
-  let merged_pool = List.concat_map (fun w -> w.pool) workers in
+  let merged_pool =
+    Trace.span ~cat:"solver" "merge" (fun () ->
+        List.concat_map (fun w -> w.pool) workers)
+  in
   let best =
-    List.fold_left
-      (fun acc sol ->
-        let sol = hill_climb sol in
-        if compare_cost sol.cost acc.cost < 0 then sol else acc)
-      (hill_climb best) merged_pool
+    Trace.span ~cat:"solver" "hill_climb" (fun () ->
+        List.fold_left
+          (fun acc sol ->
+            let sol = hill_climb sol in
+            if compare_cost sol.cost acc.cost < 0 then sol else acc)
+          (hill_climb best) merged_pool)
   in
   (match validate machine best with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Solver.solve: internal error: " ^ msg));
   let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
+  Metrics.add m_memo_hits (sum (fun w -> Pair.Memo.hits w.memo));
+  Progress.force progress;
   {
     best;
     stats =

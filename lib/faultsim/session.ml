@@ -1,3 +1,6 @@
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
+
 type stimuli = int array array
 
 type report = {
@@ -38,36 +41,70 @@ let observe netlist ?fault ~inputs observed =
   let values = Netlist.eval ?fault netlist ~inputs in
   Array.map (fun g -> values.(g)) observed
 
-let grade netlist ~batches ~masks ~observed faults =
+(* Lowest set bit index = first simulation lane (cycle within the batch)
+   where the faulty response differs. *)
+let first_lane word =
+  let rec go k w = if w land 1 = 1 then k else go (k + 1) (w lsr 1) in
+  go 0 word
+
+let grade ?on_detect netlist ~batches ~masks ~observed faults =
   (* Golden responses per batch. *)
   let golden =
     List.map (fun inputs -> observe netlist ~inputs observed) batches
   in
+  let w = Netlist.word_bits in
   let undetected = ref [] and detected = ref 0 in
   List.iter
     (fun fault ->
-      let rec try_batches batches golden masks =
+      let rec try_batches b batches golden masks =
         match (batches, golden, masks) with
         | [], [], [] -> false
         | inputs :: rest, g :: grest, m :: mrest ->
           let faulty = observe netlist ~fault ~inputs observed in
-          let differs = ref false in
+          let diff = ref 0 in
           Array.iteri
-            (fun k v -> if (v lxor g.(k)) land m <> 0 then differs := true)
+            (fun k v -> diff := !diff lor ((v lxor g.(k)) land m))
             faulty;
-          !differs || try_batches rest grest mrest
+          if !diff <> 0 then begin
+            (match on_detect with
+            | Some f -> f ~cycle:((b * w) + first_lane !diff)
+            | None -> ());
+            true
+          end
+          else try_batches (b + 1) rest grest mrest
         | _ -> assert false
       in
-      if try_batches batches golden masks then incr detected
+      if try_batches 0 batches golden masks then incr detected
       else undetected := fault :: !undetected)
     faults;
   (!detected, List.rev !undetected)
 
+(* Coverage-over-patterns histogram for one session: each detected fault
+   contributes its first detection cycle, so the cumulative counts show
+   how coverage accumulates as the LFSR stream lengthens. *)
+let detect_histogram label =
+  let slug =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+        | _ -> '_')
+      label
+  in
+  Metrics.histogram ("faultsim.detect_cycle." ^ slug)
+
+let observe_detect hist ~cycle = Metrics.observe hist (cycle + 1)
+
 let run ~label netlist ~stimuli ~observed =
+  Trace.span ~cat:"faultsim" ("session:" ^ label) @@ fun () ->
   let faults = Netlist.fault_sites netlist in
   let batches = pack stimuli in
   let masks = lane_masks ~cycles:(Array.length stimuli) in
-  let detected, undetected = grade netlist ~batches ~masks ~observed faults in
+  let hist = detect_histogram label in
+  let detected, undetected =
+    grade ~on_detect:(observe_detect hist) netlist ~batches ~masks ~observed
+      faults
+  in
   let total = List.length faults in
   {
     label;
@@ -78,14 +115,21 @@ let run ~label netlist ~stimuli ~observed =
   }
 
 let run_sessions ~label netlist sessions =
+  Trace.span ~cat:"faultsim" ("sessions:" ^ label) @@ fun () ->
   let faults = Netlist.fault_sites netlist in
   let total = List.length faults in
   let remaining = ref faults and detected = ref 0 in
-  List.iter
-    (fun (stimuli, observed) ->
+  List.iteri
+    (fun k (stimuli, observed) ->
+      let session_label = Printf.sprintf "%s.s%d" label (k + 1) in
+      Trace.span ~cat:"faultsim" ("session:" ^ session_label) @@ fun () ->
       let batches = pack stimuli in
       let masks = lane_masks ~cycles:(Array.length stimuli) in
-      let d, undetected = grade netlist ~batches ~masks ~observed !remaining in
+      let hist = detect_histogram session_label in
+      let d, undetected =
+        grade ~on_detect:(observe_detect hist) netlist ~batches ~masks
+          ~observed !remaining
+      in
       detected := !detected + d;
       remaining := undetected)
     sessions;

@@ -114,7 +114,11 @@ let is_irredundant ?dc cover =
   in
   check [] cover.Cover.cubes
 
+let m_calls = Stc_obs.Metrics.counter "logic.minimize_calls"
+
 let minimize ?dc on =
+  Stc_obs.Trace.span ~cat:"logic" "minimize" @@ fun () ->
+  Stc_obs.Metrics.incr m_calls;
   let initial_cubes, initial_literals = Cover.cost on in
   let off = off_set ?dc on in
   let current = ref (irredundant ?dc (expand ~off (Cover.single_cube_containment on))) in

@@ -1,0 +1,41 @@
+(** Minimal JSON tree: emitter and parser.
+
+    The container image carries no JSON library, so the observability
+    layer hand-rolls one.  It is deliberately small: enough to write the
+    Chrome-trace / metrics-snapshot files and to parse them back in tests
+    and in the [tools/json_lint] CI gate.  Numbers parse to [Int] when
+    they are exact integers and to [Float] otherwise; strings support the
+    standard escapes including [\uXXXX] (encoded back as UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string v] prints [v] compactly; [~pretty:true] indents with two
+    spaces per level. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [to_channel oc v] writes [to_string ~pretty:true v] followed by a
+    newline. *)
+val to_channel : out_channel -> t -> unit
+
+(** [write path v] writes [v] pretty-printed to [path]. *)
+val write : string -> t -> unit
+
+(** [parse s] parses one JSON value (surrounding whitespace allowed;
+    trailing garbage is an error). *)
+val parse : string -> (t, string) result
+
+(** [parse_exn s] is [parse s], raising [Failure] on malformed input. *)
+val parse_exn : string -> t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> (t, string) result
+
+(** [member key v] looks [key] up in an [Obj], [None] otherwise. *)
+val member : string -> t -> t option

@@ -1,0 +1,195 @@
+let shards = 64
+
+(* Domain ids increase monotonically over the process lifetime; folding
+   them into a fixed shard count can alias two live domains to one slot,
+   which contends but stays exact (fetch_and_add). *)
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type counter = int Atomic.t array
+type gauge = int Atomic.t
+
+type hist = {
+  edges : int array;
+  (* cells.(shard * buckets + bucket); buckets = |edges| + 1 overflow. *)
+  cells : int Atomic.t array;
+  sums : int Atomic.t array;  (* per-shard sum of observed values *)
+}
+
+type histogram = hist
+
+type metric = MCounter of counter | MGauge of gauge | MHist of hist
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let atomics n = Array.init n (fun _ -> Atomic.make 0)
+
+let register name make check =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> check m
+      | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m)
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+let counter name =
+  match
+    register name
+      (fun () -> MCounter (atomics shards))
+      (function MCounter _ as m -> m | _ -> kind_error name)
+  with
+  | MCounter c -> c
+  | _ -> assert false
+
+let gauge name =
+  match
+    register name
+      (fun () -> MGauge (Atomic.make 0))
+      (function MGauge _ as m -> m | _ -> kind_error name)
+  with
+  | MGauge g -> g
+  | _ -> assert false
+
+let default_edges =
+  Array.init 17 (fun k -> 1 lsl k) (* 1, 2, 4, ..., 65536 *)
+
+let histogram ?(edges = default_edges) name =
+  if Array.length edges = 0 then invalid_arg "Metrics.histogram: empty edges";
+  Array.iteri
+    (fun i e ->
+      if i > 0 && edges.(i - 1) >= e then
+        invalid_arg "Metrics.histogram: edges must be strictly increasing")
+    edges;
+  let buckets = Array.length edges + 1 in
+  match
+    register name
+      (fun () ->
+        MHist
+          {
+            edges = Array.copy edges;
+            cells = atomics (shards * buckets);
+            sums = atomics shards;
+          })
+      (function
+        | MHist h as m ->
+          if h.edges <> edges then
+            invalid_arg
+              (Printf.sprintf "Metrics: histogram %S edges mismatch" name)
+          else m
+        | _ -> kind_error name)
+  with
+  | MHist h -> h
+  | _ -> assert false
+
+let incr_cell cell = ignore (Atomic.fetch_and_add cell 1)
+
+let incr (c : counter) = if enabled () then incr_cell c.(shard ())
+
+let add (c : counter) v =
+  if enabled () then ignore (Atomic.fetch_and_add c.(shard ()) v)
+
+let counter_value (c : counter) =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
+
+let set_gauge (g : gauge) v = if enabled () then Atomic.set g v
+let gauge_value (g : gauge) = Atomic.get g
+
+let bucket_of edges v =
+  let nb = Array.length edges in
+  let rec go lo hi =
+    (* First index with v <= edges.(i), else the overflow bucket nb. *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= edges.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 nb
+
+let observe (h : hist) v =
+  if enabled () then begin
+    let buckets = Array.length h.edges + 1 in
+    let s = shard () in
+    incr_cell h.cells.((s * buckets) + bucket_of h.edges v);
+    ignore (Atomic.fetch_and_add h.sums.(s) v)
+  end
+
+type hist_snapshot = {
+  edges : int array;
+  counts : int array;
+  count : int;
+  sum : int;
+}
+
+type value = Counter of int | Gauge of int | Histogram of hist_snapshot
+
+let merge_hist (h : hist) =
+  let buckets = Array.length h.edges + 1 in
+  let counts = Array.make buckets 0 in
+  Array.iteri
+    (fun i cell -> counts.(i mod buckets) <- counts.(i mod buckets) + Atomic.get cell)
+    h.cells;
+  {
+    edges = Array.copy h.edges;
+    counts;
+    count = Array.fold_left ( + ) 0 counts;
+    sum = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 h.sums;
+  }
+
+let value_of = function
+  | MCounter c -> Counter (counter_value c)
+  | MGauge g -> Gauge (gauge_value g)
+  | MHist h -> Histogram (merge_hist h)
+
+let snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find name =
+  Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt registry name)
+  |> Option.map value_of
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | MCounter c -> Array.iter (fun cell -> Atomic.set cell 0) c
+          | MGauge g -> Atomic.set g 0
+          | MHist h ->
+            Array.iter (fun cell -> Atomic.set cell 0) h.cells;
+            Array.iter (fun s -> Atomic.set s 0) h.sums)
+        registry)
+
+let json_of_value name v : Json.t =
+  let base = [ ("name", Json.String name) ] in
+  match v with
+  | Counter n -> Json.Obj (base @ [ ("kind", Json.String "counter"); ("value", Json.Int n) ])
+  | Gauge n -> Json.Obj (base @ [ ("kind", Json.String "gauge"); ("value", Json.Int n) ])
+  | Histogram h ->
+    Json.Obj
+      (base
+      @ [
+          ("kind", Json.String "histogram");
+          ("count", Json.Int h.count);
+          ("sum", Json.Int h.sum);
+          ("edges", Json.List (Array.to_list (Array.map (fun e -> Json.Int e) h.edges)));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+        ])
+
+let to_json () =
+  Json.Obj
+    [
+      ("metrics", Json.List (List.map (fun (n, v) -> json_of_value n v) (snapshot ())));
+    ]
+
+let write path = Json.write path (to_json ())

@@ -1,0 +1,92 @@
+(** Lock-free metrics registry.
+
+    Named counters, gauges and fixed-bucket histograms, safe to bump from
+    any OCaml 5 domain.  Counters and histogram cells are sharded by
+    domain id ({!shards} slots, merged on snapshot), so a bump from the
+    solver hot loop costs one branch on the global enable flag plus one
+    [Atomic.fetch_and_add] on a shard that is, in the common case,
+    touched by a single domain.  Merged totals are exact: every bump
+    lands in exactly one shard.
+
+    Registration (the [counter] / [gauge] / [histogram] constructors) is
+    the only mutex-protected path; it is idempotent (get-or-create) and
+    meant for the module-initialisation or setup phase.  Handles stay
+    valid across {!reset}, which zeroes values but keeps registrations.
+
+    When the registry is disabled (the default), every bump is a no-op
+    after a single [Atomic.get] on the enable flag, so un-instrumented
+    runs pay nothing measurable. *)
+
+(** Number of per-domain shards (a power of two; domain ids are folded
+    into it, so collisions merge counts but never lose them). *)
+val shards : int
+
+(** [set_enabled b] turns the whole registry on or off. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [reset ()] zeroes every registered metric (registrations survive). *)
+val reset : unit -> unit
+
+type counter
+
+(** [counter name] registers (or retrieves) the counter [name].
+    @raise Invalid_argument if [name] is registered with another kind. *)
+val counter : string -> counter
+
+(** [incr c] adds 1 to the current domain's shard (no-op when disabled). *)
+val incr : counter -> unit
+
+(** [add c v] adds [v] (no-op when disabled). *)
+val add : counter -> int -> unit
+
+(** [counter_value c] merges all shards. *)
+val counter_value : counter -> int
+
+type gauge
+
+(** [gauge name] registers (or retrieves) the gauge [name]. *)
+val gauge : string -> gauge
+
+(** [set_gauge g v] stores the latest value (no-op when disabled). *)
+val set_gauge : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+type histogram
+
+(** Default histogram bucket edges: powers of two from 1 to 65536. *)
+val default_edges : int array
+
+(** [histogram ?edges name] registers (or retrieves) a histogram with the
+    given strictly increasing bucket upper edges.  Observation [v] lands
+    in the first bucket with [v <= edges.(i)], or in the overflow bucket
+    beyond the last edge. *)
+val histogram : ?edges:int array -> string -> histogram
+
+(** [observe h v] records one observation (no-op when disabled). *)
+val observe : histogram -> int -> unit
+
+type hist_snapshot = {
+  edges : int array;
+  counts : int array;  (** length [Array.length edges + 1]; last = overflow *)
+  count : int;  (** total observations *)
+  sum : int;  (** sum of observed values *)
+}
+
+type value = Counter of int | Gauge of int | Histogram of hist_snapshot
+
+(** [snapshot ()] merges every shard of every registered metric, sorted
+    by name. *)
+val snapshot : unit -> (string * value) list
+
+(** [find name] is the merged value of [name], if registered. *)
+val find : string -> value option
+
+(** [to_json ()] renders the snapshot as
+    [{ "metrics": [ {"name": ..., "kind": ..., ...}, ... ] }]. *)
+val to_json : unit -> Json.t
+
+(** [write path] writes [to_json ()] to [path]. *)
+val write : string -> unit

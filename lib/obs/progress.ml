@@ -1,0 +1,47 @@
+module Clock = Stc_util.Clock
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let default_interval = Atomic.make 0.5
+let set_interval secs = Atomic.set default_interval secs
+
+type t = {
+  interval : float;
+  out : out_channel;
+  label : string;
+  render : unit -> string;
+  started : float;
+  next_due : float Atomic.t;
+}
+
+let create ?interval ?(out = stderr) ~label ~render () =
+  let interval =
+    match interval with Some i -> i | None -> Atomic.get default_interval
+  in
+  let started = Clock.now () in
+  {
+    interval;
+    out;
+    label;
+    render;
+    started;
+    next_due = Atomic.make (started +. interval);
+  }
+
+let report t now =
+  Printf.fprintf t.out "[%s +%.2fs] %s\n%!" t.label (now -. t.started)
+    (t.render ())
+
+let tick t =
+  if enabled () then begin
+    let due = Atomic.get t.next_due in
+    let now = Clock.now () in
+    (* The CAS elects a single reporter among concurrently ticking
+       domains and re-arms the timer in one step. *)
+    if now >= due && Atomic.compare_and_set t.next_due due (now +. t.interval)
+    then report t now
+  end
+
+let force t = if enabled () then report t (Clock.now ())

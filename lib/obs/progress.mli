@@ -1,0 +1,36 @@
+(** Periodic progress reporter.
+
+    A handle created with a [render] closure; the instrumented hot loop
+    calls {!tick} at will (typically once per node).  The tick checks a
+    global enable flag, then an atomic next-due timestamp, and at most
+    one caller wins the compare-and-set and prints one line to the
+    output channel (stderr by default) — so reporting works unchanged
+    when several domains tick concurrently.
+
+    Disabled (the default), a tick is a single [Atomic.get]. *)
+
+type t
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [set_interval secs] changes the default reporting period
+    (initially 0.5 s) used by subsequently created reporters. *)
+val set_interval : float -> unit
+
+(** [create ?interval ?out ~label ~render ()] makes a reporter.  The
+    first report is due one [interval] after creation. *)
+val create :
+  ?interval:float ->
+  ?out:out_channel ->
+  label:string ->
+  render:(unit -> string) ->
+  unit ->
+  t
+
+(** [tick t] prints "[label +elapsed] render ()" when a report is due. *)
+val tick : t -> unit
+
+(** [force t] prints unconditionally (when enabled) — used for a final
+    summary line. *)
+val force : t -> unit

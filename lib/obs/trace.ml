@@ -1,0 +1,172 @@
+module Clock = Stc_util.Clock
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts_ns : int;
+  dom : int;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Per-domain growable event buffer.  Only the owning domain appends;
+   merging happens from the flushing domain after workers are joined
+   (the solver joins its domains before any flush, so reads race only
+   with domains that are already dead). *)
+type buf = { mutable events : event array; mutable len : int }
+
+let dummy = { name = ""; cat = ""; phase = Instant; ts_ns = 0; dom = 0 }
+
+(* All buffers ever created, for merging; guarded by [buffers_mutex].
+   Buffers of dead domains stay listed — their events are part of the
+   trace. *)
+let buffers : buf list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { events = Array.make 256 dummy; len = 0 } in
+      Mutex.protect buffers_mutex (fun () -> buffers := b :: !buffers);
+      b)
+
+let push ev =
+  let b = Domain.DLS.get key in
+  if b.len = Array.length b.events then begin
+    let grown = Array.make (2 * b.len) dummy in
+    Array.blit b.events 0 grown 0 b.len;
+    b.events <- grown
+  end;
+  b.events.(b.len) <- ev;
+  b.len <- b.len + 1
+
+let now_ns () = Int64.to_int (Clock.now_ns ())
+
+let emit phase cat name =
+  push { name; cat; phase; ts_ns = now_ns (); dom = (Domain.self () :> int) }
+
+let instant ?(cat = "") name = if enabled () then emit Instant cat name
+
+let span ?(cat = "") name f =
+  if not (enabled ()) then f ()
+  else begin
+    emit Begin cat name;
+    Fun.protect ~finally:(fun () -> emit End cat name) f
+  end
+
+let reset () =
+  Mutex.protect buffers_mutex (fun () ->
+      List.iter (fun b -> b.len <- 0) !buffers)
+
+let events () =
+  let bufs = Mutex.protect buffers_mutex (fun () -> !buffers) in
+  List.concat_map
+    (fun b -> List.init b.len (fun k -> b.events.(k)))
+    bufs
+  (* Stable: equal timestamps within one domain keep their append
+     order, so a Begin/End pair emitted in the same nanosecond stays
+     ordered. *)
+  |> List.stable_sort (fun a b -> compare (a.ts_ns, a.dom) (b.ts_ns, b.dom))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let phase_totals () =
+  let evs = events () in
+  let last_ts = List.fold_left (fun acc e -> max acc e.ts_ns) 0 evs in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let stacks : (int, (string * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace stacks dom s;
+      s
+  in
+  let charge name ns =
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals name) in
+    Hashtbl.replace totals name (prev +. (float_of_int ns *. 1e-9))
+  in
+  List.iter
+    (fun e ->
+      match e.phase with
+      | Instant -> ()
+      | Begin -> (
+        let s = stack e.dom in
+        s := (e.name, e.ts_ns) :: !s)
+      | End -> (
+        let s = stack e.dom in
+        match !s with
+        | (name, t0) :: rest when name = e.name ->
+          s := rest;
+          charge name (e.ts_ns - t0)
+        | _ -> (* unmatched end: drop *) ()))
+    evs;
+  (* Spans still open when the buffer was flushed (e.g. a timed-out
+     worker): charge what is known. *)
+  Hashtbl.iter
+    (fun _ s -> List.iter (fun (name, t0) -> charge name (last_ts - t0)) !s)
+    stacks;
+  Hashtbl.fold (fun name secs acc -> (name, secs) :: acc) totals []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let json_of_event ~base e : Json.t =
+  let fields =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String (if e.cat = "" then "stc" else e.cat));
+      ("ph", Json.String (phase_letter e.phase));
+      ("ts", Json.Float (float_of_int (e.ts_ns - base) /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.dom);
+    ]
+  in
+  let fields =
+    match e.phase with
+    | Instant -> fields @ [ ("s", Json.String "t") ]
+    | Begin | End -> fields
+  in
+  Json.Obj fields
+
+let base_ts evs =
+  match evs with [] -> 0 | e :: _ -> List.fold_left (fun acc e -> min acc e.ts_ns) e.ts_ns evs
+
+let to_chrome_json () =
+  let evs = events () in
+  let base = base_ts evs in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (json_of_event ~base) evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome path = Json.write path (to_chrome_json ())
+
+let write_jsonl path =
+  let evs = events () in
+  let base = base_ts evs in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (json_of_event ~base e));
+          output_char oc '\n')
+        evs)
+
+let write path =
+  if Filename.check_suffix path ".jsonl" then write_jsonl path
+  else write_chrome path

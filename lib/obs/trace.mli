@@ -1,0 +1,62 @@
+(** Structured span tracer.
+
+    Records begin / end / instant events with monotonic
+    {!Stc_util.Clock} timestamps and the recording domain's id.  Events
+    are appended to a buffer owned by the recording domain
+    (domain-local storage, registered once under a mutex on first use),
+    so the hot path is one enable-flag check plus an unsynchronised
+    array write — no cross-domain contention.
+
+    Flushing merges all buffers (call it after the worker domains have
+    been joined) and writes either
+
+    - Chrome [trace_event] JSON ([{"traceEvents": [...]}]) — loadable in
+      Perfetto or [chrome://tracing], one track per domain — or
+    - JSONL, one event object per line.
+
+    When tracing is disabled (the default), {!span} runs its thunk
+    directly: the no-op path is a single [Atomic.get]. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts_ns : int;  (** monotonic, absolute nanoseconds *)
+  dom : int;  (** recording domain id *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** [reset ()] drops every buffered event. *)
+val reset : unit -> unit
+
+(** [span ?cat name f] brackets [f ()] with begin/end events (emitted on
+    exceptions too).  Disabled: tail-calls [f]. *)
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?cat name] records a point event. *)
+val instant : ?cat:string -> string -> unit
+
+(** [events ()] merges all domain buffers, sorted by timestamp. *)
+val events : unit -> event list
+
+(** [phase_totals ()] matches begin/end pairs per domain (LIFO nesting)
+    and returns total seconds spent per span name, summed across domains
+    — so concurrent DFS workers contribute more than wall-clock time.
+    Unmatched begins are charged up to the latest buffered timestamp. *)
+val phase_totals : unit -> (string * float) list
+
+(** [to_chrome_json ()] renders the merged events in Chrome
+    [trace_event] format (timestamps rebased to the earliest event, in
+    microseconds; [tid] is the domain id). *)
+val to_chrome_json : unit -> Json.t
+
+val write_chrome : string -> unit
+val write_jsonl : string -> unit
+
+(** [write path] picks the format from the extension: [.jsonl] writes
+    JSONL, anything else Chrome trace JSON. *)
+val write : string -> unit

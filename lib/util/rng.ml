@@ -20,10 +20,27 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+(* Rejection sampling over 62-bit draws: [v mod bound] alone is biased
+   towards small residues whenever [bound] does not divide 2^62, so draws
+   at or above the largest exact multiple of [bound] are rejected and
+   redrawn.  The rejection zone is [2^62 mod bound < bound] values out of
+   2^62, so for any practical bound the first draw is accepted and the
+   output stream is unchanged from the pre-rejection implementation.
+   2^62 itself overflows the 63-bit native int, so the remainder is
+   computed in Int64; [rem = 0] (power-of-two bound) means no draw is
+   ever rejected. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  v mod bound
+  let rem =
+    Int64.to_int (Int64.rem (Int64.shift_left 1L 62) (Int64.of_int bound))
+  in
+  (* limit = 2^62 - rem = (max_int + 1) - rem, representable when rem > 0. *)
+  let limit = max_int - rem + 1 in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    if rem > 0 && v >= limit then draw () else v mod bound
+  in
+  draw ()
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 

@@ -21,7 +21,8 @@ val split : t -> t
 val bits64 : t -> int64
 
 (** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must
-    be positive. *)
+    be positive.  Exactly uniform: draws in the truncated-modulus tail are
+    rejected and redrawn rather than folded onto small residues. *)
 val int : t -> int -> int
 
 (** [bool t] returns a uniform boolean. *)

@@ -1,0 +1,259 @@
+module Json = Stc_obs.Json
+module Metrics = Stc_obs.Metrics
+module Trace = Stc_obs.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Each test toggles the global enable flags; restore the disabled
+   default so tests stay order-independent. *)
+let with_obs f =
+  Metrics.set_enabled true;
+  Trace.set_enabled true;
+  Metrics.reset ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Trace.set_enabled false;
+      Metrics.reset ();
+      Trace.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.String "a \"quoted\"\nline\twith \\ specials");
+        ("list", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty doc) with
+      | Ok v -> check_bool "roundtrip equal" true (v = doc)
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+    [ false; true ]
+
+let test_json_parse_escapes () =
+  match Json.parse {|{"s": "Aé€😀"}|} with
+  | Ok doc ->
+    (match Json.member "s" doc with
+    | Some (Json.String s) -> check_string "utf8 decode" "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80" s
+    | _ -> Alcotest.fail "missing string member")
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_float_format () =
+  (* Floats must roundtrip and must not print as noise like
+     142.07499999999999. *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      check_bool
+        (Printf.sprintf "roundtrips %s" s)
+        true
+        (float_of_string s = f))
+    [ 142.075; 0.1; 1e-9; 3.141592653589793; 1.0 ];
+  check_string "nan is null" "null" (Json.to_string (Json.Float Float.nan))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_disabled_noop () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.disabled" in
+  check_bool "starts disabled" false (Metrics.enabled ());
+  Metrics.incr c;
+  Metrics.add c 100;
+  check_int "disabled bumps ignored" 0 (Metrics.counter_value c)
+
+let test_metrics_counter_exact_across_domains () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.domains" in
+  let per_domain = 50_000 and domains = 4 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  (* Exactness is the whole point of sharding: no lost updates. *)
+  check_int "merged count exact" ((domains + 1) * per_domain)
+    (Metrics.counter_value c)
+
+let test_metrics_gauge_and_kind_clash () =
+  with_obs @@ fun () ->
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 7;
+  Metrics.set_gauge g 13;
+  check_int "latest wins" 13 (Metrics.gauge_value g);
+  check_bool "kind mismatch rejected" true
+    (match Metrics.counter "test.gauge" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_metrics_histogram_edges () =
+  with_obs @@ fun () ->
+  let h = Metrics.histogram ~edges:[| 10; 20; 30 |] "test.hist" in
+  (* Buckets are upper-inclusive: v <= edges.(i). *)
+  List.iter (Metrics.observe h) [ 1; 10; 11; 20; 30; 31; 1000 ];
+  match Metrics.find "test.hist" with
+  | Some (Metrics.Histogram snap) ->
+    Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 2 |] snap.counts;
+    check_int "total count" 7 snap.count;
+    check_int "sum" (1 + 10 + 11 + 20 + 30 + 31 + 1000) snap.sum
+  | _ -> Alcotest.fail "histogram not in snapshot"
+
+let test_metrics_reset_keeps_registration () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.reset" in
+  Metrics.add c 5;
+  Metrics.reset ();
+  check_int "zeroed" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  check_int "handle still live" 1 (Metrics.counter_value c)
+
+let test_metrics_json_shape () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.json" in
+  Metrics.add c 3;
+  let doc = Metrics.to_json () in
+  match Json.member "metrics" doc with
+  | Some (Json.List entries) ->
+    check_bool "our counter serialised" true
+      (List.exists
+         (fun e ->
+           Json.member "name" e = Some (Json.String "test.json")
+           && Json.member "value" e = Some (Json.Int 3))
+         entries)
+  | _ -> Alcotest.fail "to_json missing metrics list"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_noop () =
+  Trace.reset ();
+  check_bool "starts disabled" false (Trace.enabled ());
+  let r = Trace.span "ignored" (fun () -> 41 + 1) in
+  check_int "thunk result" 42 r;
+  check_int "no events buffered" 0 (List.length (Trace.events ()))
+
+let test_trace_span_balance () =
+  with_obs @@ fun () ->
+  let r =
+    Trace.span ~cat:"t" "outer" @@ fun () ->
+    Trace.span ~cat:"t" "inner" (fun () -> ());
+    Trace.instant "tick";
+    7
+  in
+  check_int "result" 7 r;
+  let events = Trace.events () in
+  let count ph = List.length (List.filter (fun e -> e.Trace.phase = ph) events) in
+  check_int "begins" 2 (count Trace.Begin);
+  check_int "ends" 2 (count Trace.End);
+  check_int "instants" 1 (count Trace.Instant);
+  let totals = Trace.phase_totals () in
+  check_bool "outer >= inner" true
+    (List.assoc "outer" totals >= List.assoc "inner" totals)
+
+let test_trace_span_on_exception () =
+  with_obs @@ fun () ->
+  (try Trace.span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let events = Trace.events () in
+  check_int "end emitted despite raise" 2 (List.length events)
+
+let test_trace_chrome_json_wellformed () =
+  with_obs @@ fun () ->
+  Trace.span ~cat:"t" "a" (fun () -> Trace.instant "mark");
+  let doc = Trace.to_chrome_json () in
+  (* Serialise and parse back: the file must be loadable JSON. *)
+  match Json.parse (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "chrome json does not parse: %s" msg
+  | Ok parsed -> (
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List evs) ->
+      check_int "three events" 3 (List.length evs);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun key ->
+              check_bool (key ^ " present") true (Json.member key e <> None))
+            [ "name"; "ph"; "ts"; "pid"; "tid" ])
+        evs
+    | _ -> Alcotest.fail "missing traceEvents")
+
+let test_trace_multidomain_events () =
+  with_obs @@ fun () ->
+  let worker () = Trace.span "worker" (fun () -> ()) in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  Trace.span "main" (fun () -> ());
+  let events = Trace.events () in
+  check_int "all buffers merged" 6 (List.length events);
+  let doms =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.dom) events)
+  in
+  check_bool "distinct domain ids" true (List.length doms >= 2);
+  (* Sorted by timestamp. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Trace.ts_ns <= b.Trace.ts_ns && monotone rest
+    | _ -> true
+  in
+  check_bool "sorted by ts" true (monotone events)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "float format" `Quick test_json_float_format;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_metrics_disabled_noop;
+          Alcotest.test_case "exact across domains" `Quick
+            test_metrics_counter_exact_across_domains;
+          Alcotest.test_case "gauge + kind clash" `Quick
+            test_metrics_gauge_and_kind_clash;
+          Alcotest.test_case "histogram edges" `Quick
+            test_metrics_histogram_edges;
+          Alcotest.test_case "reset keeps registration" `Quick
+            test_metrics_reset_keeps_registration;
+          Alcotest.test_case "json shape" `Quick test_metrics_json_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "span balance" `Quick test_trace_span_balance;
+          Alcotest.test_case "span on exception" `Quick
+            test_trace_span_on_exception;
+          Alcotest.test_case "chrome json" `Quick
+            test_trace_chrome_json_wellformed;
+          Alcotest.test_case "multi-domain" `Quick test_trace_multidomain_events;
+        ] );
+    ]

@@ -20,4 +20,13 @@ else
   dune exec bench/main.exe -- quick
 fi
 
+echo "== traced smoke (trace + metrics files must parse as JSON) =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+dune exec bin/ostr.exe -- solve tbk \
+  --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.json"
+dune exec tools/json_lint.exe -- "$obs_dir/trace.json" \
+  traceEvents displayTimeUnit
+dune exec tools/json_lint.exe -- "$obs_dir/metrics.json" metrics
+
 echo "check.sh: all gates passed"

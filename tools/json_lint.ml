@@ -1,0 +1,27 @@
+(* Tiny JSON validator for CI: parses FILE and checks that each KEY named
+   on the command line is present at the top level.  Exits nonzero (with a
+   message on stderr) on a parse failure or a missing key, so check.sh can
+   gate on trace/metrics files actually being well-formed. *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: path :: keys ->
+    (match Stc_obs.Json.parse_file path with
+    | Error msg ->
+      Printf.eprintf "json_lint: %s: %s\n" path msg;
+      exit 1
+    | Ok doc ->
+      let missing =
+        List.filter (fun k -> Stc_obs.Json.member k doc = None) keys
+      in
+      if missing <> [] then begin
+        List.iter
+          (fun k -> Printf.eprintf "json_lint: %s: missing key %S\n" path k)
+          missing;
+        exit 1
+      end;
+      Printf.printf "json_lint: %s ok (%d keys checked)\n" path
+        (List.length keys))
+  | _ ->
+    prerr_endline "usage: json_lint FILE [KEY ...]";
+    exit 2
