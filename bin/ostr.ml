@@ -20,6 +20,10 @@ module Session = Stc_faultsim.Session
 module Trace = Stc_obs.Trace
 module Metrics = Stc_obs.Metrics
 module Progress = Stc_obs.Progress
+module Json = Stc_obs.Json
+module Lint = Stc_analysis.Lint
+module Diagnostic = Stc_analysis.Diagnostic
+module Pass = Stc_analysis.Pass
 
 open Cmdliner
 
@@ -419,6 +423,106 @@ let selftest_cmd =
     Term.(const run $ machine_arg $ cycles $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* lint / scoap: static analysis                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run spec timeout werror json_out conventional list_passes obs =
+    if list_passes then
+      List.iter
+        (fun p -> Format.printf "%-12s %s@." p.Pass.name p.Pass.doc)
+        (Pass.all ())
+    else begin
+      let name, diags =
+        if Sys.file_exists spec then begin
+          let name = Filename.remove_extension (Filename.basename spec) in
+          let ic = open_in spec in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          let _ctx, diags =
+            with_obs obs @@ fun () ->
+            Lint.lint_kiss_text ~timeout ~conventional ~name text
+          in
+          (name, diags)
+        end
+        else
+          match Experiments.machine_named spec with
+          | Some m ->
+            let _ctx, diags =
+              with_obs obs @@ fun () ->
+              Lint.lint_machine ~timeout ~conventional m
+            in
+            (m.Machine.name, diags)
+          | None ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "%S is neither a file nor a known machine (benchmarks: %s)"
+                    spec
+                    (String.concat ", " Suite.names)))
+      in
+      Format.printf "%a" Diagnostic.pp_report diags;
+      Option.iter
+        (fun path ->
+          Json.write path (Diagnostic.report_to_json ~subject:name diags);
+          Format.eprintf "wrote lint report %s@." path)
+        json_out;
+      if Diagnostic.fails ~werror diags then exit 1
+    end
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Exit nonzero on warnings, not just errors.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the sorted report as JSON to $(docv).")
+  in
+  let conventional =
+    Arg.(value & flag
+         & info [ "conventional" ]
+             ~doc:
+               "Also analyze the conventional fig. 1 structure (slow on \
+                large machines: its monolithic block C must be minimized).")
+  in
+  let list_passes =
+    Arg.(value & flag
+         & info [ "list-passes" ]
+             ~doc:"List the registered analysis passes and exit.")
+  in
+  let machine =
+    (* Like [machine_arg] but optional so --list-passes works alone. *)
+    Arg.(value & pos 0 string "" & info [] ~docv:"MACHINE"
+           ~doc:
+             "Machine to lint: a KISS2 file path, a benchmark name or a zoo \
+              name.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: lint the FSM, the minimized covers and the \
+          synthesized netlists, and statically prove the fig. 4 \
+          feedback-free pipeline property.")
+    Term.(
+      const run $ machine $ timeout_arg $ werror $ json_out $ conventional
+      $ list_passes $ obs_term)
+
+let scoap_cmd =
+  let run timeout names =
+    let entries = Experiments.scoap ~timeout ?names:(split_names names) () in
+    print_string (Experiments.render_scoap entries)
+  in
+  Cmd.v
+    (Cmd.info "scoap"
+       ~doc:
+         "SCOAP testability metrics (CC0/CC1 controllability, CO \
+          observability) of the conventional fig. 1 structure vs the \
+          decomposed fig. 4 pipeline.")
+    Term.(const run $ timeout_arg $ names_arg)
+
+(* ------------------------------------------------------------------ *)
 (* export-benchmarks                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -452,7 +556,8 @@ let () =
       [
         info_cmd; minimize_cmd; solve_cmd; realize_cmd; dot_cmd; table1_cmd;
         table2_cmd; area_cmd; faultcov_cmd; testlen_cmd; extensions_cmd;
-        decompose_cmd; aliasing_cmd; selftest_cmd; export_cmd;
+        decompose_cmd; aliasing_cmd; selftest_cmd; lint_cmd; scoap_cmd;
+        export_cmd;
       ]
   in
   exit (Cmd.eval main)

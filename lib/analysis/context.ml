@@ -1,0 +1,67 @@
+module Machine = Stc_fsm.Machine
+module Ostr = Stc_core.Ostr
+module Realization = Stc_core.Realization
+module Tables = Stc_encoding.Tables
+module Cover = Stc_logic.Cover
+module Minimize = Stc_logic.Minimize
+module Arch = Stc_faultsim.Arch
+module Trace = Stc_obs.Trace
+
+type block = {
+  block_label : string;
+  on : Cover.t;
+  dc : Cover.t;
+  minimized : Cover.t;
+}
+
+type netlist_target = {
+  net_label : string;
+  netlist : Stc_netlist.Netlist.t;
+  feedback_free : bool;
+}
+
+type t = {
+  name : string;
+  machine : Machine.t;
+  realization : Realization.t;
+  blocks : block list;
+  netlists : netlist_target list;
+}
+
+let block label on dc =
+  let minimized, _report = Minimize.minimize ~dc on in
+  { block_label = label; on; dc; minimized }
+
+let of_realization ?(conventional = false) (realization : Realization.t) =
+  Trace.span ~cat:"lint" "lint.context" @@ fun () ->
+  let machine = realization.Realization.spec in
+  let p = Tables.pipeline realization in
+  let c1 = block "c1" p.Tables.c1_on p.Tables.c1_dc in
+  let c2 = block "c2" p.Tables.c2_on p.Tables.c2_dc in
+  let lambda = block "lambda" p.Tables.lambda_on p.Tables.lambda_dc in
+  let blocks = [ c1; c2; lambda ] in
+  (* One simulation cycle is the cheapest the session builder allows (the
+     static passes only look at the netlist structure), and handing over
+     the covers minimized above skips the builder's own espresso pass. *)
+  let fig4 =
+    Arch.pipeline ~cycles:1
+      ~covers:(c1.minimized, c2.minimized, lambda.minimized)
+      p
+  in
+  let netlists =
+    { net_label = "fig4"; netlist = fig4.Arch.netlist; feedback_free = true }
+    ::
+    (if conventional then
+       let fig1 = Arch.conventional machine in
+       [ { net_label = "fig1"; netlist = fig1.Arch.netlist; feedback_free = false } ]
+     else [])
+  in
+  { name = machine.Machine.name; machine; realization; blocks; netlists }
+
+let of_machine ?(timeout = 120.0) ?conventional machine =
+  (* jobs = 1: the sequential search is deterministic, so equally-optimal
+     partition pairs cannot race and flip downstream diagnostics. *)
+  let outcome = Ostr.run ~timeout ~jobs:1 machine in
+  of_realization ?conventional outcome.Ostr.realization
+
+let subject ctx label = if label = "" then ctx.name else ctx.name ^ "/" ^ label

@@ -1,0 +1,56 @@
+(** The unit of analysis: one specification machine together with the
+    synthesized artifacts every pass may want to inspect - the pipeline
+    realization of Theorem 1, the minimized two-level blocks, and the
+    gate-level structures of figs. 1 and 4.
+
+    Building a context runs the OSTR solver (sequentially, [jobs = 1],
+    so the chosen optimum - and therefore every downstream diagnostic -
+    is deterministic), extracts and minimizes the C1 / C2 / Lambda
+    covers, and instantiates the fig. 1 and fig. 4 netlists through
+    {!Stc_faultsim.Arch}, the same construction the fault simulator
+    grades. *)
+
+(** A two-level block: specification on/dc-sets plus the minimized
+    implementation cover, as handed to the netlist emitter. *)
+type block = {
+  block_label : string;  (** ["c1"], ["c2"], ["lambda"] *)
+  on : Stc_logic.Cover.t;
+  dc : Stc_logic.Cover.t;
+  minimized : Stc_logic.Cover.t;
+}
+
+(** A gate-level structure to analyze.  [feedback_free] marks netlists
+    that the pipeline-property prover must certify (the fig. 4
+    realization); on netlists with [feedback_free = false] a detected
+    register feedback path is reported as a note, not an error. *)
+type netlist_target = {
+  net_label : string;  (** ["fig4"], ["fig1"] *)
+  netlist : Stc_netlist.Netlist.t;
+  feedback_free : bool;
+}
+
+type t = {
+  name : string;  (** machine name, the subject prefix of diagnostics *)
+  machine : Stc_fsm.Machine.t;
+  realization : Stc_core.Realization.t;
+  blocks : block list;
+  netlists : netlist_target list;
+}
+
+(** [of_machine ?timeout ?conventional machine] synthesizes the
+    decomposed realization and packages every artifact.  [timeout]
+    (default 120 s) bounds the OSTR search.  [conventional] (default
+    [false]) additionally builds the fig. 1 structure for comparison -
+    expensive on large machines (the monolithic block C of [tbk] takes
+    minutes in the espresso loop), hence opt-in. *)
+val of_machine :
+  ?timeout:float -> ?conventional:bool -> Stc_fsm.Machine.t -> t
+
+(** [of_realization ?conventional realization] packages an existing
+    realization without re-running the solver (used by drivers that
+    already solved). *)
+val of_realization : ?conventional:bool -> Stc_core.Realization.t -> t
+
+(** [subject ctx label] is the diagnostic subject ["name/label"] for a
+    sub-artifact, or just [name] when [label] is empty. *)
+val subject : t -> string -> string

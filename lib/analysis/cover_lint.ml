@@ -1,0 +1,114 @@
+module Cover = Stc_logic.Cover
+module Cube = Stc_logic.Cube
+module D = Diagnostic
+
+let cube_array (c : Cover.t) = Array.of_list c.Cover.cubes
+
+let check_block ~subject ~on ~dc result =
+  let care = Cover.union on dc in
+  let diags = ref [] in
+  Array.iteri
+    (fun k cube ->
+      if not (Cover.covers_cube care cube) then
+        diags :=
+          D.error ~code:"COV001" ~subject
+            ~loc:(Printf.sprintf "cube %d" k)
+            (Printf.sprintf
+               "%s asserts an output on off-set minterms (conflicts with \
+                the specification)"
+               (Cube.to_string cube))
+          :: !diags)
+    (cube_array result);
+  let result_dc = Cover.union result dc in
+  Array.iteri
+    (fun k cube ->
+      if not (Cover.covers_cube result_dc cube) then
+        diags :=
+          D.error ~code:"COV002" ~subject
+            ~loc:(Printf.sprintf "on-cube %d" k)
+            (Printf.sprintf "care on-set minterms of %s are uncovered"
+               (Cube.to_string cube))
+          :: !diags)
+    (cube_array on);
+  !diags
+
+let check_redundancy ~subject ?dc cover =
+  let cubes = cube_array cover in
+  let n = Array.length cubes in
+  let diags = ref [] in
+  for j = 0 to n - 1 do
+    (* Duplicate / single-cube containment against earlier cubes.  Note
+       equality is reported once (COV005) and not doubled as COV004. *)
+    let rec scan i =
+      if i < n then
+        if i = j then scan (i + 1)
+        else if Cube.equal cubes.(i) cubes.(j) then begin
+          if i < j then
+            diags :=
+              D.warning ~code:"COV005" ~subject
+                ~loc:(Printf.sprintf "cube %d" j)
+                (Printf.sprintf "duplicates cube %d (%s)" i
+                   (Cube.to_string cubes.(j)))
+              :: !diags
+        end
+        else if Cube.contains cubes.(i) cubes.(j) then
+          diags :=
+            D.warning ~code:"COV004" ~subject
+              ~loc:(Printf.sprintf "cube %d" j)
+              (Printf.sprintf "%s is contained in cube %d (%s)"
+                 (Cube.to_string cubes.(j)) i
+                 (Cube.to_string cubes.(i)))
+            :: !diags
+        else scan (i + 1)
+    in
+    scan 0;
+    (* Redundancy against the rest of the cover (plus don't-cares). *)
+    let rest =
+      Cover.make ~num_vars:cover.Cover.num_vars
+        ~num_outputs:cover.Cover.num_outputs
+        (List.filteri (fun i _ -> i <> j) (Array.to_list cubes))
+    in
+    let rest = match dc with None -> rest | Some d -> Cover.union rest d in
+    if Cover.size rest > 0 && Cover.covers_cube rest cubes.(j) then
+      diags :=
+        D.warning ~code:"COV003" ~subject
+          ~loc:(Printf.sprintf "cube %d" j)
+          (Printf.sprintf "redundant: the rest of the cover already covers %s"
+             (Cube.to_string cubes.(j)))
+        :: !diags
+  done;
+  !diags
+
+(* The redundancy analysis is quadratic in cubes (a tautology check per
+   cube against the rest of the cover); past this size it stops being a
+   lint and starts being a batch job, so it is skipped with an explicit
+   note rather than silently hanging the run. *)
+let redundancy_limit = 1024
+
+let pass =
+  {
+    Pass.name = "cover-lint";
+    doc =
+      "minimized blocks vs. their on/dc specification: off-set conflicts, \
+       uncovered minterms, redundant / contained / duplicate cubes \
+       (COV001-COV006)";
+    run =
+      (fun ctx ->
+        List.concat_map
+          (fun { Context.block_label; on; dc; minimized } ->
+            let subject = Context.subject ctx block_label in
+            let redundancy =
+              let n = Cover.size minimized in
+              if n > redundancy_limit then
+                [
+                  D.info ~code:"COV006" ~subject ~loc:"cover"
+                    (Printf.sprintf
+                       "redundancy analysis skipped: %d cubes exceed the \
+                        %d-cube budget (correctness checks still ran)"
+                       n redundancy_limit);
+                ]
+              else check_redundancy ~subject ~dc minimized
+            in
+            check_block ~subject ~on ~dc minimized @ redundancy)
+          ctx.Context.blocks);
+  }

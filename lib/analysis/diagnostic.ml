@@ -1,0 +1,99 @@
+module Json = Stc_obs.Json
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  loc : string;
+  message : string;
+}
+
+let make ~code ~severity ~subject ~loc message =
+  { code; severity; subject; loc; message }
+
+let error ~code ~subject ~loc message =
+  make ~code ~severity:Error ~subject ~loc message
+
+let warning ~code ~subject ~loc message =
+  make ~code ~severity:Warning ~subject ~loc message
+
+let info ~code ~subject ~loc message =
+  make ~code ~severity:Info ~subject ~loc message
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Severity participates last: equal codes always carry equal severities,
+   but a total order must not depend on that. *)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  String.compare a.subject b.subject <?> fun () ->
+  String.compare a.code b.code <?> fun () ->
+  String.compare a.loc b.loc <?> fun () ->
+  String.compare a.message b.message <?> fun () ->
+  Int.compare (severity_rank a.severity) (severity_rank b.severity)
+
+let sort diags = List.sort_uniq compare diags
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let max_severity diags =
+  List.fold_left
+    (fun worst d ->
+      match worst with
+      | None -> Some d.severity
+      | Some w ->
+        if severity_rank d.severity < severity_rank w then Some d.severity
+        else worst)
+    None diags
+
+let fails ~werror diags =
+  match max_severity diags with
+  | Some Error -> true
+  | Some Warning -> werror
+  | Some Info | None -> false
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %s: %s: %s"
+    (severity_to_string d.severity)
+    d.code d.subject d.loc d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let pp_report fmt diags =
+  let sorted = sort diags in
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) sorted;
+  Format.fprintf fmt "%d errors, %d warnings, %d notes@."
+    (count Error sorted) (count Warning sorted) (count Info sorted)
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("subject", Json.String d.subject);
+      ("loc", Json.String d.loc);
+      ("message", Json.String d.message);
+    ]
+
+let report_to_json ~subject diags =
+  let sorted = sort diags in
+  Json.Obj
+    [
+      ("machine", Json.String subject);
+      ("diagnostics", Json.List (List.map to_json sorted));
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int (count Error sorted));
+            ("warnings", Json.Int (count Warning sorted));
+            ("infos", Json.Int (count Info sorted));
+          ] );
+    ]

@@ -1,0 +1,71 @@
+(** Diagnostics: the currency of the static-analysis framework.
+
+    Every lint / verification pass reports findings as a list of
+    diagnostics with a stable machine-readable code (documented in the
+    README "Static analysis" section), a severity, the subject it was
+    found on (machine, cover block or netlist name) and a short location
+    string ("state s3", "cube 4", "gate 17").
+
+    Diagnostics are value types with a total order; {!sort} orders them
+    by (subject, code, location, message) and drops duplicates, so a
+    report rendered from sorted diagnostics is byte-stable across runs
+    regardless of pass scheduling. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["FSM001"] *)
+  severity : severity;
+  subject : string;  (** machine / block / netlist the finding is on *)
+  loc : string;  (** human-readable location inside the subject *)
+  message : string;
+}
+
+(** [make ~code ~severity ~subject ~loc message] builds a diagnostic. *)
+val make :
+  code:string -> severity:severity -> subject:string -> loc:string -> string -> t
+
+val error : code:string -> subject:string -> loc:string -> string -> t
+
+val warning : code:string -> subject:string -> loc:string -> string -> t
+
+val info : code:string -> subject:string -> loc:string -> string -> t
+
+val severity_to_string : severity -> string
+
+(** [compare] orders by (subject, code, loc, message); severity never
+    disagrees for equal codes. *)
+val compare : t -> t -> int
+
+(** [sort diags] sorts by {!compare} and removes exact duplicates -
+    the canonical report order. *)
+val sort : t list -> t list
+
+(** [count severity diags] counts the diagnostics of the given
+    severity. *)
+val count : severity -> t list -> int
+
+(** [max_severity diags] is the worst severity present, if any. *)
+val max_severity : t list -> severity option
+
+(** [fails ~werror diags] holds when the report should make the run exit
+    nonzero: any error, or any warning when [werror]. *)
+val fails : werror:bool -> t list -> bool
+
+(** [pp] prints ["severity[CODE] subject: loc: message"] - plain ASCII,
+    no styling, so rendered reports are byte-comparable. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [pp_report fmt diags] prints sorted diagnostics one per line followed
+    by a summary line ["N errors, M warnings, K notes"]. *)
+val pp_report : Format.formatter -> t list -> unit
+
+val to_json : t -> Stc_obs.Json.t
+
+(** [report_to_json ~subject diags] is the machine-readable report:
+    [{ "machine": ..., "diagnostics": [...],
+       "summary": {"errors": n, "warnings": m, "infos": k} }].
+    Diagnostics are sorted. *)
+val report_to_json : subject:string -> t list -> Stc_obs.Json.t

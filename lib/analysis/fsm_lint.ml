@@ -1,0 +1,254 @@
+module Machine = Stc_fsm.Machine
+module Reach = Stc_fsm.Reach
+module Equiv = Stc_fsm.Equiv
+module D = Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* Machine-level checks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let unreachable_states ~subject (m : Machine.t) =
+  let reachable = Reach.reachable m in
+  let diags = ref [] in
+  Array.iteri
+    (fun s ok ->
+      if not ok then
+        diags :=
+          D.warning ~code:"FSM001" ~subject
+            ~loc:(Printf.sprintf "state %s" m.Machine.state_names.(s))
+            "unreachable from the reset state (dead table rows; run \
+             `ostr minimize` to trim)"
+          :: !diags)
+    reachable;
+  !diags
+
+let residual_equivalences ~subject (m : Machine.t) =
+  let classes = Equiv.classes m in
+  let members = Hashtbl.create 8 in
+  Array.iteri
+    (fun s c ->
+      Hashtbl.replace members c (s :: Option.value ~default:[] (Hashtbl.find_opt members c)))
+    classes;
+  Hashtbl.fold
+    (fun _c states acc ->
+      match List.rev states with
+      | first :: (_ :: _ as rest) ->
+        let names ss =
+          String.concat ", "
+            (List.map (fun s -> m.Machine.state_names.(s)) ss)
+        in
+        D.warning ~code:"FSM002" ~subject
+          ~loc:(Printf.sprintf "state %s" m.Machine.state_names.(first))
+          (Printf.sprintf
+             "equivalent to state(s) %s - the table is not reduced" (names rest))
+        :: acc
+      | _ -> acc)
+    members []
+
+let duplicate_inputs ~subject (m : Machine.t) =
+  let same_column i j =
+    let ok = ref true in
+    for s = 0 to m.Machine.num_states - 1 do
+      if
+        m.Machine.next.(s).(i) <> m.Machine.next.(s).(j)
+        || m.Machine.output.(s).(i) <> m.Machine.output.(s).(j)
+      then ok := false
+    done;
+    !ok
+  in
+  let diags = ref [] in
+  for j = 1 to m.Machine.num_inputs - 1 do
+    let rec first_dup i =
+      if i >= j then None else if same_column i j then Some i else first_dup (i + 1)
+    in
+    match first_dup 0 with
+    | Some i ->
+      diags :=
+        D.info ~code:"FSM003" ~subject
+          ~loc:(Printf.sprintf "input %s" m.Machine.input_names.(j))
+          (Printf.sprintf
+             "next-state and output columns duplicate input %s"
+             m.Machine.input_names.(i))
+        :: !diags
+    | None -> ()
+  done;
+  !diags
+
+let unused_outputs ~subject (m : Machine.t) =
+  let used = Array.make m.Machine.num_outputs false in
+  Machine.iter_transitions m (fun _s _i _s' o -> used.(o) <- true);
+  let diags = ref [] in
+  Array.iteri
+    (fun o u ->
+      if not u then
+        diags :=
+          D.info ~code:"FSM004" ~subject
+            ~loc:(Printf.sprintf "output %s" m.Machine.output_names.(o))
+            "output symbol is never emitted"
+          :: !diags)
+    used;
+  !diags
+
+let connectivity ~subject (m : Machine.t) =
+  if Reach.is_strongly_connected m then []
+  else
+    [
+      D.info ~code:"FSM007" ~subject ~loc:"machine"
+        "not strongly connected: some states cannot reach each other \
+         (test sequences may not be able to revisit them)";
+    ]
+
+let lint_machine ~subject m =
+  List.concat
+    [
+      unreachable_states ~subject m;
+      residual_equivalences ~subject m;
+      duplicate_inputs ~subject m;
+      unused_outputs ~subject m;
+      connectivity ~subject m;
+    ]
+
+let pass =
+  {
+    Pass.name = "fsm-lint";
+    doc =
+      "unreachable states, residual equivalent states, duplicate input \
+       columns, unused outputs, connectivity (FSM001-FSM004, FSM007)";
+    run =
+      (fun ctx ->
+        lint_machine ~subject:(Context.subject ctx "") ctx.Context.machine);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Raw KISS2 scanner                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately tolerant reader: where Stc_fsm.Kiss.parse raises, this
+   scanner keeps going and reports, so one run surfaces every defect of
+   a hand-written table. *)
+let lint_kiss ~subject text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let input_bits = ref (-1) in
+  let reset = ref None in
+  (* (state, minterm) -> (next, output, line) *)
+  let tbl : (string * int, string * string * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let states = Hashtbl.create 16 in
+  let note_state s = if not (Hashtbl.mem states s) then Hashtbl.add states s () in
+  let expand line bits =
+    (* All minterms matching a 0/1/- pattern, MSB first. *)
+    let n = String.length bits in
+    let rec go k acc =
+      if k = n then acc
+      else
+        match bits.[k] with
+        | '0' -> go (k + 1) (List.map (fun v -> v lsl 1) acc)
+        | '1' -> go (k + 1) (List.map (fun v -> (v lsl 1) lor 1) acc)
+        | '-' ->
+          go (k + 1)
+            (List.concat_map (fun v -> [ v lsl 1; (v lsl 1) lor 1 ]) acc)
+        | c ->
+          add
+            (D.error ~code:"FSM005" ~subject
+               ~loc:(Printf.sprintf "line %d" line)
+               (Printf.sprintf "bad input character %C in %S" c bits));
+          go (k + 1) acc
+    in
+    go 0 [ 0 ]
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun k raw ->
+      let line = k + 1 in
+      let stripped =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let fields =
+        String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) stripped)
+        |> List.filter (fun f -> f <> "")
+      in
+      match fields with
+      | [] -> ()
+      | directive :: rest when directive.[0] = '.' -> (
+        match (directive, rest) with
+        | ".i", [ n ] -> input_bits := int_of_string_opt n |> Option.value ~default:(-1)
+        | ".r", [ s ] ->
+          reset := Some s;
+          note_state s
+        | _ -> ())
+      | [ bits; src; dst; out ] ->
+        note_state src;
+        note_state dst;
+        if !input_bits < 0 then input_bits := String.length bits;
+        if String.length bits <> !input_bits then
+          add
+            (D.error ~code:"FSM005" ~subject
+               ~loc:(Printf.sprintf "line %d" line)
+               (Printf.sprintf "input field %S has %d columns, expected %d"
+                  bits (String.length bits) !input_bits))
+        else if String.contains out '-' then
+          add
+            (D.error ~code:"FSM005" ~subject
+               ~loc:(Printf.sprintf "line %d" line)
+               (Printf.sprintf
+                  "output field %S contains a don't-care; outputs must be \
+                   fully specified"
+                  out))
+        else
+          List.iter
+            (fun minterm ->
+              match Hashtbl.find_opt tbl (src, minterm) with
+              | Some (dst', out', line') when dst' <> dst || out' <> out ->
+                add
+                  (D.error ~code:"FSM005" ~subject
+                     ~loc:(Printf.sprintf "line %d" line)
+                     (Printf.sprintf
+                        "nondeterministic: state %s under input %s already \
+                         maps to %s/%s (line %d), here %s/%s"
+                        src
+                        (let b = Bytes.create !input_bits in
+                         for j = 0 to !input_bits - 1 do
+                           Bytes.set b j
+                             (if minterm land (1 lsl (!input_bits - 1 - j)) <> 0
+                              then '1'
+                              else '0')
+                         done;
+                         Bytes.to_string b)
+                        dst' out' line' dst out))
+              | Some _ -> ()
+              | None -> Hashtbl.add tbl (src, minterm) (dst, out, line))
+            (expand line bits)
+      | _ ->
+        add
+          (D.error ~code:"FSM005" ~subject
+             ~loc:(Printf.sprintf "line %d" line)
+             (Printf.sprintf "malformed row %S (expected: input state next output)"
+                (String.trim stripped))))
+    lines;
+  (* Completeness: every noted state must specify all 2^i minterms. *)
+  if !input_bits >= 0 && !input_bits <= 16 then begin
+    let total = 1 lsl !input_bits in
+    let specified = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (s, _) _ ->
+        Hashtbl.replace specified s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt specified s)))
+      tbl;
+    Hashtbl.iter
+      (fun s () ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt specified s) in
+        if n < total then
+          add
+            (D.warning ~code:"FSM006" ~subject
+               ~loc:(Printf.sprintf "state %s" s)
+               (Printf.sprintf
+                  "incomplete: %d of %d input minterms unspecified (the \
+                   parser completes them by policy)"
+                  (total - n) total)))
+      states
+  end;
+  !diags

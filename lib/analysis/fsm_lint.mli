@@ -1,0 +1,29 @@
+(** FSM lint: structural hygiene of the specification machine and of raw
+    KISS2 transition tables.
+
+    Diagnostic codes (stable):
+    - [FSM001] warning: state unreachable from reset;
+    - [FSM002] warning: residual equivalent states (the table is not
+      reduced; {!Stc_fsm.Equiv.minimize} would shrink it);
+    - [FSM003] note: input symbol whose next-state and output columns
+      duplicate an earlier symbol's (common after don't-care expansion
+      of KISS2 rows, hence only a note);
+    - [FSM004] note: output symbol never emitted;
+    - [FSM005] error: nondeterministic KISS2 table - two rows give the
+      same (state, input minterm) conflicting successors or outputs;
+    - [FSM006] warning: incomplete KISS2 table - (state, minterm) pairs
+      left unspecified (the parser completes them by policy);
+    - [FSM007] note: machine is not strongly connected (relevant to
+      test-sequence arguments in the BIST literature). *)
+
+(** The machine-level pass, run on {!Context.t.machine}. *)
+val pass : Pass.t
+
+(** [lint_machine ~subject m] is the pass body on an explicit machine. *)
+val lint_machine : subject:string -> Stc_fsm.Machine.t -> Diagnostic.t list
+
+(** [lint_kiss ~subject text] scans raw KISS2 [text] without building a
+    machine: tolerant of the defects {!Stc_fsm.Kiss.parse} rejects, it
+    reports FSM005 / FSM006 (and parse-level problems as errors with
+    code [FSM005]). *)
+val lint_kiss : subject:string -> string -> Diagnostic.t list

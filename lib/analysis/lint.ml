@@ -1,0 +1,26 @@
+module Kiss = Stc_fsm.Kiss
+module D = Diagnostic
+
+let builtin = [ Fsm_lint.pass; Cover_lint.pass; Netgraph.pass; Scoap.pass ]
+
+let () = List.iter Pass.register builtin
+
+let run ctx = Pass.run_all ctx
+
+let lint_machine ?timeout ?conventional machine =
+  let ctx = Context.of_machine ?timeout ?conventional machine in
+  (ctx, run ctx)
+
+let lint_kiss_text ?timeout ?conventional ~name text =
+  let raw = Fsm_lint.lint_kiss ~subject:name text in
+  match Kiss.parse ~name ~on_missing:`Self_loop text with
+  | exception Kiss.Parse_error { Kiss.line; message } ->
+    ( None,
+      D.sort
+        (D.error ~code:"FSM005" ~subject:name
+           ~loc:(Printf.sprintf "line %d" line)
+           (Printf.sprintf "unparseable KISS2: %s" message)
+        :: raw) )
+  | machine ->
+    let ctx, diags = lint_machine ?timeout ?conventional machine in
+    (Some ctx, D.sort (raw @ diags))

@@ -1,0 +1,43 @@
+module Trace = Stc_obs.Trace
+module Metrics = Stc_obs.Metrics
+
+type t = {
+  name : string;
+  doc : string;
+  run : Context.t -> Diagnostic.t list;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register pass = Hashtbl.replace registry pass.name pass
+
+let find name = Hashtbl.find_opt registry name
+
+let all () =
+  Hashtbl.fold (fun _ pass acc -> pass :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let m_runs = lazy (Metrics.counter "lint.pass.runs")
+let m_errors = lazy (Metrics.counter "lint.diagnostics.error")
+let m_warnings = lazy (Metrics.counter "lint.diagnostics.warning")
+let m_infos = lazy (Metrics.counter "lint.diagnostics.info")
+
+let run_all ?(select = fun _ -> true) ctx =
+  let diags =
+    List.concat_map
+      (fun pass ->
+        if not (select pass) then []
+        else
+          Trace.span ~cat:"lint" ("lint." ^ pass.name) @@ fun () ->
+          let found = pass.run ctx in
+          Metrics.incr (Lazy.force m_runs);
+          Metrics.add (Lazy.force m_errors)
+            (Diagnostic.count Diagnostic.Error found);
+          Metrics.add (Lazy.force m_warnings)
+            (Diagnostic.count Diagnostic.Warning found);
+          Metrics.add (Lazy.force m_infos)
+            (Diagnostic.count Diagnostic.Info found);
+          found)
+      (all ())
+  in
+  Diagnostic.sort diags

@@ -1,0 +1,30 @@
+(** Pass registry of the static-analysis framework.
+
+    A pass is a named, documented analysis over a {!Context.t} returning
+    diagnostics.  Passes register themselves (idempotently, keyed by
+    name); {!run_all} executes every registered pass in name order, each
+    one bracketed by an [Stc_obs.Trace] span and counted into the
+    [lint.*] metrics, and returns the sorted, deduplicated union of
+    their findings - so reports are deterministic regardless of
+    registration order. *)
+
+type t = {
+  name : string;  (** unique, e.g. ["fsm-lint"] *)
+  doc : string;  (** one-line description for [--list-passes] *)
+  run : Context.t -> Diagnostic.t list;
+}
+
+(** [register pass] adds [pass] to the registry; re-registering a name
+    replaces the previous pass. *)
+val register : t -> unit
+
+(** [find name] looks a pass up. *)
+val find : string -> t option
+
+(** [all ()] lists registered passes sorted by name. *)
+val all : unit -> t list
+
+(** [run_all ?select ctx] runs the selected passes (default: all) in
+    name order and returns {!Diagnostic.sort} of their combined
+    output. *)
+val run_all : ?select:(t -> bool) -> Context.t -> Diagnostic.t list

@@ -1,0 +1,57 @@
+(** SCOAP testability analysis (Goldstein's controllability /
+    observability measures) over combinational netlists.
+
+    [CC0 g] / [CC1 g] estimate the effort of driving gate [g] to 0 / 1
+    (primary inputs cost 1, every level adds 1, AND-like gates sum their
+    required sides, OR-like gates take the cheapest side).  [CO g]
+    estimates the effort of propagating [g]'s value to a primary output
+    (outputs cost 0; a path through a gate adds the cost of enabling its
+    side inputs).  High values flag hard-to-test nets - the static
+    counterpart of the fault simulator's coverage numbers, cheap enough
+    to run on every synthesis result.
+
+    Values saturate at {!inf} (unreachable: a constant net's opposite
+    value, an unobservable floating gate).
+
+    Diagnostic codes (stable):
+    - [SCP001] note: per-netlist summary (emitted once per analyzed
+      netlist, also the row source of `ostr scoap`);
+    - [SCP002] warning: a gate inside a primary-output cone whose
+      controllability or observability saturates at {!inf}. *)
+
+type netlist := Stc_netlist.Netlist.t
+
+(** Saturation value standing in for "impossible". *)
+val inf : int
+
+type t = {
+  cc0 : int array;  (** per-gate 0-controllability *)
+  cc1 : int array;  (** per-gate 1-controllability *)
+  co : int array;  (** per-gate observability *)
+}
+
+val analyze : netlist -> t
+
+type summary = {
+  nets : int;  (** gates considered (inputs and logic; constants excluded) *)
+  cc0_max : int;
+  cc1_max : int;
+  co_max : int;  (** maxima over finite values *)
+  cc0_mean : float;
+  cc1_mean : float;
+  co_mean : float;  (** means over finite values *)
+  uncontrollable : int;  (** non-constant gates with CC0 or CC1 = {!inf} *)
+  unobservable : int;  (** gates with CO = {!inf} *)
+}
+
+val summarize : netlist -> t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [summary_to_string s] is a stable one-line rendering, used in the
+    SCP001 note. *)
+val summary_to_string : summary -> string
+
+(** The context pass: analyzes every netlist target and reports
+    SCP001/SCP002. *)
+val pass : Pass.t

@@ -1,4 +1,3 @@
-module Machine = Stc_fsm.Machine
 module Generate = Stc_fsm.Generate
 module Zoo = Stc_fsm.Zoo
 module Rng = Stc_util.Rng

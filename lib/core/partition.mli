@@ -1,0 +1,8 @@
+(** Re-export of {!Stc_partition.Partition} so that [Stc_core.Partition]
+    is the partition type appearing in this library's interfaces.  The
+    [module type of struct include ... end] form preserves the type
+    equalities, so values flow freely between the two paths. *)
+
+include module type of struct
+  include Stc_partition.Partition
+end

@@ -1,6 +1,5 @@
 module Machine = Stc_fsm.Machine
 module Tables = Stc_encoding.Tables
-module Cover = Stc_logic.Cover
 module Minimize = Stc_logic.Minimize
 module Builder = Netlist.Builder
 module Lfsr = Stc_bist.Lfsr
@@ -241,12 +240,17 @@ let doubled ?(cycles = 1024) machine =
 (* fig. 4: optimized self-testable pipeline structure                  *)
 (* ------------------------------------------------------------------ *)
 
-let pipeline ?(cycles = 1024) (p : Tables.pipeline) =
+let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
   let enc = p.Tables.enc in
   let machine = enc.Tables.machine in
-  let c1 = minimized ~dc:p.Tables.c1_dc p.Tables.c1_on in
-  let c2 = minimized ~dc:p.Tables.c2_dc p.Tables.c2_on in
-  let lambda = minimized ~dc:p.Tables.lambda_dc p.Tables.lambda_on in
+  let c1, c2, lambda =
+    match covers with
+    | Some cs -> cs
+    | None ->
+      ( minimized ~dc:p.Tables.c1_dc p.Tables.c1_on,
+        minimized ~dc:p.Tables.c2_dc p.Tables.c2_on,
+        minimized ~dc:p.Tables.lambda_dc p.Tables.lambda_on )
+  in
   let w1 = p.Tables.code1.Stc_encoding.Code.width in
   let w2 = p.Tables.code2.Stc_encoding.Code.width in
   let iw = enc.Tables.input_width in

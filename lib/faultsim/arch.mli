@@ -44,10 +44,18 @@ val conventional_bist : ?cycles:int -> Stc_fsm.Machine.t -> built
     ring.  Two sessions, each testing one copy. *)
 val doubled : ?cycles:int -> Stc_fsm.Machine.t -> built
 
-(** [pipeline ?cycles tables] is the fig. 4 structure built from the OSTR
-    realization's minimized C1/C2/Lambda blocks.  Two sessions: R1
-    generates while R2 compresses, then the roles swap. *)
-val pipeline : ?cycles:int -> Stc_encoding.Tables.pipeline -> built
+(** [pipeline ?cycles ?covers tables] is the fig. 4 structure built from
+    the OSTR realization's minimized C1/C2/Lambda blocks.  Two sessions:
+    R1 generates while R2 compresses, then the roles swap.  [covers]
+    supplies already-minimized [(c1, c2, lambda)] implementation covers,
+    skipping the internal espresso pass - callers that minimize the
+    blocks themselves (e.g. the static analyzer) avoid paying for it
+    twice. *)
+val pipeline :
+  ?cycles:int ->
+  ?covers:Stc_logic.Cover.t * Stc_logic.Cover.t * Stc_logic.Cover.t ->
+  Stc_encoding.Tables.pipeline ->
+  built
 
 (** [pipeline_of_machine ?cycles ?timeout machine] runs the OSTR solver,
     minimizes the factor blocks and builds the fig. 4 model. *)

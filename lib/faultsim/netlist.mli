@@ -1,0 +1,8 @@
+(** Re-export of {!Stc_netlist.Netlist} so that [Stc_faultsim.Netlist]
+    is the netlist type appearing in this library's interfaces.  The
+    [module type of struct include ... end] form preserves the type
+    equalities, so values flow freely between the two paths. *)
+
+include module type of struct
+  include Stc_netlist.Netlist
+end

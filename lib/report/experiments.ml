@@ -457,3 +457,76 @@ let render_aliasing entries =
       [ "name"; "MISR width"; "stream-detected"; "aliased"; "rate";
         "theory 2^-w" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* SCOAP testability: conventional vs decomposed structures            *)
+(* ------------------------------------------------------------------ *)
+
+type scoap_entry = {
+  name : string;
+  conv_gates : int;
+  conv : Stc_analysis.Scoap.summary;
+  pipe_gates : int;
+  pipe : Stc_analysis.Scoap.summary;
+}
+
+(* tbk is omitted for the same reason as in [area]: minimizing its
+   monolithic block C takes minutes.  `ostr scoap --names tbk` runs it. *)
+let default_scoap_names = [ "fig5"; "shiftreg"; "dk16"; "dk512"; "tav" ]
+
+let scoap ?timeout ?names () =
+  let module Scoap = Stc_analysis.Scoap in
+  let module Actx = Stc_analysis.Context in
+  let names = match names with Some ns -> ns | None -> default_scoap_names in
+  List.map
+    (fun name ->
+      let machine = resolve name in
+      let ctx = Actx.of_machine ?timeout ~conventional:true machine in
+      let summarize label =
+        match
+          List.find_opt
+            (fun (t : Actx.netlist_target) -> t.Actx.net_label = label)
+            ctx.Actx.netlists
+        with
+        | Some t ->
+          ( Stc_netlist.Netlist.num_gates t.Actx.netlist,
+            Scoap.summarize t.Actx.netlist (Scoap.analyze t.Actx.netlist) )
+        | None -> invalid_arg (Printf.sprintf "scoap: no %s netlist" label)
+      in
+      let conv_gates, conv = summarize "fig1" in
+      let pipe_gates, pipe = summarize "fig4" in
+      { name; conv_gates; conv; pipe_gates; pipe })
+    names
+
+let render_scoap entries =
+  let maxes (s : Stc_analysis.Scoap.summary) =
+    Printf.sprintf "%d/%d/%d" s.Stc_analysis.Scoap.cc0_max
+      s.Stc_analysis.Scoap.cc1_max s.Stc_analysis.Scoap.co_max
+  in
+  let means (s : Stc_analysis.Scoap.summary) =
+    Printf.sprintf "%.1f/%.1f/%.1f" s.Stc_analysis.Scoap.cc0_mean
+      s.Stc_analysis.Scoap.cc1_mean s.Stc_analysis.Scoap.co_mean
+  in
+  let hard (s : Stc_analysis.Scoap.summary) =
+    s.Stc_analysis.Scoap.uncontrollable + s.Stc_analysis.Scoap.unobservable
+  in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          e.name;
+          string_of_int e.conv_gates;
+          maxes e.conv;
+          means e.conv;
+          string_of_int e.pipe_gates;
+          maxes e.pipe;
+          means e.pipe;
+          Printf.sprintf "%d/%d" (hard e.conv) (hard e.pipe);
+        ])
+      entries
+  in
+  Table.render
+    ~header:
+      [ "name"; "fig1 gates"; "fig1 max CC0/CC1/CO"; "fig1 mean";
+        "fig4 gates"; "fig4 max CC0/CC1/CO"; "fig4 mean"; "hard fig1/fig4" ]
+    rows

@@ -154,3 +154,22 @@ val render_aliasing : aliasing_entry list -> string
     name, or one of the zoo names [fig5], [shiftreg4], [shiftreg6],
     [serial_adder], [counter8], [counter16], [toggle], [parity]. *)
 val machine_named : string -> Stc_fsm.Machine.t option
+
+(** One row of the SCOAP testability comparison: static
+    controllability/observability of the conventional fig. 1 structure
+    vs. the decomposed fig. 4 pipeline (the static counterpart of the
+    fault-coverage experiment). *)
+type scoap_entry = {
+  name : string;
+  conv_gates : int;
+  conv : Stc_analysis.Scoap.summary;
+  pipe_gates : int;
+  pipe : Stc_analysis.Scoap.summary;
+}
+
+(** [scoap ?timeout ?names ()] synthesizes both structures and computes
+    SCOAP summaries (default machines: fig5, shiftreg, dk16, dk512,
+    tav; tbk by request - its monolithic block is slow to minimize). *)
+val scoap : ?timeout:float -> ?names:string list -> unit -> scoap_entry list
+
+val render_scoap : scoap_entry list -> string

@@ -1,0 +1,372 @@
+module Machine = Stc_fsm.Machine
+module Zoo = Stc_fsm.Zoo
+module Cube = Stc_logic.Cube
+module Cover = Stc_logic.Cover
+module B = Stc_netlist.Netlist.Builder
+module Json = Stc_obs.Json
+module D = Stc_analysis.Diagnostic
+module Context = Stc_analysis.Context
+module Fsm_lint = Stc_analysis.Fsm_lint
+module Cover_lint = Stc_analysis.Cover_lint
+module Netgraph = Stc_analysis.Netgraph
+module Lint = Stc_analysis.Lint
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let codes diags = List.map (fun d -> d.D.code) diags
+
+let has_code code diags = List.exists (fun d -> d.D.code = code) diags
+
+let errors_with code diags =
+  List.filter (fun d -> d.D.code = code && d.D.severity = D.Error) diags
+
+(* --- seeded fault: unreachable state ----------------------------------- *)
+
+(* 3-state machine where s2 has no incoming transition: FSM001 must name
+   it.  (s0 <-> s1 on both inputs; s2 is an orphan copy of s0.) *)
+let orphan_machine () =
+  Machine.make ~name:"orphan" ~num_states:3 ~num_inputs:2 ~num_outputs:2
+    ~next:[| [| 1; 1 |]; [| 0; 0 |]; [| 1; 1 |] |]
+    ~output:[| [| 0; 1 |]; [| 1; 0 |]; [| 0; 1 |] |]
+    ()
+
+let test_fsm_unreachable () =
+  let diags = Fsm_lint.lint_machine ~subject:"orphan" (orphan_machine ()) in
+  let hits =
+    List.filter (fun d -> d.D.code = "FSM001") diags
+  in
+  check_int "one unreachable state" 1 (List.length hits);
+  let d = List.hd hits in
+  check_bool "severity is warning" true (d.D.severity = D.Warning);
+  check_bool "names s2" true (d.D.loc = "state s2")
+
+let test_fsm_clean_machine () =
+  (* The toggle FF is reachable, reduced, connected: no FSM001/FSM002. *)
+  let diags = Fsm_lint.lint_machine ~subject:"toggle" (Zoo.toggle ()) in
+  check_bool "no unreachable" false (has_code "FSM001" diags);
+  check_bool "no equivalent states" false (has_code "FSM002" diags)
+
+let test_fsm_equivalent_states () =
+  (* s2 behaves exactly like s0 but is reachable: FSM002, not FSM001. *)
+  let m =
+    Machine.make ~name:"redundant" ~num_states:3 ~num_inputs:2 ~num_outputs:2
+      ~next:[| [| 1; 1 |]; [| 2; 0 |]; [| 1; 1 |] |]
+      ~output:[| [| 0; 1 |]; [| 1; 0 |]; [| 0; 1 |] |]
+      ()
+  in
+  let diags = Fsm_lint.lint_machine ~subject:"redundant" m in
+  check_bool "FSM002 fires" true (has_code "FSM002" diags);
+  check_bool "no FSM001" false (has_code "FSM001" diags)
+
+let test_kiss_nondeterministic () =
+  (* Two rows bind (s0, input 1) to different successors: FSM005 error. *)
+  let text = ".i 1\n.o 1\n.p 3\n1 s0 s1 1\n1 s0 s0 0\n0 s0 s0 0\n" in
+  let diags = Lint.lint_kiss_text ~name:"conflict" text |> snd in
+  check_bool "FSM005 fires" true
+    (errors_with "FSM005" diags <> [])
+
+let test_kiss_incomplete () =
+  (* (s1, 1) is unspecified: FSM006 warning, still parseable by policy. *)
+  let text = ".i 1\n.o 1\n1 s0 s1 1\n0 s0 s0 0\n0 s1 s0 1\n" in
+  let ctx, diags = Lint.lint_kiss_text ~name:"partial" text in
+  check_bool "parses" true (ctx <> None);
+  check_bool "FSM006 fires" true (has_code "FSM006" diags)
+
+(* --- seeded fault: conflicting cube pair ------------------------------- *)
+
+let cube input output =
+  Cube.make
+    ~input:(Array.map (function
+                | '0' -> Cube.Zero
+                | '1' -> Cube.One
+                | _ -> Cube.Dc)
+              (Array.init (String.length input) (String.get input)))
+    ~output:(Array.map (( = ) '1')
+               (Array.init (String.length output) (String.get output)))
+
+let test_cover_conflict () =
+  (* Specification: f = x1 (on-set {10,11}).  Implementation cube --/1
+     also asserts f on the off-set {00,01}: COV001. *)
+  let on = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "1-" "1" ] in
+  let dc = Cover.make ~num_vars:2 ~num_outputs:1 [] in
+  let result = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "--" "1" ] in
+  let diags = Cover_lint.check_block ~subject:"blk" ~on ~dc result in
+  check_bool "COV001 fires" true (errors_with "COV001" diags <> []);
+  check_bool "no COV002" false (has_code "COV002" diags)
+
+let test_cover_uncovered () =
+  (* Implementation drops the on-set minterm 11: COV002. *)
+  let on = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "1-" "1" ] in
+  let dc = Cover.make ~num_vars:2 ~num_outputs:1 [] in
+  let result = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "10" "1" ] in
+  let diags = Cover_lint.check_block ~subject:"blk" ~on ~dc result in
+  check_bool "COV002 fires" true (errors_with "COV002" diags <> []);
+  check_bool "no COV001" false (has_code "COV001" diags)
+
+let test_cover_exact_is_clean () =
+  let on = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "1-" "1" ] in
+  let dc = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "01" "1" ] in
+  let result = Cover.make ~num_vars:2 ~num_outputs:1 [ cube "1-" "1" ] in
+  check_int "clean" 0
+    (List.length (Cover_lint.check_block ~subject:"blk" ~on ~dc result))
+
+let test_cover_duplicate_and_contained () =
+  let c = Cover.make ~num_vars:2 ~num_outputs:1
+      [ cube "1-" "1"; cube "1-" "1"; cube "11" "1" ]
+  in
+  let diags = Cover_lint.check_redundancy ~subject:"blk" c in
+  check_bool "COV005 duplicate" true (has_code "COV005" diags);
+  check_bool "COV004 contained" true (has_code "COV004" diags)
+
+(* --- seeded fault: deliberate feedback wire ---------------------------- *)
+
+(* A fig. 1-shaped netlist by naming convention: register bit [r0] whose
+   next-state net [ns0] depends on [r0] itself - the R->C->R path the
+   prover must reject on a structure that claims to be feedback-free. *)
+let feedback_netlist () =
+  let b = B.create "seeded" in
+  let i0 = B.input b "i0" in
+  let r0 = B.input b "r0" in
+  let g = B.and_ b [ i0; r0 ] in
+  B.output b "ns0" g;
+  B.output b "po0" (B.not_ b r0);
+  B.finish b
+
+(* The fig. 4 shape: R1 feeds only C1 -> R2, R2 feeds only C2 -> R1. *)
+let pipeline_netlist () =
+  let b = B.create "pipe" in
+  let i0 = B.input b "i0" in
+  let r1 = B.input b "r1_0" in
+  let r2 = B.input b "r2_0" in
+  B.output b "r2n0" (B.and_ b [ i0; r1 ]);
+  B.output b "r1n0" (B.or_ b [ i0; r2 ]);
+  B.output b "po0" (B.buf b r2);
+  B.finish b
+
+let test_prover_rejects_feedback () =
+  let diags =
+    Netgraph.prove_pipeline ~subject:"seeded" ~required:true
+      (feedback_netlist ())
+  in
+  check_bool "NET010 error" true (errors_with "NET010" diags <> []);
+  check_bool "no NET011" false (has_code "NET011" diags)
+
+let test_prover_feedback_note_when_expected () =
+  (* Same netlist, but feedback is the expected fig. 1 structure: the
+     finding demotes to a note and the run stays error-free. *)
+  let diags =
+    Netgraph.prove_pipeline ~subject:"seeded" ~required:false
+      (feedback_netlist ())
+  in
+  check_bool "NET010 present" true (has_code "NET010" diags);
+  check_int "no errors" 0 (D.count D.Error diags)
+
+let test_prover_certifies_pipeline () =
+  let diags =
+    Netgraph.prove_pipeline ~subject:"pipe" ~required:true
+      (pipeline_netlist ())
+  in
+  check_bool "NET011 certificate" true (has_code "NET011" diags);
+  check_bool "no NET010" false (has_code "NET010" diags)
+
+let test_tarjan_cycles () =
+  (* 0 -> 1 -> 2 -> 0, 3 -> 4, 5 self-loop: two genuine cycles. *)
+  let succ = function
+    | 0 -> [ 1 ]
+    | 1 -> [ 2 ]
+    | 2 -> [ 0 ]
+    | 3 -> [ 4 ]
+    | 5 -> [ 5 ]
+    | _ -> []
+  in
+  let cyclic = Netgraph.cyclic_sccs ~n:6 ~succ in
+  check_int "two cycles" 2 (List.length cyclic);
+  check_bool "ring found" true (List.mem [ 0; 1; 2 ] cyclic);
+  check_bool "self-loop found" true (List.mem [ 5 ] cyclic);
+  let all = Netgraph.sccs ~n:6 ~succ in
+  check_int "six nodes partitioned" 6
+    (List.fold_left (fun n c -> n + List.length c) 0 all)
+
+let test_netlist_structure_checks () =
+  let b = B.create "floaty" in
+  let x = B.input b "x" in
+  let _unused = B.input b "y" in
+  let dead = B.not_ b x in
+  let _dead2 = B.and_ b [ dead; x ] in
+  B.output b "o" (B.buf b x);
+  let diags = Netgraph.structure ~subject:"floaty" (B.finish b) in
+  check_bool "NET002 floating gates" true (has_code "NET002" diags);
+  check_bool "NET004 unused input" true (has_code "NET004" diags);
+  check_bool "no cycle" false (has_code "NET001" diags)
+
+(* --- end-to-end: prover over the zoo ----------------------------------- *)
+
+let zoo_machines () =
+  [
+    Zoo.paper_fig5 ();
+    Zoo.shift_register ~bits:3;
+    Zoo.counter ~modulus:5;
+    Zoo.toggle ();
+    Zoo.serial_adder ();
+    Zoo.parity ();
+  ]
+
+let test_zoo_certified () =
+  List.iter
+    (fun m ->
+      let _ctx, diags = Lint.lint_machine m in
+      check_int (m.Machine.name ^ " has zero errors") 0
+        (D.count D.Error diags);
+      check_bool (m.Machine.name ^ " certified") true
+        (List.exists
+           (fun d -> d.D.code = "NET011" && d.D.severity = D.Info)
+           diags))
+    (zoo_machines ())
+
+let test_conventional_fails_prover () =
+  (* The fig. 1 realization has the R -> C -> R feedback by construction;
+     requiring the pipeline property of it must fail. *)
+  let ctx = Context.of_machine ~conventional:true (Zoo.paper_fig5 ()) in
+  let fig1 =
+    List.find (fun t -> t.Context.net_label = "fig1") ctx.Context.netlists
+  in
+  check_bool "fig1 is not required-feedback-free" false
+    fig1.Context.feedback_free;
+  let diags =
+    Netgraph.prove_pipeline ~subject:"fig5/fig1" ~required:true
+      fig1.Context.netlist
+  in
+  check_bool "NET010 error on fig1" true (errors_with "NET010" diags <> []);
+  (* ... while the same machine's fig4 netlist is certified. *)
+  let fig4 =
+    List.find (fun t -> t.Context.net_label = "fig4") ctx.Context.netlists
+  in
+  let diags =
+    Netgraph.prove_pipeline ~subject:"fig5/fig4" ~required:true
+      fig4.Context.netlist
+  in
+  check_bool "NET011 on fig4" true (has_code "NET011" diags)
+
+(* --- determinism ------------------------------------------------------- *)
+
+let render diags = Format.asprintf "%a" D.pp_report diags
+
+let test_reports_sorted_and_stable () =
+  let m = Zoo.paper_fig5 () in
+  let _, d1 = Lint.lint_machine m in
+  let _, d2 = Lint.lint_machine m in
+  (* Output is already in canonical order... *)
+  check_bool "sorted" true (D.sort d1 = d1);
+  (* ... and byte-stable across runs, in text and in JSON. *)
+  check_string "text stable" (render d1) (render d2);
+  check_string "json stable"
+    (Json.to_string (D.report_to_json ~subject:"fig5" d1))
+    (Json.to_string (D.report_to_json ~subject:"fig5" d2))
+
+let test_sort_orders_by_subject_code_loc () =
+  let d ~code ~subject ~loc = D.warning ~code ~subject ~loc "m" in
+  let a = d ~code:"FSM001" ~subject:"b" ~loc:"x" in
+  let b = d ~code:"COV001" ~subject:"b" ~loc:"x" in
+  let c = d ~code:"FSM001" ~subject:"a" ~loc:"y" in
+  let e = d ~code:"FSM001" ~subject:"a" ~loc:"x" in
+  check_bool "ordered" true
+    (D.sort [ a; b; c; e ] = [ e; c; b; a ]);
+  check_bool "dedup" true (D.sort [ a; a; a ] = [ a ])
+
+let test_json_report_shape () =
+  let diags =
+    [ D.error ~code:"COV001" ~subject:"m/c1" ~loc:"cube 0" "conflict" ]
+  in
+  let json = D.report_to_json ~subject:"m" diags in
+  let s = Json.to_string json in
+  let round = Json.parse_exn s in
+  check_bool "machine field" true (Json.member "machine" round <> None);
+  check_bool "diagnostics field" true
+    (Json.member "diagnostics" round <> None);
+  check_bool "summary field" true (Json.member "summary" round <> None)
+
+let test_werror_gate () =
+  let w = D.warning ~code:"FSM001" ~subject:"m" ~loc:"s" "w" in
+  let e = D.error ~code:"COV001" ~subject:"m" ~loc:"s" "e" in
+  let i = D.info ~code:"NET011" ~subject:"m" ~loc:"s" "i" in
+  check_bool "info never fails" false (D.fails ~werror:true [ i ]);
+  check_bool "warning passes" false (D.fails ~werror:false [ w; i ]);
+  check_bool "warning fails under werror" true (D.fails ~werror:true [ w ]);
+  check_bool "error always fails" true (D.fails ~werror:false [ e ])
+
+let test_pass_registry () =
+  let names =
+    List.map (fun p -> p.Stc_analysis.Pass.name) (Stc_analysis.Pass.all ())
+  in
+  List.iter
+    (fun n -> check_bool (n ^ " registered") true (List.mem n names))
+    [ "fsm-lint"; "cover-lint"; "net-graph"; "scoap" ];
+  check_bool "name-sorted" true (List.sort compare names = names)
+
+let test_scoap_summary_finite () =
+  let ctx = Context.of_machine (Zoo.toggle ()) in
+  let t = List.hd ctx.Context.netlists in
+  let net = t.Context.netlist in
+  let s = Stc_analysis.Scoap.summarize net (Stc_analysis.Scoap.analyze net) in
+  check_int "everything controllable" 0 s.Stc_analysis.Scoap.uncontrollable;
+  check_int "everything observable" 0 s.Stc_analysis.Scoap.unobservable;
+  check_bool "cc0 positive" true (s.Stc_analysis.Scoap.cc0_max >= 1)
+
+let () =
+  ignore codes;
+  Alcotest.run "stc_analysis"
+    [
+      ( "fsm-lint",
+        [
+          Alcotest.test_case "seeded unreachable state" `Quick
+            test_fsm_unreachable;
+          Alcotest.test_case "clean machine" `Quick test_fsm_clean_machine;
+          Alcotest.test_case "equivalent states" `Quick
+            test_fsm_equivalent_states;
+          Alcotest.test_case "nondeterministic kiss" `Quick
+            test_kiss_nondeterministic;
+          Alcotest.test_case "incomplete kiss" `Quick test_kiss_incomplete;
+        ] );
+      ( "cover-lint",
+        [
+          Alcotest.test_case "seeded conflicting cube" `Quick
+            test_cover_conflict;
+          Alcotest.test_case "uncovered minterm" `Quick test_cover_uncovered;
+          Alcotest.test_case "exact cover is clean" `Quick
+            test_cover_exact_is_clean;
+          Alcotest.test_case "duplicate and contained cubes" `Quick
+            test_cover_duplicate_and_contained;
+        ] );
+      ( "net-graph",
+        [
+          Alcotest.test_case "seeded feedback wire rejected" `Quick
+            test_prover_rejects_feedback;
+          Alcotest.test_case "feedback is a note when expected" `Quick
+            test_prover_feedback_note_when_expected;
+          Alcotest.test_case "pipeline shape certified" `Quick
+            test_prover_certifies_pipeline;
+          Alcotest.test_case "tarjan cycles" `Quick test_tarjan_cycles;
+          Alcotest.test_case "floating gates and unused inputs" `Quick
+            test_netlist_structure_checks;
+        ] );
+      ( "prover-end-to-end",
+        [
+          Alcotest.test_case "zoo realizations certified" `Slow
+            test_zoo_certified;
+          Alcotest.test_case "conventional fig1 fails prover" `Quick
+            test_conventional_fails_prover;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "reports sorted and byte-stable" `Quick
+            test_reports_sorted_and_stable;
+          Alcotest.test_case "sort key subject-code-loc" `Quick
+            test_sort_orders_by_subject_code_loc;
+          Alcotest.test_case "json report shape" `Quick test_json_report_shape;
+          Alcotest.test_case "werror gate" `Quick test_werror_gate;
+          Alcotest.test_case "pass registry" `Quick test_pass_registry;
+          Alcotest.test_case "scoap summary" `Quick test_scoap_summary_finite;
+        ] );
+    ]

@@ -29,4 +29,27 @@ dune exec tools/json_lint.exe -- "$obs_dir/trace.json" \
   traceEvents displayTimeUnit
 dune exec tools/json_lint.exe -- "$obs_dir/metrics.json" metrics
 
+echo "== static lint gate (benchmark suite, --werror) =="
+# Expected-clean set: each of these machines must lint with zero errors AND
+# zero warnings; --werror turns any regression into a nonzero exit.  Keep
+# the list explicit so a regression shows up as a diff of this file, not as
+# a silent skip.  s1 is excluded from the per-commit gate only because
+# minimizing its blocks exceeds the CI time budget; it is linted offline
+# (see EXPERIMENTS.md "Static analysis").
+LINT_WERROR_CLEAN="bbara bbtas dk14 dk15 dk16 dk17 dk27 dk512 mc shiftreg tav tbk"
+for m in $LINT_WERROR_CLEAN; do
+  echo "   lint --werror $m"
+  dune exec bin/ostr.exe -- lint "$m" --werror > /dev/null
+done
+# fig5 carries two known FSM001 warnings (its zoo encoding leaves two
+# states unreachable from reset, a genuine finding): errors are still
+# forbidden, warnings are expected, so no --werror here.
+echo "   lint fig5 (warnings expected, errors forbidden)"
+dune exec bin/ostr.exe -- lint fig5 > /dev/null
+
+echo "== lint JSON report must parse and carry the report keys =="
+dune exec bin/ostr.exe -- lint dk16 --json "$obs_dir/lint.json" > /dev/null
+dune exec tools/json_lint.exe -- "$obs_dir/lint.json" \
+  machine diagnostics summary
+
 echo "check.sh: all gates passed"
