@@ -13,7 +13,13 @@
      sizes against the paper; nonzero exit on timeout or mismatch.  This
      is the CI entry point (tools/check.sh).
    - `json`: write BENCH_solver.json - per-row sequential vs parallel
-     wall time, investigated / deduped node counts and speedup. *)
+     wall time, investigated / deduped node counts and speedup.
+   - `faultsim`: write BENCH_faultsim.json - per-machine naive vs
+     optimized (collapsed + cone-limited) vs multicore fault grading:
+     wall time, gate evaluations, collapse ratio, coverage; nonzero exit
+     if any engine disagrees with the naive reference.
+   - `faultsim-quick`: the same equivalence check on two small machines
+     with short sessions, no file written - the CI gate. *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -247,6 +253,221 @@ let run_json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fault-simulation trajectory: naive vs optimized vs multicore        *)
+(* ------------------------------------------------------------------ *)
+
+module Session = Stc_faultsim.Session
+
+let faultsim_machines =
+  [ "fig5"; "shiftreg"; "dk27"; "tav"; "mc"; "bbara"; "dk16" ]
+
+let counter_of name =
+  match Metrics.find name with Some (Metrics.Counter n) -> n | _ -> 0
+
+let hist_mean name =
+  match Metrics.find name with
+  | Some (Metrics.Histogram h) when h.Metrics.count > 0 ->
+    float_of_int h.Metrics.sum /. float_of_int h.Metrics.count
+  | _ -> 0.0
+
+type fs_run = {
+  fs_report : Session.report;
+  fs_wall : float;
+  fs_gate_evals : int;
+  fs_raw : int;
+  fs_classes : int;
+  fs_dom_skips : int;
+  fs_mean_cone : float;
+}
+
+(* One metered grading run.  Metrics are enabled only around [f] and
+   [need_cycles:false] is forced by the callers, so the dominance
+   shortcut stays on - this measures the production configuration, not
+   the histogram-exact one. *)
+let fs_instrumented f =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let fs_report, fs_wall = timed f in
+  let run =
+    {
+      fs_report;
+      fs_wall;
+      fs_gate_evals = counter_of "faultsim.gate_evals";
+      fs_raw = counter_of "faultsim.faults.raw";
+      fs_classes = counter_of "faultsim.faults.classes";
+      fs_dom_skips = counter_of "faultsim.dominance_skips";
+      fs_mean_cone = hist_mean "faultsim.cone_size";
+    }
+  in
+  Metrics.set_enabled false;
+  run
+
+type fs_row = {
+  fs_name : string;
+  fs_gates : int;
+  naive : fs_run;
+  opt : fs_run;  (* collapsed + cone-limited, jobs = 1 *)
+  par : fs_run;  (* same engine, jobs = par_jobs *)
+  (* Sequential random testing of the fig. 1 structure: per-class work is
+     a whole multi-cycle replay, so this is where fault-parallel domains
+     pay off (the combinational grading above is cone-limited into the
+     sub-millisecond range, where domain spawns dominate). *)
+  seq_j1 : float;
+  seq_jn : float;
+  seq_ok : bool;
+}
+
+let fs_equal a b =
+  a.Session.total = b.Session.total
+  && a.Session.detected = b.Session.detected
+  && a.Session.undetected = b.Session.undetected
+
+let fs_row_ok r =
+  fs_equal r.naive.fs_report r.opt.fs_report
+  && fs_equal r.naive.fs_report r.par.fs_report
+  && r.seq_ok
+
+let faultsim_row ~cycles name =
+  let machine =
+    match Experiments.machine_named name with
+    | Some m -> m
+    | None -> invalid_arg name
+  in
+  let built = Arch.pipeline_of_machine ~cycles machine in
+  let naive = fs_instrumented (fun () -> Arch.grade ~naive:true built) in
+  let opt =
+    fs_instrumented (fun () -> Arch.grade ~jobs:1 ~need_cycles:false built)
+  in
+  let par =
+    fs_instrumented (fun () ->
+        Arch.grade ~jobs:par_jobs ~need_cycles:false built)
+  in
+  let conv = Arch.conventional machine in
+  let enc = Tables.encode machine in
+  let code = enc.Tables.state_code in
+  let seqtest jobs =
+    Stc_faultsim.Seqtest.run ~jobs ~cycles
+      ~state_width:code.Stc_encoding.Code.width
+      ~reset_code:code.Stc_encoding.Code.codes.(machine.Machine.reset)
+      conv.Arch.netlist
+  in
+  let s1, seq_j1 = timed (fun () -> seqtest 1) in
+  let sn, seq_jn = timed (fun () -> seqtest par_jobs) in
+  let seq_ok =
+    s1.Stc_faultsim.Seqtest.detected = sn.Stc_faultsim.Seqtest.detected
+    && s1.Stc_faultsim.Seqtest.detection_cycles
+       = sn.Stc_faultsim.Seqtest.detection_cycles
+  in
+  {
+    fs_name = name;
+    fs_gates = Stc_netlist.Netlist.num_gates built.Arch.netlist;
+    naive;
+    opt;
+    par;
+    seq_j1;
+    seq_jn;
+    seq_ok;
+  }
+
+let json_of_fs_row r =
+  let ratio a b = float_of_int a /. Float.max 1.0 (float_of_int b) in
+  Json.Obj
+    [
+      ("name", Json.String r.fs_name);
+      ("gates", Json.Int r.fs_gates);
+      ("raw_faults", Json.Int r.opt.fs_raw);
+      ("classes", Json.Int r.opt.fs_classes);
+      ("collapse_ratio", Json.Float (ratio r.opt.fs_raw r.opt.fs_classes));
+      ("mean_cone", Json.Float r.opt.fs_mean_cone);
+      ( "naive",
+        Json.Obj
+          [
+            ("wall_s", Json.Float r.naive.fs_wall);
+            ("gate_evals", Json.Int r.naive.fs_gate_evals);
+          ] );
+      ( "optimized",
+        Json.Obj
+          [
+            ("wall_s", Json.Float r.opt.fs_wall);
+            ("gate_evals", Json.Int r.opt.fs_gate_evals);
+            ("dominance_skips", Json.Int r.opt.fs_dom_skips);
+          ] );
+      ( "parallel",
+        Json.Obj
+          [
+            ("jobs", Json.Int par_jobs);
+            ("wall_s", Json.Float r.par.fs_wall);
+          ] );
+      ( "gate_eval_ratio",
+        Json.Float (ratio r.naive.fs_gate_evals r.opt.fs_gate_evals) );
+      ( "speedup_optimized",
+        Json.Float (r.naive.fs_wall /. Float.max 1e-9 r.opt.fs_wall) );
+      ( "speedup_parallel",
+        Json.Float (r.opt.fs_wall /. Float.max 1e-9 r.par.fs_wall) );
+      ( "seqtest",
+        Json.Obj
+          [
+            ("wall_j1_s", Json.Float r.seq_j1);
+            ("wall_jn_s", Json.Float r.seq_jn);
+            ("jobs", Json.Int par_jobs);
+            ("speedup", Json.Float (r.seq_j1 /. Float.max 1e-9 r.seq_jn));
+          ] );
+      ("coverage", Json.Float r.naive.fs_report.Session.coverage);
+      ("detected", Json.Int r.naive.fs_report.Session.detected);
+      ("total", Json.Int r.naive.fs_report.Session.total);
+      ("equal", Json.Bool (fs_row_ok r));
+    ]
+
+let print_fs_row r =
+  Printf.printf
+    "%-8s %s  %d faults -> %d classes  naive %.3fs (%d evals)  opt %.3fs \
+     (%d evals, %.1fx fewer)  par(x%d) %.3fs (%.2fx)  seqtest %.2fs -> \
+     %.2fs (%.2fx)\n%!"
+    r.fs_name
+    (if fs_row_ok r then "ok  " else "FAIL")
+    r.opt.fs_raw r.opt.fs_classes r.naive.fs_wall r.naive.fs_gate_evals
+    r.opt.fs_wall r.opt.fs_gate_evals
+    (float_of_int r.naive.fs_gate_evals
+    /. Float.max 1.0 (float_of_int r.opt.fs_gate_evals))
+    par_jobs r.par.fs_wall
+    (r.opt.fs_wall /. Float.max 1e-9 r.par.fs_wall)
+    r.seq_j1 r.seq_jn
+    (r.seq_j1 /. Float.max 1e-9 r.seq_jn)
+
+let run_faultsim () =
+  let cycles = 2048 in
+  let rows = List.map (faultsim_row ~cycles) faultsim_machines in
+  List.iter print_fs_row rows;
+  let path = "BENCH_faultsim.json" in
+  Json.write path
+    (Json.Obj
+       [
+         ("bench", Json.String "faultsim");
+         ("cycles", Json.Int cycles);
+         ("parallel_jobs", Json.Int par_jobs);
+         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+         ("rows", Json.List (List.map json_of_fs_row rows));
+       ]);
+  Printf.printf "wrote %s\n" path;
+  let bad = List.filter (fun r -> not (fs_row_ok r)) rows in
+  if bad <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.printf "FAIL %s: optimized grading disagrees with naive\n"
+          r.fs_name)
+      bad;
+    exit 1
+  end
+
+(* CI gate: equivalence only, small machines, short sessions. *)
+let run_faultsim_quick () =
+  let rows = List.map (faultsim_row ~cycles:256) [ "fig5"; "dk27" ] in
+  List.iter print_fs_row rows;
+  let failures = List.length (List.filter (fun r -> not (fs_row_ok r)) rows) in
+  if failures = 0 then Printf.printf "faultsim quick: all rows ok\n";
+  exit failures
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,6 +586,8 @@ let () =
   match mode with
   | "quick" -> run_quick ()
   | "json" -> run_json ()
+  | "faultsim" -> run_faultsim ()
+  | "faultsim-quick" -> run_faultsim_quick ()
   | "micro" -> run_benchmarks ()
   | "tables" -> print_tables ()
   | "all" ->
@@ -373,5 +596,6 @@ let () =
   | other ->
     prerr_endline
       ("bench: unknown mode " ^ other
-     ^ " (expected all, tables, micro, quick or json)");
+     ^ " (expected all, tables, micro, quick, json, faultsim or \
+        faultsim-quick)");
     exit 2

@@ -56,8 +56,9 @@ let timeout_arg =
 
 let jobs_arg =
   let doc =
-    "Domains to fan the OSTR search over (default 1: deterministic \
-     sequential search; 0 means one per core)."
+    "Domains to fan the work over - the OSTR search, or the collapsed \
+     fault list when fault-grading (default 1: deterministic sequential \
+     run; 0 means one per core)."
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
@@ -307,9 +308,12 @@ let area_cmd =
     Term.(const run $ timeout_arg $ names_arg)
 
 let faultcov_cmd =
-  let run cycles names obs =
+  let run cycles jobs names obs =
     with_obs obs @@ fun () ->
-    let entries = Experiments.coverage ~cycles ?names:(split_names names) () in
+    let entries =
+      Experiments.coverage ~cycles ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_coverage entries)
   in
   let cycles =
@@ -321,11 +325,14 @@ let faultcov_cmd =
        ~doc:
          "Stuck-at fault coverage of the fig. 2/3/4 structures under their \
           BIST sessions.")
-    Term.(const run $ cycles $ names_arg $ obs_term)
+    Term.(const run $ cycles $ jobs_arg $ names_arg $ obs_term)
 
 let testlen_cmd =
-  let run cycles names =
-    let entries = Experiments.strategies ~cycles ?names:(split_names names) () in
+  let run cycles jobs names =
+    let entries =
+      Experiments.strategies ~cycles ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_strategies entries)
   in
   let cycles =
@@ -338,7 +345,7 @@ let testlen_cmd =
          "Compare test strategies: random sequential testing through the \
           primary pins, full scan, and the fig. 4 two-session BIST \
           (section 1's motivation, quantified).")
-    Term.(const run $ cycles $ names_arg)
+    Term.(const run $ cycles $ jobs_arg $ names_arg)
 
 let extensions_cmd =
   let run timeout names =
@@ -368,8 +375,11 @@ let decompose_cmd =
     Term.(const run $ timeout_arg $ names_arg)
 
 let aliasing_cmd =
-  let run cycles names =
-    let entries = Experiments.aliasing ~cycles ?names:(split_names names) () in
+  let run cycles jobs names =
+    let entries =
+      Experiments.aliasing ~cycles ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_aliasing entries)
   in
   let cycles =
@@ -381,15 +391,16 @@ let aliasing_cmd =
        ~doc:
          "Measure real MISR aliasing on the fig. 4 structure (quantifies \
           the grader's ideal-compaction assumption).")
-    Term.(const run $ cycles $ names_arg)
+    Term.(const run $ cycles $ jobs_arg $ names_arg)
 
 (* ------------------------------------------------------------------ *)
 (* selftest: narrated two-session BIST demo                            *)
 (* ------------------------------------------------------------------ *)
 
 let selftest_cmd =
-  let run spec cycles obs =
+  let run spec cycles jobs obs =
     let m = or_die (load_machine spec) in
+    let jobs = resolve_jobs jobs in
     with_obs obs @@ fun () ->
     let built = Arch.pipeline_of_machine ~cycles m in
     Format.printf "pipeline structure of %s: %d flip-flops, %d gates@."
@@ -398,7 +409,7 @@ let selftest_cmd =
     List.iteri
       (fun k (stimuli, observed) ->
         let report =
-          Session.run
+          Session.run ~jobs
             ~label:(Printf.sprintf "session %d" (k + 1))
             built.Arch.netlist ~stimuli ~observed
         in
@@ -408,7 +419,7 @@ let selftest_cmd =
           (100.0 *. report.Session.coverage)
           report.Session.detected report.Session.total)
       built.Arch.sessions;
-    let merged = Arch.grade built in
+    let merged = Arch.grade ~jobs built in
     Format.printf "both sessions combined: %.1f%% (%d/%d)@."
       (100.0 *. merged.Session.coverage)
       merged.Session.detected merged.Session.total
@@ -420,7 +431,7 @@ let selftest_cmd =
   Cmd.v
     (Cmd.info "selftest"
        ~doc:"Run the two-session self-test of the pipeline structure.")
-    Term.(const run $ machine_arg $ cycles $ obs_term)
+    Term.(const run $ machine_arg $ cycles $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* lint / scoap: static analysis                                       *)

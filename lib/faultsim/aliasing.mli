@@ -22,6 +22,11 @@ type report = {
 
 (** [measure ?cycles built] replays the sessions of a built architecture
     (typically {!Arch.pipeline}); [cycles] truncates each session's
-    stimuli (default: use them all).  Serial per fault - intended for
-    benchmark-sized machines. *)
-val measure : ?cycles:int -> Arch.built -> report
+    stimuli (default: use them all).
+
+    By default the packed golden responses are computed once per session
+    and each fault replays only its output cone through the collapsed
+    {!Engine} (one representative per class, verdicts weighted by class
+    size); [jobs] (default 1) shards the classes over domains.  [naive]
+    restores the reference full-replay-per-fault measurement. *)
+val measure : ?cycles:int -> ?jobs:int -> ?naive:bool -> Arch.built -> report

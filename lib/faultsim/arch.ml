@@ -137,6 +137,7 @@ let conventional_bist ?(cycles = 1024) machine =
   let stimuli = Array.make cycles [||] in
   let gen = Patterns.create ~widths:[| iw; w |] ~seed:0b10110 in
   let misr_r = Misr.create ~width:w ~seed:0 () in
+  let values = Array.make (Netlist.num_gates netlist) 0 in
   for cycle = 0 to cycles - 1 do
     let vec =
       Array.concat
@@ -148,7 +149,7 @@ let conventional_bist ?(cycles = 1024) machine =
         ]
     in
     stimuli.(cycle) <- vec;
-    let values = Netlist.eval netlist ~inputs:vec in
+    Netlist.eval_into netlist ~values ~inputs:vec;
     ignore (Misr.absorb misr_r (read_word values ns_gates));
     Patterns.step gen
   done;
@@ -204,6 +205,7 @@ let doubled ?(cycles = 1024) machine =
     let stimuli = Array.make cycles [||] in
     let gen = Patterns.create ~widths:[| iw; w |] ~seed in
     let misr = Misr.create ~width:w ~seed:0 () in
+    let values = Array.make (Netlist.num_gates netlist) 0 in
     for cycle = 0 to cycles - 1 do
       let gen_bits = word_bits ~width:w (Patterns.field gen 1) in
       let cap_bits = word_bits ~width:w (Misr.signature misr) in
@@ -214,7 +216,7 @@ let doubled ?(cycles = 1024) machine =
           Array.concat [ word_bits ~width:iw (Patterns.field gen 0); cap_bits; gen_bits ]
       in
       stimuli.(cycle) <- vec;
-      let values = Netlist.eval netlist ~inputs:vec in
+      Netlist.eval_into netlist ~values ~inputs:vec;
       ignore (Misr.absorb misr (read_word values active_ns));
       Patterns.step gen
     done;
@@ -280,6 +282,7 @@ let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
     let gen = Patterns.create ~widths:[| iw; gen_width |] ~seed in
     let misr = Misr.create ~width:cap_width ~seed:0 () in
     let compressed_gates = match generator with `R1 -> c1_out | `R2 -> c2_out in
+    let values = Array.make (Netlist.num_gates netlist) 0 in
     for cycle = 0 to cycles - 1 do
       let r1_bits, r2_bits =
         match generator with
@@ -294,7 +297,7 @@ let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
         Array.concat [ word_bits ~width:iw (Patterns.field gen 0); r1_bits; r2_bits ]
       in
       stimuli.(cycle) <- vec;
-      let values = Netlist.eval netlist ~inputs:vec in
+      Netlist.eval_into netlist ~values ~inputs:vec;
       ignore (Misr.absorb misr (read_word values compressed_gates));
       Patterns.step gen
     done;
@@ -322,8 +325,9 @@ let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
 let pipeline_of_machine ?cycles ?timeout machine =
   pipeline ?cycles (Tables.pipeline_of_machine ?timeout machine)
 
-let grade built =
-  Session.run_sessions ~label:built.label built.netlist built.sessions
+let grade ?jobs ?naive ?need_cycles built =
+  Session.run_sessions ?jobs ?naive ?need_cycles ~label:built.label
+    built.netlist built.sessions
 
 let undetected_by_tag built (report : Session.report) =
   let counts = Hashtbl.create 8 in

@@ -63,8 +63,10 @@ val pipeline_of_machine :
   ?cycles:int -> ?timeout:float -> Stc_fsm.Machine.t -> built
 
 (** [grade built] runs all sessions and merges the verdicts
-    ({!Session.run_sessions}). *)
-val grade : built -> Session.report
+    ({!Session.run_sessions}); [jobs]/[naive]/[need_cycles] are passed
+    through. *)
+val grade :
+  ?jobs:int -> ?naive:bool -> ?need_cycles:bool -> built -> Session.report
 
 (** [undetected_by_tag built report] buckets the undetected faults by tag
     name ("other" when untagged). *)

@@ -1,0 +1,104 @@
+(** High-throughput stuck-at fault grading.
+
+    The engine combines three optimizations over the naive
+    one-full-eval-per-fault-per-batch grader, all of them exact:
+
+    - {b structural fault collapsing} ({!Netlist.collapse}): only one
+      representative per equivalence class is simulated, and dominance
+      lets verdict-only runs skip dominator classes whose detection is
+      already implied;
+    - {b cone-limited incremental evaluation}: the golden circuit is
+      evaluated once per pattern batch; each fault then re-evaluates only
+      the gates in its output cone whose fanin actually differs, with an
+      early exit when the difference frontier dies out;
+    - {b fault-parallel multicore grading}: the collapsed class list is
+      sharded over OCaml domains through an atomic cursor, one scratch
+      buffer per domain.
+
+    Instrumentation (when {!Stc_obs.Metrics} is enabled): counters
+    [faultsim.faults.raw], [faultsim.faults.classes],
+    [faultsim.dominance_skips], [faultsim.gate_evals]; histograms
+    [faultsim.cone_size] and [faultsim.domain_wall_ms]. *)
+
+(** One input vector per cycle (0/1 per input, in netlist input order). *)
+type stimuli = int array array
+
+(** Bit-packed stimuli: [words.(b).(k)] carries {!Netlist.word_bits}
+    consecutive cycles of input [k] in its bit lanes, [masks.(b)] selects
+    the valid lanes of batch [b]. *)
+type packed = {
+  cycles : int;
+  words : int array array;
+  masks : int array;
+}
+
+val pack : stimuli -> packed
+
+val num_batches : packed -> int
+
+(** [first_lane w] is the lowest set bit index of [w] - the first cycle
+    within a batch where a difference shows.
+    @raise Invalid_argument on [w = 0]. *)
+val first_lane : int -> int
+
+(** A netlist prepared for fast grading: collapsed fault list plus the
+    output cone of every representative fault site. *)
+type t
+
+(** [create ?protected net] collapses the fault universe and precomputes
+    cones.  [protected] must include every gate any session observes
+    (default: the declared outputs) - faults on those gates are kept
+    distinct so equivalences never merge across an observation point. *)
+val create : ?protected:int array -> Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+val collapsed : t -> Netlist.collapsed
+
+(** Golden values, one full evaluation per batch: [g.(b).(gate)]. *)
+type golden = int array array
+
+val golden : t -> packed -> golden
+
+(** Per-domain workspace for incremental faulty evaluation. *)
+type scratch
+
+val scratch : t -> scratch
+
+(** [Detected None] means the fault is provably detected but the exact
+    first-detection cycle was not tracked (dominance skip, or
+    [need_cycles = false] grading). *)
+type verdict = Undetected | Detected of int option
+
+(** [grade t ~jobs ~need_cycles p g ~observed ~active] grades every class
+    with [active.(class)] set against the packed batches, returning one
+    verdict per class (inactive classes report [Undetected] - ignore
+    them).  [need_cycles] asks for exact first-detection cycles, which
+    disables the dominance shortcut and the early-exit scan.
+    [dominance] (default [true]) may be forced off for benchmarking. *)
+val grade :
+  t ->
+  jobs:int ->
+  need_cycles:bool ->
+  ?dominance:bool ->
+  packed ->
+  golden ->
+  observed:int array ->
+  active:bool array ->
+  verdict array
+
+(** [response t scr g p ~batch fault ~observed ~into] writes the faulty
+    words of the [observed] gates for one batch into [into] (same length
+    and order as [observed]) and reports whether any valid lane differs
+    from golden.  Used by {!Aliasing} to feed MISR signatures without
+    re-simulating whole sessions. *)
+val response :
+  t ->
+  scratch ->
+  golden ->
+  packed ->
+  batch:int ->
+  Netlist.fault ->
+  observed:int array ->
+  into:int array ->
+  bool

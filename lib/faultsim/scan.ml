@@ -9,7 +9,7 @@ type result = {
   extra_muxes : int;
 }
 
-let run ?(patterns = 1024) machine =
+let run ?jobs ?naive ?(patterns = 1024) machine =
   let built = Arch.conventional machine in
   let net = built.Arch.netlist in
   let enc = Tables.encode machine in
@@ -24,7 +24,11 @@ let run ?(patterns = 1024) machine =
         Array.init (iw + w) (fun k -> (v lsr k) land 1))
   in
   let observed = Array.map snd net.Netlist.outputs in
-  let report = Session.run ~label:(machine.Stc_fsm.Machine.name ^ " scan") net ~stimuli ~observed in
+  let report =
+    Session.run ?jobs ?naive
+      ~label:(machine.Stc_fsm.Machine.name ^ " scan")
+      net ~stimuli ~observed
+  in
   {
     report;
     patterns;

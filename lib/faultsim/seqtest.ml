@@ -15,7 +15,8 @@ let lane_mask = (1 lsl Netlist.word_bits) - 1
 let code_bit_word ~width code k =
   if code land (1 lsl (width - 1 - k)) <> 0 then lane_mask else 0
 
-let run ?(seed = 20240705) ~cycles ~state_width ~reset_code (net : Netlist.t) =
+let run ?(seed = 20240705) ?(jobs = 1) ?(naive = false) ~cycles ~state_width
+    ~reset_code (net : Netlist.t) =
   let num_inputs = Array.length net.Netlist.inputs in
   if num_inputs <= state_width then
     invalid_arg "Seqtest.run: netlist has no primary inputs beside the state";
@@ -42,16 +43,19 @@ let run ?(seed = 20240705) ~cycles ~state_width ~reset_code (net : Netlist.t) =
   let initial_state =
     Array.init state_width (code_bit_word ~width:state_width reset_code)
   in
-  let simulate ?fault ~observe () =
-    (* [observe cycle po_words] may stop the run by returning true. *)
+  let num_gates = Netlist.num_gates net in
+  let simulate ?fault ~values ~inputs ~observe () =
+    (* [observe cycle values] may stop the run by returning true.
+       [values] and [inputs] are the caller's buffers (one set per
+       domain) - the loop allocates nothing per cycle. *)
     let state = Array.copy initial_state in
     let stopped = ref None in
     let cycle = ref 0 in
     while !stopped = None && !cycle < cycles do
-      let inputs = Array.append stimulus.(!cycle) state in
-      let values = Netlist.eval ?fault net ~inputs in
-      let po = Array.map (fun g -> values.(g)) po_gates in
-      if observe !cycle po then stopped := Some !cycle
+      Array.blit stimulus.(!cycle) 0 inputs 0 primary;
+      Array.blit state 0 inputs primary state_width;
+      Netlist.eval_into ?fault net ~values ~inputs;
+      if observe !cycle values then stopped := Some !cycle
       else begin
         Array.iteri (fun k g -> state.(k) <- values.(g) land lane_mask) ns_gates;
         incr cycle
@@ -61,51 +65,104 @@ let run ?(seed = 20240705) ~cycles ~state_width ~reset_code (net : Netlist.t) =
   in
   (* Golden primary-output trace. *)
   let golden = Array.make cycles [||] in
+  let gvalues = Array.make num_gates 0 in
+  let ginputs = Array.make num_inputs 0 in
   ignore
-    (simulate ~observe:(fun cycle po ->
-         golden.(cycle) <- po;
+    (simulate ~values:gvalues ~inputs:ginputs
+       ~observe:(fun cycle values ->
+         golden.(cycle) <- Array.map (fun g -> values.(g)) po_gates;
          false)
        ());
-  let faults = Netlist.fault_sites net in
-  let detections = ref [] in
-  let detected = ref 0 in
-  List.iter
-    (fun fault ->
-      let hit =
-        simulate ~fault
-          ~observe:(fun cycle po ->
-            let differs = ref false in
-            Array.iteri
-              (fun k v ->
-                if (v lxor golden.(cycle).(k)) land lane_mask <> 0 then
-                  differs := true)
-              po;
-            !differs)
-          ()
+  let first_detect ~values ~inputs fault =
+    simulate ~fault ~values ~inputs
+      ~observe:(fun cycle values ->
+        let g = golden.(cycle) in
+        let differs = ref false in
+        Array.iteri
+          (fun k gate ->
+            if (values.(gate) lxor g.(k)) land lane_mask <> 0 then
+              differs := true)
+          po_gates;
+        !differs)
+      ()
+  in
+  let total, detected, detections =
+    if naive then begin
+      let faults = Netlist.fault_sites net in
+      let detections = ref [] and detected = ref 0 in
+      List.iter
+        (fun fault ->
+          match first_detect ~values:gvalues ~inputs:ginputs fault with
+          | Some cycle ->
+            incr detected;
+            detections := cycle :: !detections
+          | None -> ())
+        faults;
+      (List.length faults, !detected, !detections)
+    end
+    else begin
+      (* Both the primary outputs and the fed-back next-state lines must
+         stay distinct under collapsing: equivalent faults then share the
+         exact same state evolution and first-detection cycle, so one
+         simulation per class is exact for every member. *)
+      let cl =
+        Netlist.collapse ~protected:(Array.append ns_gates po_gates) net
       in
-      match hit with
-      | Some cycle ->
-        incr detected;
-        detections := cycle :: !detections
-      | None -> ())
-    faults;
-  let detection_cycles = Array.of_list !detections in
+      let num_classes = Array.length cl.Netlist.representatives in
+      let hits = Array.make num_classes None in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let values = Array.make num_gates 0 in
+        let inputs = Array.make num_inputs 0 in
+        let rec loop () =
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c < num_classes then begin
+            hits.(c) <-
+              first_detect ~values ~inputs
+                cl.Netlist.faults.(cl.Netlist.representatives.(c));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let jobs = max 1 (min jobs (max 1 num_classes)) in
+      if jobs = 1 then worker ()
+      else begin
+        let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join domains
+      end;
+      let detections = ref [] and detected = ref 0 in
+      Array.iteri
+        (fun c hit ->
+          match hit with
+          | Some cycle ->
+            let members = Array.length cl.Netlist.classes.(c) in
+            detected := !detected + members;
+            for _ = 1 to members do
+              detections := cycle :: !detections
+            done
+          | None -> ())
+        hits;
+      (Array.length cl.Netlist.faults, !detected, !detections)
+    end
+  in
+  let detection_cycles = Array.of_list detections in
   Array.sort compare detection_cycles;
-  let total = List.length faults in
   {
     total;
-    detected = !detected;
+    detected;
     coverage =
-      (if total = 0 then 1.0 else float_of_int !detected /. float_of_int total);
+      (if total = 0 then 1.0 else float_of_int detected /. float_of_int total);
     detection_cycles;
     cycles;
   }
 
-let run_conventional ?seed ?(cycles = 2048) machine =
+let run_conventional ?seed ?jobs ?naive ?(cycles = 2048) machine =
   let built = Arch.conventional machine in
   let enc = Tables.encode machine in
   let code = enc.Tables.state_code in
-  run ?seed ~cycles ~state_width:code.Stc_encoding.Code.width
+  run ?seed ?jobs ?naive ~cycles ~state_width:code.Stc_encoding.Code.width
     ~reset_code:code.Stc_encoding.Code.codes.(machine.Stc_fsm.Machine.reset)
     built.Arch.netlist
 

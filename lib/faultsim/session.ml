@@ -11,73 +11,16 @@ type report = {
   undetected : Netlist.fault list;
 }
 
-let pack (stimuli : stimuli) =
-  match Array.length stimuli with
-  | 0 -> []
-  | cycles ->
-    let num_inputs = Array.length stimuli.(0) in
-    let w = Netlist.word_bits in
-    let batches = (cycles + w - 1) / w in
-    List.init batches (fun b ->
-        Array.init num_inputs (fun k ->
-            let word = ref 0 in
-            for lane = 0 to w - 1 do
-              let cycle = (b * w) + lane in
-              if cycle < cycles && stimuli.(cycle).(k) <> 0 then
-                word := !word lor (1 lsl lane)
-            done;
-            !word))
+let pack stimuli = Array.to_list (Engine.pack stimuli).Engine.words
 
-(* Mask of the lanes that carry real cycles in batch [b]. *)
-let lane_masks ~cycles =
-  let w = Netlist.word_bits in
-  let batches = (cycles + w - 1) / w in
-  List.init batches (fun b ->
-      let valid = min w (cycles - (b * w)) in
-      (* (1 lsl 62) - 1 = max_int: exactly the 62 pattern lanes. *)
-      (1 lsl valid) - 1)
+(* Same registered counter as the engine's, so naive and optimized runs
+   report gate evaluations on a common scale. *)
+let m_gate_evals = Metrics.counter "faultsim.gate_evals"
 
 let observe netlist ?fault ~inputs observed =
   let values = Netlist.eval ?fault netlist ~inputs in
+  Metrics.add m_gate_evals (Netlist.num_gates netlist);
   Array.map (fun g -> values.(g)) observed
-
-(* Lowest set bit index = first simulation lane (cycle within the batch)
-   where the faulty response differs. *)
-let first_lane word =
-  let rec go k w = if w land 1 = 1 then k else go (k + 1) (w lsr 1) in
-  go 0 word
-
-let grade ?on_detect netlist ~batches ~masks ~observed faults =
-  (* Golden responses per batch. *)
-  let golden =
-    List.map (fun inputs -> observe netlist ~inputs observed) batches
-  in
-  let w = Netlist.word_bits in
-  let undetected = ref [] and detected = ref 0 in
-  List.iter
-    (fun fault ->
-      let rec try_batches b batches golden masks =
-        match (batches, golden, masks) with
-        | [], [], [] -> false
-        | inputs :: rest, g :: grest, m :: mrest ->
-          let faulty = observe netlist ~fault ~inputs observed in
-          let diff = ref 0 in
-          Array.iteri
-            (fun k v -> diff := !diff lor ((v lxor g.(k)) land m))
-            faulty;
-          if !diff <> 0 then begin
-            (match on_detect with
-            | Some f -> f ~cycle:((b * w) + first_lane !diff)
-            | None -> ());
-            true
-          end
-          else try_batches (b + 1) rest grest mrest
-        | _ -> assert false
-      in
-      if try_batches 0 batches golden masks then incr detected
-      else undetected := fault :: !undetected)
-    faults;
-  (!detected, List.rev !undetected)
 
 (* Coverage-over-patterns histogram for one session: each detected fault
    contributes its first detection cycle, so the cumulative counts show
@@ -95,52 +38,165 @@ let detect_histogram label =
 
 let observe_detect hist ~cycle = Metrics.observe hist (cycle + 1)
 
-let run ~label netlist ~stimuli ~observed =
-  Trace.span ~cat:"faultsim" ("session:" ^ label) @@ fun () ->
-  let faults = Netlist.fault_sites netlist in
-  let batches = pack stimuli in
-  let masks = lane_masks ~cycles:(Array.length stimuli) in
-  let hist = detect_histogram label in
-  let detected, undetected =
-    grade ~on_detect:(observe_detect hist) netlist ~batches ~masks ~observed
-      faults
-  in
-  let total = List.length faults in
+let report ~label ~total ~detected ~undetected =
   {
     label;
     total;
     detected;
-    coverage = (if total = 0 then 1.0 else float_of_int detected /. float_of_int total);
+    coverage =
+      (if total = 0 then 1.0 else float_of_int detected /. float_of_int total);
     undetected;
   }
 
-let run_sessions ~label netlist sessions =
-  Trace.span ~cat:"faultsim" ("sessions:" ^ label) @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* Naive reference grader: full netlist evaluation per fault per batch  *)
+(* ------------------------------------------------------------------ *)
+
+let grade_naive ?on_detect netlist ~(packed : Engine.packed) ~observed faults =
+  let golden =
+    Array.map (fun inputs -> observe netlist ~inputs observed) packed.Engine.words
+  in
+  let w = Netlist.word_bits in
+  let nb = Engine.num_batches packed in
+  let undetected = ref [] and detected = ref 0 in
+  List.iter
+    (fun fault ->
+      let rec try_batches b =
+        if b >= nb then false
+        else begin
+          let faulty =
+            observe netlist ~fault ~inputs:packed.Engine.words.(b) observed
+          in
+          let g = golden.(b) and m = packed.Engine.masks.(b) in
+          let diff = ref 0 in
+          Array.iteri
+            (fun k v -> diff := !diff lor ((v lxor g.(k)) land m))
+            faulty;
+          if !diff <> 0 then begin
+            (match on_detect with
+            | Some f -> f ~cycle:((b * w) + Engine.first_lane !diff)
+            | None -> ());
+            true
+          end
+          else try_batches (b + 1)
+        end
+      in
+      if try_batches 0 then incr detected
+      else undetected := fault :: !undetected)
+    faults;
+  (!detected, List.rev !undetected)
+
+let run_sessions_naive ~label netlist sessions =
   let faults = Netlist.fault_sites netlist in
   let total = List.length faults in
   let remaining = ref faults and detected = ref 0 in
-  List.iteri
-    (fun k (stimuli, observed) ->
-      let session_label = Printf.sprintf "%s.s%d" label (k + 1) in
+  List.iter2
+    (fun session_label (stimuli, observed) ->
       Trace.span ~cat:"faultsim" ("session:" ^ session_label) @@ fun () ->
-      let batches = pack stimuli in
-      let masks = lane_masks ~cycles:(Array.length stimuli) in
+      let packed = Engine.pack stimuli in
       let hist = detect_histogram session_label in
       let d, undetected =
-        grade ~on_detect:(observe_detect hist) netlist ~batches ~masks
-          ~observed !remaining
+        grade_naive ~on_detect:(observe_detect hist) netlist ~packed ~observed
+          !remaining
       in
       detected := !detected + d;
       remaining := undetected)
+    (List.mapi (fun k _ -> Printf.sprintf "%s.s%d" label (k + 1)) sessions)
     sessions;
-  {
-    label;
-    total;
-    detected = !detected;
-    coverage =
-      (if total = 0 then 1.0 else float_of_int !detected /. float_of_int total);
-    undetected = !remaining;
-  }
+  report ~label ~total ~detected:!detected ~undetected:!remaining
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: collapsed classes + cone-limited eval + fault-parallel    *)
+(* ------------------------------------------------------------------ *)
+
+let union_observed sessions =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, observed) ->
+      Array.iter (fun g -> Hashtbl.replace tbl g ()) observed)
+    sessions;
+  Array.of_list (List.sort compare (Hashtbl.fold (fun g () acc -> g :: acc) tbl []))
+
+let run_sessions_fast ~jobs ~need_cycles ~session_labels netlist sessions =
+  (* Protect every gate any session observes: equivalences must never fold
+     a fault across an observation point. *)
+  let eng = Engine.create ~protected:(union_observed sessions) netlist in
+  let cl = Engine.collapsed eng in
+  let faults = cl.Netlist.faults in
+  let num_classes = Array.length cl.Netlist.representatives in
+  let active = Array.make num_classes true in
+  let detected = ref 0 in
+  List.iter2
+    (fun session_label (stimuli, observed) ->
+      Trace.span ~cat:"faultsim" ("session:" ^ session_label) @@ fun () ->
+      let p = Engine.pack stimuli in
+      let g = Engine.golden eng p in
+      let verdicts = Engine.grade eng ~jobs ~need_cycles p g ~observed ~active in
+      let hist = detect_histogram session_label in
+      Array.iteri
+        (fun c verdict ->
+          if active.(c) then
+            match verdict with
+            | Engine.Undetected -> ()
+            | Engine.Detected cyc ->
+              active.(c) <- false;
+              let members = cl.Netlist.classes.(c) in
+              detected := !detected + Array.length members;
+              (* Equivalent faults share the exact same faulty responses,
+                 hence the same first-detection cycle: credit each raw
+                 member so histograms count raw faults. *)
+              (match cyc with
+              | Some cycle ->
+                Array.iter (fun _ -> observe_detect hist ~cycle) members
+              | None -> ()))
+        verdicts)
+    session_labels sessions;
+  let undetected = ref [] in
+  for i = Array.length faults - 1 downto 0 do
+    if active.(cl.Netlist.class_of.(i)) then
+      undetected := faults.(i) :: !undetected
+  done;
+  (!detected, !undetected, Array.length faults)
+
+let defaults ?(jobs = 1) ?(naive = false) ?need_cycles () =
+  let need_cycles =
+    match need_cycles with Some b -> b | None -> Metrics.enabled ()
+  in
+  (jobs, naive, need_cycles)
+
+let run ?jobs ?naive ?need_cycles ~label netlist ~stimuli ~observed =
+  let jobs, naive, need_cycles = defaults ?jobs ?naive ?need_cycles () in
+  if naive then
+    Trace.span ~cat:"faultsim" ("session:" ^ label) @@ fun () ->
+    let faults = Netlist.fault_sites netlist in
+    let packed = Engine.pack stimuli in
+    let hist = detect_histogram label in
+    let detected, undetected =
+      grade_naive ~on_detect:(observe_detect hist) netlist ~packed ~observed
+        faults
+    in
+    report ~label ~total:(List.length faults) ~detected ~undetected
+  else begin
+    let detected, undetected, total =
+      run_sessions_fast ~jobs ~need_cycles ~session_labels:[ label ] netlist
+        [ (stimuli, observed) ]
+    in
+    report ~label ~total ~detected ~undetected
+  end
+
+let run_sessions ?jobs ?naive ?need_cycles ~label netlist sessions =
+  let jobs, naive, need_cycles = defaults ?jobs ?naive ?need_cycles () in
+  Trace.span ~cat:"faultsim" ("sessions:" ^ label) @@ fun () ->
+  if naive then run_sessions_naive ~label netlist sessions
+  else begin
+    let session_labels =
+      List.mapi (fun k _ -> Printf.sprintf "%s.s%d" label (k + 1)) sessions
+    in
+    let detected, undetected, total =
+      run_sessions_fast ~jobs ~need_cycles ~session_labels netlist sessions
+    in
+    report ~label ~total ~detected ~undetected
+  end
 
 let fault_on (fault : Netlist.fault) tags =
   List.find_map

@@ -6,6 +6,12 @@
     fault is detected when any observed net differs from the fault-free
     value in any cycle.
 
+    Grading runs on the optimized {!Engine} by default - structurally
+    collapsed fault classes, cone-limited incremental evaluation, and
+    optional fault-parallel domains - and is detect-for-detect identical
+    to the naive full-evaluation grader, which is kept behind [~naive]
+    as the reference for equivalence tests and benchmarks.
+
     Two deliberate modelling simplifications, both conservative:
     - compression aliasing is ignored (streams are compared directly, as
       if the MISR were ideal);
@@ -18,7 +24,7 @@ type stimuli = int array array
 
 type report = {
   label : string;
-  total : int;  (** faults simulated *)
+  total : int;  (** raw faults graded (before collapsing) *)
   detected : int;
   coverage : float;  (** detected / total *)
   undetected : Netlist.fault list;
@@ -27,14 +33,32 @@ type report = {
 (** [run ~label netlist ~stimuli ~observed] grades every fault site of the
     netlist against the stimulus stream, observing the gates in
     [observed].  Patterns are packed {!Netlist.word_bits} per simulation
-    word and faults are dropped at first detection. *)
+    word and faults are dropped at first detection.
+
+    [jobs] (default 1) shards the collapsed fault list over that many
+    domains.  [naive] (default false) switches to the reference
+    full-evaluation grader.  [need_cycles] asks for exact first-detection
+    cycles (feeding the [faultsim.detect_cycle.*] histograms) at the cost
+    of the dominance shortcut and early-exit scans; it defaults to
+    [Stc_obs.Metrics.enabled ()] so instrumented runs stay exact. *)
 val run :
-  label:string -> Netlist.t -> stimuli:stimuli -> observed:int array -> report
+  ?jobs:int ->
+  ?naive:bool ->
+  ?need_cycles:bool ->
+  label:string ->
+  Netlist.t ->
+  stimuli:stimuli ->
+  observed:int array ->
+  report
 
 (** [run_sessions ~label netlist sessions] grades the same fault universe
     against several sessions (e.g. the two sessions of fig. 4); a fault
-    counts as detected when any session detects it. *)
+    counts as detected when any session detects it.  Options as in
+    {!run}. *)
 val run_sessions :
+  ?jobs:int ->
+  ?naive:bool ->
+  ?need_cycles:bool ->
   label:string ->
   Netlist.t ->
   (stimuli * int array) list ->
@@ -42,7 +66,7 @@ val run_sessions :
 
 (** [pack stimuli] transposes a cycle-major 0/1 matrix into word-parallel
     batches: one [int array] of input words per group of
-    {!Netlist.word_bits} cycles. *)
+    {!Netlist.word_bits} cycles.  Thin wrapper over {!Engine.pack}. *)
 val pack : stimuli -> int array list
 
 (** [fault_on fault tags] finds the tag naming the fault's gate, if any;

@@ -79,6 +79,11 @@ end
 (** [num_gates n] counts all gates, inputs included. *)
 val num_gates : t -> int
 
+(** [operands g] is the fanin of [g] in pin order (empty for inputs and
+    constants).  For And/Or/Xor this is the gate's internal array - do
+    not mutate it. *)
+val operands : gate -> int array
+
 type stats = {
   gates : int;  (** logic gates (excluding inputs and constants) *)
   literals : int;  (** total fanin count of And/Or/Xor/Mux gates *)
@@ -94,6 +99,13 @@ val stats : t -> stats
     @raise Invalid_argument if [inputs] length mismatches. *)
 val eval : ?fault:fault -> t -> inputs:int array -> int array
 
+(** [eval_into net ?fault ~values ~inputs] is {!eval} writing into the
+    caller-provided buffer [values] (length {!num_gates}) instead of
+    allocating - the fault simulator's hot loop reuses one buffer across
+    thousands of evaluations.
+    @raise Invalid_argument on input or buffer length mismatch. *)
+val eval_into : ?fault:fault -> t -> values:int array -> inputs:int array -> unit
+
 (** [eval_outputs net ?fault ~inputs] returns just the primary output
     words, in declaration order. *)
 val eval_outputs : ?fault:fault -> t -> inputs:int array -> int array
@@ -104,5 +116,51 @@ val eval_outputs : ?fault:fault -> t -> inputs:int array -> int array
     driver; faults on [Input] outputs are kept, [Const] gates have
     none). *)
 val fault_sites : t -> fault list
+
+(** [readers net] is the fanout map: [readers.(g)] lists the
+    [(reader, pin)] pairs that consume gate [g], in gate order. *)
+val readers : t -> (int * int) array array
+
+(** [cone ?readers net g] is the output cone of gate [g]: every gate whose
+    value can change when [g]'s value changes ([g] included), in ascending
+    (= topological) index order.  Pass a precomputed [readers] map to
+    amortize the fanout scan across many cones. *)
+val cone : ?readers:(int * int) array array -> t -> int -> int array
+
+(** Structural single-stuck-at fault collapsing.
+
+    The raw fault universe ({!fault_sites}) is partitioned into
+    equivalence classes of faults with identical faulty behaviour on
+    every observable net:
+    - an And input s-a-0 forces the output to 0, exactly like the output
+      s-a-0 (dually Or input/output s-a-1);
+    - a Buf (Not) output fault equals its driver's output fault (inverted
+      for Not) when the driver feeds nothing else and is not observable;
+    - a fanout-free, unobservable stem's output faults equal the reader's
+      corresponding input-pin faults.
+
+    Simulating one representative per class gives the exact verdict (and
+    first-detection cycle) of every member.  [dominated_by] additionally
+    records dominance: detection of any listed class implies detection of
+    the indexed class (And output s-a-1 is detected by any test for one
+    of its input s-a-1 faults, dually for Or s-a-0), letting a
+    verdict-only grader skip simulating dominator classes. *)
+type collapsed = {
+  faults : fault array;  (** the raw universe, in {!fault_sites} order *)
+  class_of : int array;  (** fault index -> dense class id *)
+  classes : int array array;
+      (** class id -> member fault indices, ascending *)
+  representatives : int array;
+      (** class id -> least member fault index *)
+  dominated_by : int array array;
+      (** class id -> classes whose detection implies this class detected
+          (empty for most classes) *)
+}
+
+(** [collapse ?protected net] collapses the fault list.  [protected]
+    names the gates that may ever be observed directly (a session's
+    observed nets); faults on protected gates are never folded onto
+    neighbours.  Default: the netlist's declared outputs. *)
+val collapse : ?protected:int array -> t -> collapsed
 
 val pp : Format.formatter -> t -> unit

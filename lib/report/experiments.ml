@@ -190,7 +190,7 @@ let machine_named name =
 
 let default_coverage_names = [ "fig5"; "shiftreg"; "dk27"; "tav"; "mc"; "bbara" ]
 
-let coverage ?cycles ?timeout ?names () =
+let coverage ?cycles ?timeout ?jobs ?names () =
   let names = match names with Some ns -> ns | None -> default_coverage_names in
   List.map
     (fun name ->
@@ -202,7 +202,9 @@ let coverage ?cycles ?timeout ?names () =
       let fig2 = Arch.conventional_bist ?cycles machine in
       let fig3 = Arch.doubled ?cycles machine in
       let fig4 = Arch.pipeline_of_machine ?cycles ?timeout machine in
-      let r2 = Arch.grade fig2 and r3 = Arch.grade fig3 and r4 = Arch.grade fig4 in
+      let r2 = Arch.grade ?jobs fig2
+      and r3 = Arch.grade ?jobs fig3
+      and r4 = Arch.grade ?jobs fig4 in
       let escaped =
         List.fold_left
           (fun acc (tag, n) ->
@@ -263,15 +265,15 @@ let resolve name =
 
 let default_strategy_names = [ "fig5"; "shiftreg"; "counter8"; "dk27"; "mc" ]
 
-let strategies ?(cycles = 1024) ?names () =
+let strategies ?(cycles = 1024) ?jobs ?names () =
   let names = match names with Some ns -> ns | None -> default_strategy_names in
   List.map
     (fun name ->
       let machine = resolve name in
-      let seq = Stc_faultsim.Seqtest.run_conventional ~cycles machine in
-      let scan = Stc_faultsim.Scan.run ~patterns:cycles machine in
+      let seq = Stc_faultsim.Seqtest.run_conventional ?jobs ~cycles machine in
+      let scan = Stc_faultsim.Scan.run ?jobs ~patterns:cycles machine in
       let fig4 = Arch.pipeline_of_machine ~cycles machine in
-      let bist = Arch.grade fig4 in
+      let bist = Arch.grade ?jobs fig4 in
       {
         name;
         seq_coverage = seq.Stc_faultsim.Seqtest.coverage;
@@ -422,13 +424,13 @@ type aliasing_entry = {
 
 let default_aliasing_names = [ "fig5"; "shiftreg"; "dk27"; "tav"; "mc" ]
 
-let aliasing ?(cycles = 512) ?names () =
+let aliasing ?(cycles = 512) ?jobs ?names () =
   let names = match names with Some ns -> ns | None -> default_aliasing_names in
   List.map
     (fun name ->
       let machine = resolve name in
       let built = Arch.pipeline_of_machine ~cycles machine in
-      let r = Stc_faultsim.Aliasing.measure built in
+      let r = Stc_faultsim.Aliasing.measure ?jobs built in
       {
         name;
         misr_width = r.Stc_faultsim.Aliasing.misr_width;

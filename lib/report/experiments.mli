@@ -67,11 +67,13 @@ type coverage_entry = {
   fig4_ff : int;
 }
 
-(** [coverage ?cycles ?timeout ?names ()] grades the three self-testable
-    structures.  Default machines: fig5, shiftreg, dk27, tav, mc, bbara
-    (the larger benchmarks make the fig. 2/3 netlists slow to grade). *)
+(** [coverage ?cycles ?timeout ?jobs ?names ()] grades the three
+    self-testable structures; [jobs] shards the collapsed fault list over
+    that many domains (see {!Stc_faultsim.Session.run}).  Default
+    machines: fig5, shiftreg, dk27, tav, mc, bbara (the larger benchmarks
+    make the fig. 2/3 netlists slow to grade). *)
 val coverage :
-  ?cycles:int -> ?timeout:float -> ?names:string list -> unit ->
+  ?cycles:int -> ?timeout:float -> ?jobs:int -> ?names:string list -> unit ->
   coverage_entry list
 
 val render_coverage : coverage_entry list -> string
@@ -88,11 +90,13 @@ type strategy_entry = {
   bist_cycles : int;
 }
 
-(** [strategies ?cycles ?names ()] compares random sequential testing,
-    full scan and the pipeline BIST on the selected machines (default:
-    fig5, shiftreg, counter8, dk27, mc). *)
+(** [strategies ?cycles ?jobs ?names ()] compares random sequential
+    testing, full scan and the pipeline BIST on the selected machines
+    (default: fig5, shiftreg, counter8, dk27, mc); [jobs] parallelizes
+    each fault-grading pass. *)
 val strategies :
-  ?cycles:int -> ?names:string list -> unit -> strategy_entry list
+  ?cycles:int -> ?jobs:int -> ?names:string list -> unit ->
+  strategy_entry list
 
 val render_strategies : strategy_entry list -> string
 
@@ -143,10 +147,12 @@ type aliasing_entry = {
   aliasing_rate : float;  (** empirical; theory predicts about 2^-width *)
 }
 
-(** [aliasing ?cycles ?names ()] measures real-MISR aliasing on the fig. 4
-    structures (default machines: fig5, shiftreg, dk27, tav, mc). *)
+(** [aliasing ?cycles ?jobs ?names ()] measures real-MISR aliasing on the
+    fig. 4 structures (default machines: fig5, shiftreg, dk27, tav, mc);
+    [jobs] shards the collapsed fault classes over domains. *)
 val aliasing :
-  ?cycles:int -> ?names:string list -> unit -> aliasing_entry list
+  ?cycles:int -> ?jobs:int -> ?names:string list -> unit ->
+  aliasing_entry list
 
 val render_aliasing : aliasing_entry list -> string
 

@@ -178,6 +178,245 @@ let test_emit_cover_matches_eval =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* eval_into / readers / cone                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_into_matches_eval () =
+  let net, _, _ = reference () in
+  let inputs = [| 0b1010; 0b1100; 0b0110 |] in
+  let want = N.eval net ~inputs in
+  let values = Array.make (N.num_gates net) 0 in
+  N.eval_into net ~values ~inputs;
+  check_bool "same values" true (values = want);
+  (* Buffer reuse across a faulty evaluation. *)
+  let fault = { N.gate = N.num_gates net - 1; pin = None; stuck_at = true } in
+  let want_f = N.eval ~fault net ~inputs in
+  N.eval_into ~fault net ~values ~inputs;
+  check_bool "same faulty values" true (values = want_f);
+  check_bool "rejects short buffer" true
+    (match N.eval_into net ~values:(Array.make 2 0) ~inputs with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* x, y inputs; a = x & y; n = ~a; output n. *)
+let chain () =
+  let b = B.create "chain" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  let n = B.not_ b a in
+  B.output b "n" n;
+  (B.finish b, x, y, a, n)
+
+let test_readers () =
+  let net, x, y, a, n = chain () in
+  let rd = N.readers net in
+  check_bool "x read by a pin 0" true (rd.(x) = [| (a, 0) |]);
+  check_bool "y read by a pin 1" true (rd.(y) = [| (a, 1) |]);
+  check_bool "a read by n" true (rd.(a) = [| (n, 0) |]);
+  check_bool "n unread" true (rd.(n) = [||])
+
+let test_cone () =
+  let net, x, _, a, n = chain () in
+  check_bool "cone of x" true (N.cone net x = [| x; a; n |]);
+  check_bool "cone of sink" true (N.cone net n = [| n |]);
+  (* Ascending = topological order, site first. *)
+  let c = N.cone net x in
+  check_bool "sorted" true
+    (Array.for_all (fun i -> i >= x) c
+    && c = (let s = Array.copy c in Array.sort compare s; s));
+  check_bool "out of range" true
+    (match N.cone net (N.num_gates net) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Structural fault collapsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The collapsed record must be a proper partition of fault_sites with
+   least-member representatives. *)
+let check_partition (c : N.collapsed) =
+  let nf = Array.length c.N.faults in
+  check_int "class_of length" nf (Array.length c.N.class_of);
+  let seen = Array.make nf 0 in
+  Array.iteri
+    (fun id members ->
+      check_bool "nonempty class" true (Array.length members > 0);
+      check_int "representative is least member" c.N.representatives.(id)
+        members.(0);
+      Array.iter
+        (fun f ->
+          seen.(f) <- seen.(f) + 1;
+          check_int "member maps back" id c.N.class_of.(f))
+        members)
+    c.N.classes;
+  Array.iter (fun n -> check_int "fault in exactly one class" 1 n) seen
+
+let find_class (c : N.collapsed) fault =
+  let rec go i =
+    if c.N.faults.(i) = fault then c.N.class_of.(i) else go (i + 1)
+  in
+  go 0
+
+let test_collapse_and_gate () =
+  let b = B.create "and2" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  B.output b "a" a;
+  let net = B.finish b in
+  let c = N.collapse net in
+  check_partition c;
+  check_int "raw faults" 10 (Array.length c.N.faults);
+  (* s-a-0: x, y (fanout-free stems) fold onto the pins, the pins onto the
+     output - one class of 5.  s-a-1: {x, pin0} and {y, pin1}; the output
+     s-a-1 stays alone but is dominated by both pin classes. *)
+  check_int "classes" 4 (Array.length c.N.representatives);
+  let out_sa0 = find_class c { N.gate = a; pin = None; stuck_at = false } in
+  check_int "sa0 class size" 5 (Array.length c.N.classes.(out_sa0));
+  check_int "x sa0 folded" out_sa0
+    (find_class c { N.gate = x; pin = None; stuck_at = false });
+  let out_sa1 = find_class c { N.gate = a; pin = None; stuck_at = true } in
+  check_int "sa1 output alone" 1 (Array.length c.N.classes.(out_sa1));
+  let pin0_sa1 = find_class c { N.gate = a; pin = Some 0; stuck_at = true } in
+  let pin1_sa1 = find_class c { N.gate = a; pin = Some 1; stuck_at = true } in
+  let doms = c.N.dominated_by.(out_sa1) in
+  check_int "dominated by both pin classes" 2 (Array.length doms);
+  check_bool "dominators are the pin s-a-1 classes" true
+    (List.sort compare [ pin0_sa1; pin1_sa1 ]
+    = List.sort compare (Array.to_list doms));
+  check_bool "equivalence classes carry no dominance" true
+    (c.N.dominated_by.(out_sa0) = [||])
+
+let test_collapse_protected () =
+  let b = B.create "and2p" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  B.output b "a" a;
+  let net = B.finish b in
+  (* Protecting x keeps its faults distinct from the pin faults: the big
+     s-a-0 class shrinks to 4 and both x faults become singletons. *)
+  let c = N.collapse ~protected:[| x; a |] net in
+  check_partition c;
+  check_int "classes with x protected" 6 (Array.length c.N.representatives);
+  let x_sa0 = find_class c { N.gate = x; pin = None; stuck_at = false } in
+  check_int "x sa0 singleton" 1 (Array.length c.N.classes.(x_sa0));
+  let out_sa0 = find_class c { N.gate = a; pin = None; stuck_at = false } in
+  check_int "sa0 class size" 4 (Array.length c.N.classes.(out_sa0))
+
+let test_collapse_buf_not_chain () =
+  let b = B.create "bufchain" in
+  let x = B.input b "x" in
+  let b1 = B.buf b x in
+  let n1 = B.not_ b b1 in
+  B.output b "n" n1;
+  let net = B.finish b in
+  let c = N.collapse net in
+  check_partition c;
+  (* x / buf / not output faults all fold (the Not inverting the stuck
+     value): {x0, b1 0, n1 1} and {x1, b1 1, n1 0}. *)
+  check_int "classes" 2 (Array.length c.N.representatives);
+  check_int "x sa0 with not-output sa1"
+    (find_class c { N.gate = x; pin = None; stuck_at = false })
+    (find_class c { N.gate = n1; pin = None; stuck_at = true })
+
+let test_collapse_fanout_blocks_fold () =
+  let b = B.create "fanout" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a = B.and_ b [ x; y ] in
+  let o = B.or_ b [ x; y ] in
+  B.output b "a" a;
+  B.output b "o" o;
+  let net = B.finish b in
+  let c = N.collapse net in
+  check_partition c;
+  (* x and y feed two gates: their output faults must stay distinct from
+     any single reader's pin faults. *)
+  check_bool "x sa0 not folded into and-pin" true
+    (find_class c { N.gate = x; pin = None; stuck_at = false }
+    <> find_class c { N.gate = a; pin = Some 0; stuck_at = false })
+
+(* Semantic soundness on random two-level networks: with the declared
+   outputs protected, every member of a class must be detected on exactly
+   the same exhaustive input vectors as its representative, and any vector
+   detecting a dominated class must detect its dominator. *)
+let test_collapse_classes_behave_identically =
+  QCheck.Test.make ~count:100 ~name:"collapsed classes are behaviourally exact"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars = 2 + Rng.int rng 4 in
+      let num_outputs = 1 + Rng.int rng 3 in
+      let cube _ =
+        let input =
+          Array.init num_vars (fun _ ->
+              match Rng.int rng 3 with
+              | 0 -> Stc_logic.Cube.Zero
+              | 1 -> Stc_logic.Cube.One
+              | _ -> Stc_logic.Cube.Dc)
+        in
+        let output = Array.init num_outputs (fun _ -> Rng.bool rng) in
+        if not (Array.exists Fun.id output) then output.(0) <- true;
+        Stc_logic.Cube.make ~input ~output
+      in
+      let cover =
+        Cover.make ~num_vars ~num_outputs (List.init (1 + Rng.int rng 6) cube)
+      in
+      let b = B.create "cover" in
+      let inputs =
+        Array.init num_vars (fun k -> B.input b (Printf.sprintf "x%d" k))
+      in
+      let outs = B.emit_cover b ~inputs cover in
+      Array.iteri (fun o g -> B.output b (Printf.sprintf "y%d" o) g) outs;
+      let net = B.finish b in
+      let c = N.collapse net in
+      (* One lane per input vector: exhaustive in a single word. *)
+      let lanes = 1 lsl num_vars in
+      let words =
+        Array.init num_vars (fun k ->
+            let w = ref 0 in
+            for v = 0 to lanes - 1 do
+              if (v lsr (num_vars - 1 - k)) land 1 = 1 then
+                w := !w lor (1 lsl v)
+            done;
+            !w)
+      in
+      let mask = (1 lsl lanes) - 1 in
+      let golden = N.eval_outputs net ~inputs:words in
+      let detect_lanes fi =
+        let out = N.eval_outputs ~fault:c.N.faults.(fi) net ~inputs:words in
+        let d = ref 0 in
+        Array.iteri
+          (fun k v -> d := !d lor ((v lxor golden.(k)) land mask))
+          out;
+        !d
+      in
+      try
+        let class_lanes =
+          Array.map
+            (fun members ->
+              let l0 = detect_lanes members.(0) in
+              Array.iter
+                (fun fi -> if detect_lanes fi <> l0 then raise Exit)
+                members;
+              l0)
+            c.N.classes
+        in
+        Array.iteri
+          (fun d doms ->
+            Array.iter
+              (fun dom ->
+                if class_lanes.(dom) land lnot class_lanes.(d) <> 0 then
+                  raise Exit)
+              doms)
+          c.N.dominated_by;
+        true
+      with Exit -> false)
+
 let test_pp_lists_gates () =
   let net, _, _ = reference () in
   let s = Format.asprintf "%a" N.pp net in
@@ -215,5 +454,23 @@ let () =
           Alcotest.test_case "stuck output" `Quick test_fault_stuck_output;
           Alcotest.test_case "stuck pin" `Quick test_fault_stuck_pin;
           Alcotest.test_case "site count" `Quick test_fault_sites_count;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "eval_into matches eval" `Quick
+            test_eval_into_matches_eval;
+          Alcotest.test_case "readers" `Quick test_readers;
+          Alcotest.test_case "cone" `Quick test_cone;
+        ] );
+      ( "collapse",
+        [
+          Alcotest.test_case "and gate" `Quick test_collapse_and_gate;
+          Alcotest.test_case "protected gates stay distinct" `Quick
+            test_collapse_protected;
+          Alcotest.test_case "buf/not chain" `Quick
+            test_collapse_buf_not_chain;
+          Alcotest.test_case "fanout blocks stem fold" `Quick
+            test_collapse_fanout_blocks_fold;
+          qcheck test_collapse_classes_behave_identically;
         ] );
     ]

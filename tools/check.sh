@@ -20,6 +20,16 @@ else
   dune exec bench/main.exe -- quick
 fi
 
+echo "== fault-sim smoke (optimized engine must match the naive grader) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- faultsim-quick
+else
+  dune exec bench/main.exe -- faultsim-quick
+fi
+
+echo "== BENCH_faultsim.json must parse and carry the bench keys =="
+dune exec tools/json_lint.exe -- BENCH_faultsim.json bench rows
+
 echo "== traced smoke (trace + metrics files must parse as JSON) =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
