@@ -19,7 +19,14 @@
      wall time, gate evaluations, collapse ratio, coverage; nonzero exit
      if any engine disagrees with the naive reference.
    - `faultsim-quick`: the same equivalence check on two small machines
-     with short sessions, no file written - the CI gate. *)
+     with short sessions, no file written - the CI gate.
+   - `minimize`: write BENCH_minimize.json - per-machine naive
+     (trit-array) vs packed bit-parallel vs multicore espresso on the
+     monolithic block C: wall time, cube/literal counts before and
+     after, expand/tautology counters; nonzero exit if any engine
+     violates the minimization contract or jobs>1 changes the result.
+   - `minimize-quick`: the same checks on small machines, no file
+     written - the CI gate. *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -468,6 +475,235 @@ let run_faultsim_quick () =
   exit failures
 
 (* ------------------------------------------------------------------ *)
+(* Minimization trajectory: naive trit-array vs packed vs multicore    *)
+(* ------------------------------------------------------------------ *)
+
+module Cover = Stc_logic.Cover
+module Cube = Stc_logic.Cube
+
+let minimize_machines = [ "dk16"; "s1"; "dk512"; "tbk" ]
+let minimize_quick_machines = [ "dk27"; "mc"; "bbara" ]
+
+(* The naive reference predates every performance fix; on s1's 5000-row
+   monolithic block a full pass takes hours.  Cap it and report the
+   speedup as a lower bound ([capped] in the JSON). *)
+let mz_naive_budget = 600.0
+
+type mz_run = {
+  mz_wall : float;
+  mz_result : (Cover.t * Minimize.report) option;  (* None: budget exhausted *)
+  mz_counters : (string * int) list;
+}
+
+(* One metered minimization.  Caches are cleared first so every engine
+   starts cold and the cofactor/tautology hit counters are comparable
+   between runs. *)
+let mz_instrumented f =
+  Cover.clear_caches ();
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let mz_result, mz_wall =
+    timed (fun () ->
+        match f () with
+        | r -> Some r
+        | exception Stc_logic.Naive.Timeout -> None)
+  in
+  let mz_counters =
+    List.filter_map
+      (fun name ->
+        match Metrics.find name with
+        | Some (Metrics.Counter n) when n <> 0 -> Some (name, n)
+        | _ -> None)
+      [
+        "minimize.expand_raises_attempted";
+        "minimize.expand_raises_accepted";
+        "minimize.cofactor_cache_hits";
+        "minimize.tautology_calls";
+        "minimize.tautology_memo_hits";
+      ]
+  in
+  Metrics.set_enabled false;
+  { mz_wall; mz_result; mz_counters }
+
+type mz_row = {
+  mz_name : string;
+  mz_vars : int;
+  mz_outs : int;
+  mz_dc_cubes : int;
+  mz_naive : mz_run;
+  mz_packed : mz_run;  (* bit-parallel engine, jobs = 1 *)
+  mz_par : mz_run;  (* same engine, jobs = par_jobs *)
+  (* Every completed result meets the contract (on \ dc) <= r <=
+     (on + dc); since they also cover nothing outside on+dc this makes
+     them pairwise equivalent on every care point - the naive-vs-packed
+     cross-check.  A budget-capped naive run has nothing to check. *)
+  mz_verified : bool;
+  mz_deterministic : bool;  (* jobs:1 and jobs:N covers cube-identical *)
+}
+
+let mz_same a b =
+  Array.length a.Cover.cubes = Array.length b.Cover.cubes
+  && Array.for_all2 Cube.equal a.Cover.cubes b.Cover.cubes
+
+let mz_cover_exn label r =
+  match r.mz_result with
+  | Some (cover, _) -> cover
+  | None -> failwith (label ^ ": packed engine exceeded the naive budget?")
+
+let mz_report_exn label r =
+  match r.mz_result with
+  | Some (_, report) -> report
+  | None -> failwith (label ^ ": packed engine exceeded the naive budget?")
+
+let mz_row_ok r = r.mz_verified && r.mz_deterministic
+
+(* Rows print as they complete; the heavy machines keep the naive
+   reference busy for minutes, so stream progress per engine too. *)
+let minimize_row name =
+  let enc = Tables.encode (benchmark_machine name) in
+  let on, dc = Tables.conventional enc in
+  let stage s = Printf.eprintf "  %s: %s...\n%!" name s in
+  stage "packed jobs:1";
+  let packed = mz_instrumented (fun () -> Minimize.minimize ~jobs:1 ~dc on) in
+  stage (Printf.sprintf "packed jobs:%d" par_jobs);
+  let par =
+    mz_instrumented (fun () -> Minimize.minimize ~jobs:par_jobs ~dc on)
+  in
+  stage "naive reference";
+  let naive =
+    mz_instrumented (fun () ->
+        Minimize.reference ~budget:mz_naive_budget ~dc on)
+  in
+  stage "verify";
+  let verified_or_capped r =
+    match r.mz_result with
+    | Some (cover, _) -> Minimize.verify ~on ~dc cover
+    | None -> true
+  in
+  let verified =
+    verified_or_capped naive
+    && verified_or_capped packed
+    && verified_or_capped par
+  in
+  {
+    mz_name = name;
+    mz_vars = on.Cover.num_vars;
+    mz_outs = on.Cover.num_outputs;
+    mz_dc_cubes = Array.length dc.Cover.cubes;
+    mz_naive = naive;
+    mz_packed = packed;
+    mz_par = par;
+    mz_verified = verified;
+    mz_deterministic =
+      mz_same (mz_cover_exn name packed) (mz_cover_exn name par);
+  }
+
+let json_of_mz_run (r : mz_run) =
+  let detail =
+    match r.mz_result with
+    | Some (cover, report) ->
+      let cubes, literals = Cover.cost cover in
+      [
+        ("cubes", Json.Int cubes);
+        ("literals", Json.Int literals);
+        ("iterations", Json.Int report.Minimize.iterations);
+      ]
+    | None -> []
+  in
+  Json.Obj
+    (( ("wall_s", Json.Float r.mz_wall)
+     :: ("capped", Json.Bool (Option.is_none r.mz_result))
+     :: detail )
+    @ [
+        ( "metrics",
+          Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.mz_counters) );
+      ])
+
+let json_of_mz_row r =
+  let report = mz_report_exn r.mz_name r.mz_packed in
+  Json.Obj
+    [
+      ("name", Json.String r.mz_name);
+      ("vars", Json.Int r.mz_vars);
+      ("outputs", Json.Int r.mz_outs);
+      ("on_cubes", Json.Int report.Minimize.initial_cubes);
+      ("on_literals", Json.Int report.Minimize.initial_literals);
+      ("dc_cubes", Json.Int r.mz_dc_cubes);
+      ("naive", json_of_mz_run r.mz_naive);
+      ("packed", json_of_mz_run r.mz_packed);
+      ( "parallel",
+        Json.Obj
+          (("jobs", Json.Int par_jobs)
+          :: (match json_of_mz_run r.mz_par with
+             | Json.Obj fields -> fields
+             | _ -> [])) );
+      (* A capped naive run makes this a lower bound (see naive.capped). *)
+      ( "speedup_packed",
+        Json.Float (r.mz_naive.mz_wall /. Float.max 1e-9 r.mz_packed.mz_wall) );
+      ( "speedup_parallel",
+        Json.Float (r.mz_packed.mz_wall /. Float.max 1e-9 r.mz_par.mz_wall) );
+      ("verified", Json.Bool r.mz_verified);
+      ("deterministic", Json.Bool r.mz_deterministic);
+      ("equal", Json.Bool (mz_row_ok r));
+    ]
+
+let print_mz_row r =
+  let cubes, literals = Cover.cost (mz_cover_exn r.mz_name r.mz_packed) in
+  let naive_s =
+    if Option.is_none r.mz_naive.mz_result then
+      Printf.sprintf ">= %.0fs (capped)" r.mz_naive.mz_wall
+    else Printf.sprintf "%.3fs" r.mz_naive.mz_wall
+  in
+  Printf.printf
+    "%-8s %s  %d -> %d cubes (%d literals)  naive %s  packed %.3fs \
+     (%.1fx%s)  par(x%d) %.3fs (%.2fx)\n%!"
+    r.mz_name
+    (if mz_row_ok r then "ok  " else "FAIL")
+    (mz_report_exn r.mz_name r.mz_packed).Minimize.initial_cubes
+    cubes literals naive_s r.mz_packed.mz_wall
+    (r.mz_naive.mz_wall /. Float.max 1e-9 r.mz_packed.mz_wall)
+    (if Option.is_none r.mz_naive.mz_result then "+" else "")
+    par_jobs r.mz_par.mz_wall
+    (r.mz_packed.mz_wall /. Float.max 1e-9 r.mz_par.mz_wall)
+
+let minimize_rows names =
+  List.map
+    (fun name ->
+      let r = minimize_row name in
+      print_mz_row r;
+      r)
+    names
+
+let mz_failures rows =
+  List.filter (fun r -> not (mz_row_ok r)) rows
+  |> List.map (fun r ->
+         Printf.printf "FAIL %s:%s%s\n" r.mz_name
+           (if r.mz_verified then "" else " contract violated")
+           (if r.mz_deterministic then "" else " jobs>1 changed the result");
+         r.mz_name)
+
+let run_minimize () =
+  let rows = minimize_rows minimize_machines in
+  let path = "BENCH_minimize.json" in
+  Json.write path
+    (Json.Obj
+       [
+         ("bench", Json.String "minimize");
+         ("parallel_jobs", Json.Int par_jobs);
+         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+         ("rows", Json.List (List.map json_of_mz_row rows));
+       ]);
+  Printf.printf "wrote %s\n" path;
+  if mz_failures rows <> [] then exit 1
+
+(* CI gate: contract + determinism checks only, small machines, no file. *)
+let run_minimize_quick () =
+  let rows = minimize_rows minimize_quick_machines in
+  let failures = List.length (mz_failures rows) in
+  if failures = 0 then Printf.printf "minimize quick: all rows ok\n";
+  exit failures
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -588,6 +824,8 @@ let () =
   | "json" -> run_json ()
   | "faultsim" -> run_faultsim ()
   | "faultsim-quick" -> run_faultsim_quick ()
+  | "minimize" -> run_minimize ()
+  | "minimize-quick" -> run_minimize_quick ()
   | "micro" -> run_benchmarks ()
   | "tables" -> print_tables ()
   | "all" ->
@@ -596,6 +834,6 @@ let () =
   | other ->
     prerr_endline
       ("bench: unknown mode " ^ other
-     ^ " (expected all, tables, micro, quick, json, faultsim or \
-        faultsim-quick)");
+     ^ " (expected all, tables, micro, quick, json, faultsim, \
+        faultsim-quick, minimize or minimize-quick)");
     exit 2

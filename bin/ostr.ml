@@ -296,8 +296,11 @@ let table2_cmd =
     Term.(const run $ timeout_arg $ jobs_arg $ names_arg $ obs_term)
 
 let area_cmd =
-  let run timeout names =
-    let entries = Experiments.area ~timeout ?names:(split_names names) () in
+  let run timeout jobs names =
+    let entries =
+      Experiments.area ~timeout ~jobs:(resolve_jobs jobs)
+        ?names:(split_names names) ()
+    in
     print_string (Experiments.render_area entries)
   in
   Cmd.v
@@ -305,7 +308,7 @@ let area_cmd =
        ~doc:
          "Two-level cost of the monolithic block C vs the factored blocks \
           C1+C2+Lambda (section 4's hardware-saving discussion).")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
 
 let faultcov_cmd =
   let run cycles jobs names obs =

@@ -215,6 +215,6 @@ let pipeline ?code1 ?code2 (r : Realization.t) =
     lambda_dc = Cover.make ~num_vars ~num_outputs !lambda_dc;
   }
 
-let pipeline_of_machine ?timeout machine =
-  let outcome = Stc_core.Ostr.run ?timeout machine in
+let pipeline_of_machine ?timeout ?jobs machine =
+  let outcome = Stc_core.Ostr.run ?timeout ?jobs machine in
   pipeline outcome.Stc_core.Ostr.realization

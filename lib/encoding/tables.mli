@@ -54,5 +54,7 @@ val pipeline :
   ?code1:Code.t -> ?code2:Code.t -> Stc_core.Realization.t -> pipeline
 
 (** [pipeline_of_machine machine] runs the OSTR solver and extracts the
-    pipeline tables of the optimal realization. *)
-val pipeline_of_machine : ?timeout:float -> Stc_fsm.Machine.t -> pipeline
+    pipeline tables of the optimal realization; [jobs] fans the solver
+    over that many domains (see {!Stc_core.Ostr.run}). *)
+val pipeline_of_machine :
+  ?timeout:float -> ?jobs:int -> Stc_fsm.Machine.t -> pipeline

@@ -13,7 +13,7 @@ type built = {
   flipflops : int;
 }
 
-let minimized ~dc on = fst (Minimize.minimize ~dc on)
+let minimized ?jobs ~dc on = fst (Minimize.minimize ?jobs ~dc on)
 
 (* MSB-first bits of [word], as 0/1 ints. *)
 let word_bits ~width word =
@@ -242,16 +242,16 @@ let doubled ?(cycles = 1024) machine =
 (* fig. 4: optimized self-testable pipeline structure                  *)
 (* ------------------------------------------------------------------ *)
 
-let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
+let pipeline ?(cycles = 1024) ?jobs ?covers (p : Tables.pipeline) =
   let enc = p.Tables.enc in
   let machine = enc.Tables.machine in
   let c1, c2, lambda =
     match covers with
     | Some cs -> cs
     | None ->
-      ( minimized ~dc:p.Tables.c1_dc p.Tables.c1_on,
-        minimized ~dc:p.Tables.c2_dc p.Tables.c2_on,
-        minimized ~dc:p.Tables.lambda_dc p.Tables.lambda_on )
+      ( minimized ?jobs ~dc:p.Tables.c1_dc p.Tables.c1_on,
+        minimized ?jobs ~dc:p.Tables.c2_dc p.Tables.c2_on,
+        minimized ?jobs ~dc:p.Tables.lambda_dc p.Tables.lambda_on )
   in
   let w1 = p.Tables.code1.Stc_encoding.Code.width in
   let w2 = p.Tables.code2.Stc_encoding.Code.width in
@@ -322,8 +322,8 @@ let pipeline ?(cycles = 1024) ?covers (p : Tables.pipeline) =
     flipflops = w1 + w2;
   }
 
-let pipeline_of_machine ?cycles ?timeout machine =
-  pipeline ?cycles (Tables.pipeline_of_machine ?timeout machine)
+let pipeline_of_machine ?cycles ?timeout ?jobs machine =
+  pipeline ?cycles ?jobs (Tables.pipeline_of_machine ?timeout ?jobs machine)
 
 let grade ?jobs ?naive ?need_cycles built =
   Session.run_sessions ?jobs ?naive ?need_cycles ~label:built.label

@@ -50,17 +50,20 @@ val doubled : ?cycles:int -> Stc_fsm.Machine.t -> built
     supplies already-minimized [(c1, c2, lambda)] implementation covers,
     skipping the internal espresso pass - callers that minimize the
     blocks themselves (e.g. the static analyzer) avoid paying for it
-    twice. *)
+    twice.  [jobs] fans the internal minimizations over that many
+    domains (see {!Stc_logic.Minimize.minimize}). *)
 val pipeline :
   ?cycles:int ->
+  ?jobs:int ->
   ?covers:Stc_logic.Cover.t * Stc_logic.Cover.t * Stc_logic.Cover.t ->
   Stc_encoding.Tables.pipeline ->
   built
 
-(** [pipeline_of_machine ?cycles ?timeout machine] runs the OSTR solver,
-    minimizes the factor blocks and builds the fig. 4 model. *)
+(** [pipeline_of_machine ?cycles ?timeout ?jobs machine] runs the OSTR
+    solver (over [jobs] domains), minimizes the factor blocks (same
+    [jobs]) and builds the fig. 4 model. *)
 val pipeline_of_machine :
-  ?cycles:int -> ?timeout:float -> Stc_fsm.Machine.t -> built
+  ?cycles:int -> ?timeout:float -> ?jobs:int -> Stc_fsm.Machine.t -> built
 
 (** [grade built] runs all sessions and merges the verdicts
     ({!Session.run_sessions}); [jobs]/[naive]/[need_cycles] are passed

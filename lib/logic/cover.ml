@@ -1,206 +1,451 @@
-type t = { num_vars : int; num_outputs : int; cubes : Cube.t list }
+type t = { num_vars : int; num_outputs : int; cubes : Cube.t array }
 
-let make ~num_vars ~num_outputs cubes =
-  List.iter
-    (fun c ->
-      if Cube.num_vars c <> num_vars || Cube.num_outputs c <> num_outputs then
-        invalid_arg "Cover.make: cube dimension mismatch")
-    cubes;
+module R = Cube.Raw
+
+let check_dims ~num_vars ~num_outputs c =
+  if Cube.num_vars c <> num_vars || Cube.num_outputs c <> num_outputs then
+    invalid_arg "Cover.make: cube dimension mismatch"
+
+let of_array ~num_vars ~num_outputs cubes =
+  Array.iter (check_dims ~num_vars ~num_outputs) cubes;
   { num_vars; num_outputs; cubes }
 
-let empty ~num_vars ~num_outputs = { num_vars; num_outputs; cubes = [] }
+let make ~num_vars ~num_outputs cubes =
+  of_array ~num_vars ~num_outputs (Array.of_list cubes)
+
+let empty ~num_vars ~num_outputs = { num_vars; num_outputs; cubes = [||] }
 
 let of_strings ~num_vars ~num_outputs rows =
   make ~num_vars ~num_outputs (List.map Cube.of_string rows)
 
-let size c = List.length c.cubes
+let size c = Array.length c.cubes
 
 let cost c =
   let literals =
-    List.fold_left
-      (fun acc cube ->
-        acc + Cube.literals cube
-        + Array.fold_left (fun a b -> if b then a + 1 else a) 0 cube.Cube.output)
+    Array.fold_left
+      (fun acc cube -> acc + Cube.literals cube + Cube.output_count cube)
       0 c.cubes
   in
-  (List.length c.cubes, literals)
+  (Array.length c.cubes, literals)
 
 let eval c v =
-  let out = Array.make c.num_outputs false in
-  List.iter
+  let ow = R.out_words c.num_outputs in
+  let acc = Array.make ow 0 in
+  Array.iter
     (fun cube ->
-      if Cube.matches cube v then
-        Array.iteri (fun o b -> if b then out.(o) <- true) cube.Cube.output)
+      if Cube.matches cube v then begin
+        let w = R.output_words cube in
+        for i = 0 to ow - 1 do
+          acc.(i) <- acc.(i) lor w.(i)
+        done
+      end)
     c.cubes;
-  out
+  Array.init c.num_outputs (fun o ->
+      acc.(o / R.outs_per_word) land (1 lsl (o mod R.outs_per_word)) <> 0)
 
 let add c cube =
-  if Cube.num_vars cube <> c.num_vars || Cube.num_outputs cube <> c.num_outputs
-  then invalid_arg "Cover.add: dimension mismatch";
-  { c with cubes = cube :: c.cubes }
+  check_dims ~num_vars:c.num_vars ~num_outputs:c.num_outputs cube;
+  { c with cubes = Array.append [| cube |] c.cubes }
 
 let union a b =
   if a.num_vars <> b.num_vars || a.num_outputs <> b.num_outputs then
     invalid_arg "Cover.union: dimension mismatch";
-  { a with cubes = a.cubes @ b.cubes }
+  { a with cubes = Array.append a.cubes b.cubes }
+
+let array_filter_map f a =
+  let out = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    match f a.(i) with Some x -> out := x :: !out | None -> ()
+  done;
+  Array.of_list !out
 
 let cofactor c ~wrt =
-  { c with cubes = List.filter_map (fun cube -> Cube.cofactor cube ~wrt) c.cubes }
+  { c with cubes = array_filter_map (fun cube -> Cube.cofactor cube ~wrt) c.cubes }
 
 (* --------------------------------------------------------------------
-   Single-output engine: rows are bare input parts (trit arrays).
+   Single-output engine: rows are bare packed input parts (the word
+   arrays of {!Cube.Raw}), shared with the cubes they come from and
+   never mutated in place.
+
+   Row sets are interned into [rnode]s keyed by their canonical
+   (sorted, deduped) content, so the tautology / cofactor / complement
+   memo tables can be keyed by the node id: two covers that reach the
+   same sub-cover during the Shannon recursion share one node and one
+   memo entry.  Caches are per-domain (Domain.DLS) - every operation is
+   a pure function of row content, so results are identical no matter
+   which domain computes them.
    -------------------------------------------------------------------- *)
 
-let row_all_dc row = Array.for_all (fun t -> t = Cube.Dc) row
+let m_taut_calls = Stc_obs.Metrics.counter "minimize.tautology_calls"
 
+let m_taut_memo = Stc_obs.Metrics.counter "minimize.tautology_memo_hits"
+
+let m_cof_hits = Stc_obs.Metrics.counter "minimize.cofactor_cache_hits"
+
+type rnode = { rid : int; rows : int array array }
+
+module Rows_key = struct
+  type t = int array array
+
+  let equal (a : t) (b : t) = a = b
+
+  (* Deep FNV-style mix over every word: the polymorphic hash only
+     samples a few elements, which collapses large row sets onto a
+     handful of buckets. *)
+  let hash (rows : t) =
+    let h = ref (Array.length rows lxor 0x9e3779b9) in
+    Array.iter
+      (fun r ->
+        Array.iter
+          (fun w -> h := ((!h * 0x01000193) + (w lxor (w lsr 31))) land max_int)
+          r)
+      rows;
+    !h
+end
+
+module Rows_tbl = Hashtbl.Make (Rows_key)
+
+type cache = {
+  mutable next_rid : int;
+  intern : rnode Rows_tbl.t;
+  taut : (int, bool) Hashtbl.t;
+  cof : (int * int * bool, rnode) Hashtbl.t;
+  compl_ : (int, int array array) Hashtbl.t;
+}
+
+let cache_cap = 1 lsl 16
+
+let fresh_cache () =
+  { next_rid = 0;
+    intern = Rows_tbl.create 1024;
+    taut = Hashtbl.create 1024;
+    cof = Hashtbl.create 1024;
+    compl_ = Hashtbl.create 256 }
+
+let cache_key = Domain.DLS.new_key fresh_cache
+
+let reset_cache c =
+  (* [next_rid] stays monotonic so entries added by frames that still
+     hold a pre-reset node can never alias a fresh node. *)
+  Rows_tbl.reset c.intern;
+  Hashtbl.reset c.taut;
+  Hashtbl.reset c.cof;
+  Hashtbl.reset c.compl_
+
+let clear_caches () = reset_cache (Domain.DLS.get cache_key)
+
+(* Canonicalize a row list: sorted, duplicates removed.  Rows are shared,
+   not copied. *)
+let canonical_rows rows_list =
+  let a = Array.of_list rows_list in
+  Array.sort Stdlib.compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let out = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!out - 1) then begin
+        a.(!out) <- a.(i);
+        incr out
+      end
+    done;
+    if !out = n then a else Array.sub a 0 !out
+  end
+
+let intern cache rows =
+  match Rows_tbl.find_opt cache.intern rows with
+  | Some n -> n
+  | None ->
+    if Rows_tbl.length cache.intern >= cache_cap then reset_cache cache;
+    let n = { rid = cache.next_rid; rows } in
+    cache.next_rid <- cache.next_rid + 1;
+    Rows_tbl.add cache.intern rows n;
+    n
+
+let row_all_dc row = Array.for_all (fun w -> w = R.mask11) row
+
+let row_pair row k =
+  (row.(k / R.vars_per_word) lsr (2 * (k mod R.vars_per_word))) land 3
+
+let row_with_pair row k code =
+  let r = Array.copy row in
+  let wi = k / R.vars_per_word and p = 2 * (k mod R.vars_per_word) in
+  r.(wi) <- r.(wi) land lnot (3 lsl p) lor (code lsl p);
+  r
+
+(* Cofactor one row by [x_k = polarity]: [None] when the row dies, the
+   unchanged (shared) row when [x_k] is don't-care. *)
 let row_cofactor row k polarity =
-  match (row.(k), polarity) with
-  | Cube.Dc, _ ->
-    Some row
-  | Cube.One, true | Cube.Zero, false ->
-    let r = Array.copy row in
-    r.(k) <- Cube.Dc;
-    Some r
-  | Cube.One, false | Cube.Zero, true -> None
+  match row_pair row k with
+  | 3 -> Some row
+  | 2 -> if polarity then Some (row_with_pair row k 3) else None
+  | 1 -> if polarity then None else Some (row_with_pair row k 3)
+  | _ -> None
 
-let rows_cofactor rows k polarity =
-  List.filter_map (fun r -> row_cofactor r k polarity) rows
-
-(* Pick the variable on which the rows are "most binate"; [None] when all
-   rows are all-dc or the list is empty. *)
-let select_var num_vars rows =
-  let ones = Array.make num_vars 0 and zeros = Array.make num_vars 0 in
-  List.iter
+(* Pick the variable on which the rows are "most binate":
+   lexicographically maximal [(min ones zeros, ones + zeros)].  [None]
+   when all rows are all-dc or the set is empty. *)
+let select_var nv rows =
+  let ones = Array.make nv 0 and zeros = Array.make nv 0 in
+  Array.iter
     (fun row ->
-      Array.iteri
-        (fun k t ->
-          match t with
-          | Cube.One -> ones.(k) <- ones.(k) + 1
-          | Cube.Zero -> zeros.(k) <- zeros.(k) + 1
-          | Cube.Dc -> ())
-        row)
+      for k = 0 to nv - 1 do
+        match row_pair row k with
+        | 1 -> zeros.(k) <- zeros.(k) + 1
+        | 2 -> ones.(k) <- ones.(k) + 1
+        | _ -> ()
+      done)
     rows;
-  let best = ref None in
-  for k = 0 to num_vars - 1 do
-    if ones.(k) + zeros.(k) > 0 then begin
-      let score = (min ones.(k) zeros.(k) * 10000) + ones.(k) + zeros.(k) in
-      match !best with
-      | Some (_, s) when s >= score -> ()
-      | _ -> best := Some (k, score)
+  let best = ref (-1) and best_min = ref (-1) and best_tot = ref (-1) in
+  for k = 0 to nv - 1 do
+    let o = ones.(k) and z = zeros.(k) in
+    let m = min o z and tot = o + z in
+    if tot > 0 && (m > !best_min || (m = !best_min && tot > !best_tot)) then begin
+      best := k;
+      best_min := m;
+      best_tot := tot
     end
   done;
-  match !best with
-  | Some (k, _) -> Some (k, ones.(k) > 0 && zeros.(k) > 0)
-  | None -> None
+  if !best < 0 then None
+  else Some (!best, !best_min > 0)
 
-let rec rows_tautology num_vars rows =
-  if List.exists row_all_dc rows then true
-  else
-    match select_var num_vars rows with
-    | None -> false (* empty, or no fixed literal and no all-dc row *)
-    | Some (k, binate) ->
-      if binate then
-        rows_tautology num_vars (rows_cofactor rows k true)
-        && rows_tautology num_vars (rows_cofactor rows k false)
-      else begin
-        (* Unate in k: the smaller cofactor implies the other. *)
-        let polarity = List.exists (fun r -> r.(k) = Cube.Zero) rows in
-        rows_tautology num_vars (rows_cofactor rows k polarity)
-      end
+let node_cofactor cache node k polarity =
+  match Hashtbl.find_opt cache.cof (node.rid, k, polarity) with
+  | Some n ->
+    Stc_obs.Metrics.incr m_cof_hits;
+    n
+  | None ->
+    let rows = ref [] in
+    for i = Array.length node.rows - 1 downto 0 do
+      match row_cofactor node.rows.(i) k polarity with
+      | Some r -> rows := r :: !rows
+      | None -> ()
+    done;
+    let n = intern cache (canonical_rows !rows) in
+    Hashtbl.add cache.cof (node.rid, k, polarity) n;
+    n
 
-let rec rows_complement num_vars rows =
-  if List.exists row_all_dc rows then []
-  else if rows = [] then [ Array.make num_vars Cube.Dc ]
+let rec node_tautology cache nv node =
+  Stc_obs.Metrics.incr m_taut_calls;
+  match Hashtbl.find_opt cache.taut node.rid with
+  | Some b ->
+    Stc_obs.Metrics.incr m_taut_memo;
+    b
+  | None ->
+    let b =
+      if Array.exists row_all_dc node.rows then true
+      else
+        match select_var nv node.rows with
+        | None -> false (* empty, or no fixed literal and no all-dc row *)
+        | Some (k, binate) ->
+          if binate then
+            node_tautology cache nv (node_cofactor cache node k true)
+            && node_tautology cache nv (node_cofactor cache node k false)
+          else
+            (* Unate leaf: a unate cover is a tautology iff it contains
+               the universal row, which was just ruled out. *)
+            false
+    in
+    Hashtbl.add cache.taut node.rid b;
+    b
+
+(* Complement of a single row by De Morgan: one row per fixed position,
+   carrying only the opposite literal (everything else don't-care). *)
+let single_row_complement nv row =
+  let all_dc = Array.make (Array.length row) R.mask11 in
+  let out = ref [] in
+  for k = nv - 1 downto 0 do
+    match row_pair row k with
+    | 1 -> out := row_with_pair all_dc k 2 :: !out
+    | 2 -> out := row_with_pair all_dc k 1 :: !out
+    | _ -> ()
+  done;
+  Array.of_list !out
+
+let rec node_complement cache nv nw node =
+  if Array.length node.rows = 0 then
+    (* Width is not recoverable from empty content, so this case stays
+       outside the content-keyed memo. *)
+    [| Array.make nw R.mask11 |]
   else
-    match select_var num_vars rows with
-    | None -> assert false (* nonempty with no all-dc row has a literal *)
-    | Some (k, _) ->
-      let branch polarity =
-        let sub = rows_complement num_vars (rows_cofactor rows k polarity) in
-        List.map
-          (fun r ->
-            let r = Array.copy r in
-            r.(k) <- (if polarity then Cube.One else Cube.Zero);
-            r)
-          sub
+    match Hashtbl.find_opt cache.compl_ node.rid with
+    | Some rows -> rows
+    | None ->
+      let result =
+        if Array.exists row_all_dc node.rows then [||]
+        else if Array.length node.rows = 1 then
+          single_row_complement nv node.rows.(0)
+        else
+          match select_var nv node.rows with
+          | None -> assert false (* nonempty without all-dc row has a literal *)
+          | Some (k, _) ->
+            let branch polarity =
+              let sub =
+                node_complement cache nv nw (node_cofactor cache node k polarity)
+              in
+              Array.map
+                (fun r -> row_with_pair r k (if polarity then 2 else 1))
+                sub
+            in
+            Array.append (branch true) (branch false)
       in
-      branch true @ branch false
+      Hashtbl.add cache.compl_ node.rid result;
+      result
+
+(* --------------------------------------------------------------------
+   Cover-level operations on top of the engine.
+   -------------------------------------------------------------------- *)
+
+let output_words_singleton num_outputs o =
+  let w = Array.make (R.out_words num_outputs) 0 in
+  w.(o / R.outs_per_word) <- 1 lsl (o mod R.outs_per_word);
+  w
 
 let rows_for_output c o =
-  List.filter_map
-    (fun cube -> if cube.Cube.output.(o) then Some cube.Cube.input else None)
-    c.cubes
+  let rows = ref [] in
+  for i = Array.length c.cubes - 1 downto 0 do
+    let cube = c.cubes.(i) in
+    if Cube.output_bit cube o then rows := R.input_words cube :: !rows
+  done;
+  !rows
+
+(* Cofactor [row] by the (non-conflicting) input part [wrt]: every
+   variable fixed in [wrt] is raised to don't-care. *)
+let row_cofactor_wrt nw wrt row =
+  Array.init nw (fun i ->
+      let f = wrt.(i) in
+      let dc01 = f land (f lsr 1) land R.mask01 in
+      let fixed01 = R.mask01 land lnot dc01 in
+      row.(i) lor fixed01 lor (fixed01 lsl 1))
+
+let rows_conflict nw a b =
+  let conflict = ref false in
+  for i = 0 to nw - 1 do
+    if R.words_conflict (a.(i) land b.(i)) then conflict := true
+  done;
+  !conflict
 
 let covers_cube c cube =
-  let cf = cofactor c ~wrt:cube in
+  let nw = R.in_words c.num_vars in
+  let cache = Domain.DLS.get cache_key in
+  let wrt = R.input_words cube in
   let ok = ref true in
-  Array.iteri
-    (fun o asserted ->
-      if asserted && !ok then
-        if not (rows_tautology c.num_vars (rows_for_output cf o)) then ok := false)
-    cube.Cube.output;
+  let o = ref 0 in
+  while !ok && !o < c.num_outputs do
+    if Cube.output_bit cube !o then begin
+      let rows = ref [] in
+      for i = Array.length c.cubes - 1 downto 0 do
+        let cc = c.cubes.(i) in
+        if Cube.output_bit cc !o then begin
+          let r = R.input_words cc in
+          if not (rows_conflict nw r wrt) then
+            rows := row_cofactor_wrt nw wrt r :: !rows
+        end
+      done;
+      let node = intern cache (canonical_rows !rows) in
+      if not (node_tautology cache c.num_vars node) then ok := false
+    end;
+    incr o
+  done;
   !ok
 
 let tautology c =
   covers_cube c (Cube.full ~num_vars:c.num_vars ~num_outputs:c.num_outputs)
 
-let covers a b = List.for_all (fun cube -> covers_cube a cube) b.cubes
+let covers a b = Array.for_all (fun cube -> covers_cube a cube) b.cubes
 
 let equivalent a b = covers a b && covers b a
 
-let output_singleton num_outputs o =
-  Array.init num_outputs (fun i -> i = o)
+let complement_rows_for_output c o =
+  let cache = Domain.DLS.get cache_key in
+  let node = intern cache (canonical_rows (rows_for_output c o)) in
+  node_complement cache c.num_vars (R.in_words c.num_vars) node
 
-let complement c =
+let complement ?(jobs = 1) c =
+  let per_output =
+    Stc_util.Parallel.map_range ~jobs c.num_outputs
+      (fun o -> complement_rows_for_output c o)
+      ~init:[||]
+  in
   let cubes = ref [] in
-  for o = 0 to c.num_outputs - 1 do
-    let comp = rows_complement c.num_vars (rows_for_output c o) in
-    List.iter
-      (fun input ->
-        cubes :=
-          Cube.make ~input ~output:(output_singleton c.num_outputs o) :: !cubes)
-      comp
+  for o = c.num_outputs - 1 downto 0 do
+    let outw = output_words_singleton c.num_outputs o in
+    let rows = per_output.(o) in
+    for i = Array.length rows - 1 downto 0 do
+      cubes :=
+        R.make_packed ~num_vars:c.num_vars ~num_outputs:c.num_outputs rows.(i)
+          outw
+        :: !cubes
+    done
   done;
-  { c with cubes = !cubes }
+  { c with cubes = Array.of_list !cubes }
 
 let sharp_cube cube c =
-  let num_vars = Array.length cube.Cube.input in
-  let num_outputs = Array.length cube.Cube.output in
+  let num_vars = Cube.num_vars cube in
+  let num_outputs = Cube.num_outputs cube in
+  let nw = R.in_words num_vars in
+  let cache = Domain.DLS.get cache_key in
+  let cube_in = R.input_words cube in
   let cubes = ref [] in
-  Array.iteri
-    (fun o asserted ->
-      if asserted then begin
-        let comp = rows_complement num_vars (rows_for_output c o) in
-        List.iter
-          (fun input ->
-            let candidate =
-              Cube.make ~input ~output:(output_singleton num_outputs o)
-            in
-            match Cube.intersect cube candidate with
-            | Some piece ->
-              (* Restrict the piece to output o. *)
-              let piece =
-                Cube.make ~input:piece.Cube.input
-                  ~output:(output_singleton num_outputs o)
-              in
-              cubes := piece :: !cubes
-            | None -> ())
-          comp
-      end)
-    cube.Cube.output;
-  { num_vars; num_outputs; cubes = !cubes }
+  for o = num_outputs - 1 downto 0 do
+    if Cube.output_bit cube o then begin
+      (* Complement [c] inside the subspace of [cube]: cofactor the
+         intersecting rows first, so the recursion only sees the cube's
+         free variables.  For points of [cube] the cofactored cover
+         agrees with [c], so complement-then-intersect yields the same
+         point set as a global complement restricted to [cube] - but
+         the cofactored row sets are tiny and repeat across calls, so
+         the interned complement memo actually hits. *)
+      let rows = ref [] in
+      for i = Array.length c.cubes - 1 downto 0 do
+        let cc = c.cubes.(i) in
+        if Cube.output_bit cc o then begin
+          let r = R.input_words cc in
+          if not (rows_conflict nw r cube_in) then
+            rows := row_cofactor_wrt nw cube_in r :: !rows
+        end
+      done;
+      let node = intern cache (canonical_rows !rows) in
+      let comp = node_complement cache num_vars nw node in
+      for i = Array.length comp - 1 downto 0 do
+        let r = comp.(i) in
+        if not (rows_conflict nw r cube_in) then begin
+          let piece = Array.init nw (fun j -> r.(j) land cube_in.(j)) in
+          cubes :=
+            R.make_packed ~num_vars ~num_outputs piece
+              (output_words_singleton num_outputs o)
+            :: !cubes
+        end
+      done
+    end
+  done;
+  { num_vars; num_outputs; cubes = Array.of_list !cubes }
 
+(* Keep only maximal cubes, canonically: sort most-general-first (fewer
+   input literals, then more outputs, then {!Cube.compare}) and keep a
+   cube iff no already-kept cube contains it.  A container has at most
+   as many input literals and at least as many outputs as the cubes it
+   contains, so it sorts before them and one forward pass over the kept
+   prefix suffices; equal duplicates collapse onto the first copy.  The
+   result order is the sorted order - a canonical function of the cover
+   as a set, independent of the input arrangement. *)
 let single_cube_containment c =
-  let rec keep acc = function
-    | [] -> List.rev acc
-    | cube :: rest ->
-      let contained_elsewhere =
-        List.exists (fun other -> Cube.contains other cube) rest
-        || List.exists (fun other -> Cube.contains other cube) acc
-      in
-      if contained_elsewhere then keep acc rest else keep (cube :: acc) rest
+  let order a b =
+    let la = Cube.literals a and lb = Cube.literals b in
+    if la <> lb then Int.compare la lb
+    else
+      let oa = Cube.output_count a and ob = Cube.output_count b in
+      if oa <> ob then Int.compare ob oa else Cube.compare a b
   in
-  { c with cubes = keep [] c.cubes }
+  let sorted = Array.copy c.cubes in
+  Array.sort order sorted;
+  let kept = ref [] in
+  Array.iter
+    (fun cube ->
+      if not (List.exists (fun k -> Cube.contains k cube) !kept) then
+        kept := cube :: !kept)
+    sorted;
+  { c with cubes = Array.of_list (List.rev !kept) }
 
 let minterms c =
   if c.num_vars > 16 then invalid_arg "Cover.minterms: too many variables";
@@ -209,14 +454,16 @@ let minterms c =
     let out = eval c v in
     if Array.exists Fun.id out then begin
       let m = Cube.minterm ~num_vars:c.num_vars ~num_outputs:c.num_outputs v in
-      cubes := Cube.make ~input:m.Cube.input ~output:out :: !cubes
+      cubes := Cube.make ~input:(Cube.input m) ~output:out :: !cubes
     end
   done;
-  { c with cubes = !cubes }
+  { c with cubes = Array.of_list !cubes }
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>";
-  List.iter (fun cube -> Format.fprintf ppf "%s@," (Cube.to_string cube)) c.cubes;
+  Array.iter
+    (fun cube -> Format.fprintf ppf "%s@," (Cube.to_string cube))
+    c.cubes;
   Format.fprintf ppf "@]"
 
 let to_string c = Format.asprintf "%a" pp c

@@ -1,16 +1,28 @@
 (** Covers: sets of multi-output cubes, with the classical two-level
     operations (cofactor, tautology, containment, complement) implemented
-    by unate/binate Shannon recursion as in Espresso. *)
+    by unate/binate Shannon recursion as in Espresso.
+
+    Covers are array-backed, and the recursion runs on interned packed
+    row sets with per-domain memo tables for tautology, cofactor and
+    complement results (see the [minimize.tautology_calls],
+    [minimize.tautology_memo_hits] and [minimize.cofactor_cache_hits]
+    counters in {!Stc_obs.Metrics}).  Every operation is a pure function
+    of cover content, so results do not depend on which domain computes
+    them. *)
 
 type t = private {
   num_vars : int;
   num_outputs : int;
-  cubes : Cube.t list;
+  cubes : Cube.t array;
 }
 
 (** [make ~num_vars ~num_outputs cubes] validates dimensions.
     @raise Invalid_argument on mismatched cube sizes. *)
 val make : num_vars:int -> num_outputs:int -> Cube.t list -> t
+
+(** [of_array ~num_vars ~num_outputs cubes] is {!make} on an array the
+    cover takes ownership of. *)
+val of_array : num_vars:int -> num_outputs:int -> Cube.t array -> t
 
 val empty : num_vars:int -> num_outputs:int -> t
 
@@ -28,7 +40,7 @@ val cost : t -> int * int
     output. *)
 val eval : t -> int -> bool array
 
-(** [add c cube] appends a cube. *)
+(** [add c cube] prepends a cube. *)
 val add : t -> Cube.t -> t
 
 (** [union a b] concatenates two covers of equal dimensions. *)
@@ -39,7 +51,9 @@ val union : t -> t -> t
 val cofactor : t -> wrt:Cube.t -> t
 
 (** [tautology c] holds when every input minterm is covered for every
-    output.  Unate reduction + binate-variable Shannon recursion. *)
+    output.  Unate reduction + binate-variable Shannon recursion with a
+    unate-leaf shortcut (a unate cover is a tautology iff it contains the
+    universal cube). *)
 val tautology : t -> bool
 
 (** [covers_cube c cube] tests whether [c] covers all minterms of [cube]
@@ -52,22 +66,33 @@ val covers : t -> t -> bool
 (** [equivalent a b] is semantic equality (mutual cover containment). *)
 val equivalent : t -> t -> bool
 
-(** [complement c] computes, output by output, the complement of the
-    function represented by [c]; the result asserts output [o] exactly on
-    the minterms where [c] does not. *)
-val complement : t -> t
+(** [complement ?jobs c] computes, output by output, the complement of
+    the function represented by [c]; the result asserts output [o]
+    exactly on the minterms where [c] does not.  [jobs] (default 1) fans
+    the per-output complements over that many domains; the result is
+    identical for every [jobs] value. *)
+val complement : ?jobs:int -> t -> t
 
 (** [sharp_cube cube c] is the set difference [cube \ c] as a cover:
     the parts of [cube] (per output of [cube]) not covered by [c]. *)
 val sharp_cube : Cube.t -> t -> t
 
 (** [single_cube_containment c] drops every cube contained in another
-    single cube of [c] (cheap redundancy removal). *)
+    single cube of [c] (cheap redundancy removal).  The result is
+    canonical: cubes are ordered most-general-first (fewest input
+    literals, then most outputs), and of two equal cubes exactly one
+    survives, so EXPAND results do not depend on input order. *)
 val single_cube_containment : t -> t
 
 (** [minterms c] expands the cover into one cube per covered
     (minterm, output-set); exponential, for tests on small covers. *)
 val minterms : t -> t
+
+(** [clear_caches ()] drops the calling domain's memo tables (interned
+    row sets, tautology/cofactor/complement results).  The tables are
+    bounded and self-evicting; this is for benchmarks that want cold
+    starts. *)
+val clear_caches : unit -> unit
 
 val pp : Format.formatter -> t -> unit
 

@@ -6,88 +6,298 @@ type report = {
   iterations : int;
 }
 
+module R = Cube.Raw
+
+let m_calls = Stc_obs.Metrics.counter "logic.minimize_calls"
+
+let m_raise_att = Stc_obs.Metrics.counter "minimize.expand_raises_attempted"
+
+let m_raise_acc = Stc_obs.Metrics.counter "minimize.expand_raises_accepted"
+
 let with_dc ?dc on =
   match dc with None -> on | Some d -> Cover.union on d
 
-let off_set ?dc on = Cover.complement (with_dc ?dc on)
+let off_set ?jobs ?dc on = Cover.complement ?jobs (with_dc ?dc on)
 
-let conflicts_with_off off cube =
-  List.exists (fun r -> Cube.intersect cube r <> None) off.Cover.cubes
-
-(* Raise one cube against the off-set: first input literals (in order of
-   ascending variable index), then output parts. *)
-let expand_cube ~off cube =
-  let current = ref cube in
-  let num_vars = Cube.num_vars cube in
-  for k = 0 to num_vars - 1 do
-    let c = !current in
-    if c.Cube.input.(k) <> Cube.Dc then begin
-      let input = Array.copy c.Cube.input in
-      input.(k) <- Cube.Dc;
-      let candidate = Cube.make ~input ~output:c.Cube.output in
-      if not (conflicts_with_off off candidate) then current := candidate
-    end
+let rows_conflict nw a b =
+  let conflict = ref false in
+  for i = 0 to nw - 1 do
+    if R.words_conflict (a.(i) land b.(i)) then conflict := true
   done;
-  let num_outputs = Cube.num_outputs cube in
-  for o = 0 to num_outputs - 1 do
-    let c = !current in
-    if not c.Cube.output.(o) then begin
-      let output = Array.copy c.Cube.output in
-      output.(o) <- true;
-      let candidate = Cube.make ~input:c.Cube.input ~output in
-      if not (conflicts_with_off off candidate) then current := candidate
-    end
-  done;
-  !current
+  !conflict
 
-let expand ~off cover =
-  let raised = List.map (expand_cube ~off) cover.Cover.cubes in
+(* Per-domain scratch for the blocking matrix, reused across cubes so the
+   hot loop allocates nothing proportional to the off-set.  [sets] holds
+   the conflict masks row-major ([nrel] rows of [nw] words), [col_rows]
+   the row indices per conflict column in CSR layout. *)
+type scratch = {
+  mutable sets : int array;
+  mutable counts : int array;
+  mutable col_count : int array;
+  mutable col_start : int array;  (* nv + 1 entries *)
+  mutable col_cursor : int array;
+  mutable col_rows : int array;
+  mutable blocked : bool array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sets = [||];
+        counts = [||];
+        col_count = [||];
+        col_start = [||];
+        col_cursor = [||];
+        col_rows = [||];
+        blocked = [||];
+      })
+
+let ensure a n = if Array.length a < n then Array.make n 0 else a
+
+(* Raise one cube against the off-set using a blocking matrix: for every
+   off-cube whose output part overlaps the cube's, record the set of
+   input columns on which the two conflict (one word-AND per off-cube).
+   A column may be raised as long as it is not the last conflict column
+   of any such set; raising it removes the column from every set, and
+   any set thereby reduced to a single column permanently blocks that
+   remaining column.  Columns are tried in ascending blocker count (then
+   index), as in espresso.  Output parts are raised afterwards: one
+   disjointness scan of the raised input part over the off-set collects
+   every blocked output at once. *)
+let expand_cube ~(off : Cover.t) cube =
+  let nv = Cube.num_vars cube in
+  let no = Cube.num_outputs cube in
+  let nw = R.in_words nv in
+  let ow = R.out_words no in
+  let cin = Array.copy (R.input_words cube) in
+  let cout = Array.copy (R.output_words cube) in
+  let off_cubes = off.Cover.cubes in
+  let s = Domain.DLS.get scratch_key in
+  s.sets <- ensure s.sets (Array.length off_cubes * nw);
+  s.counts <- ensure s.counts (Array.length off_cubes);
+  s.col_count <- ensure s.col_count nv;
+  s.col_start <- ensure s.col_start (nv + 1);
+  s.col_cursor <- ensure s.col_cursor nv;
+  if Array.length s.blocked < nv then s.blocked <- Array.make nv false;
+  (* Conflict-column sets of the output-overlapping off-cubes. *)
+  let nrel = ref 0 and total = ref 0 in
+  let invalid = ref false in
+  Array.iter
+    (fun r ->
+      if not !invalid && Cube.output_overlap r cube then begin
+        let rin = R.input_words r in
+        let cnt = ref 0 in
+        let base = !nrel * nw in
+        for w = 0 to nw - 1 do
+          let v = cin.(w) land rin.(w) in
+          let e = lnot (v lor (v lsr 1)) land R.mask01 in
+          s.sets.(base + w) <- e;
+          cnt := !cnt + R.popcount e
+        done;
+        (* No conflict column means the cube already intersects the
+           off-set (an invalid input): mirror the old engine and return
+           it unraised. *)
+        if !cnt = 0 then invalid := true;
+        s.counts.(!nrel) <- !cnt;
+        total := !total + !cnt;
+        incr nrel
+      end)
+    off_cubes;
+  if !invalid then cube
+  else begin
+    let nrel = !nrel in
+    s.col_rows <- ensure s.col_rows !total;
+    Array.fill s.col_count 0 nv 0;
+    Array.fill s.blocked 0 nv false;
+    let col_of w b = (w * R.vars_per_word) + (R.popcount (b - 1) / 2) in
+    (* Only meaningful for rows with a single conflict bit left: the one
+       nonzero word then holds exactly that bit, which [col_of] maps to
+       its column. *)
+    let last_col base =
+      let j = ref (-1) in
+      for w = 0 to nw - 1 do
+        if s.sets.(base + w) <> 0 then j := col_of w s.sets.(base + w)
+      done;
+      !j
+    in
+    for i = 0 to nrel - 1 do
+      let base = i * nw in
+      for w = 0 to nw - 1 do
+        let e = ref s.sets.(base + w) in
+        while !e <> 0 do
+          let b = !e land - !e in
+          let k = col_of w b in
+          s.col_count.(k) <- s.col_count.(k) + 1;
+          e := !e land lnot b
+        done
+      done;
+      if s.counts.(i) = 1 then s.blocked.(last_col base) <- true
+    done;
+    (* CSR fill: row indices of each column's blockers. *)
+    let acc = ref 0 in
+    for k = 0 to nv - 1 do
+      s.col_start.(k) <- !acc;
+      s.col_cursor.(k) <- !acc;
+      acc := !acc + s.col_count.(k)
+    done;
+    s.col_start.(nv) <- !acc;
+    for i = 0 to nrel - 1 do
+      let base = i * nw in
+      for w = 0 to nw - 1 do
+        let e = ref s.sets.(base + w) in
+        while !e <> 0 do
+          let b = !e land - !e in
+          let k = col_of w b in
+          s.col_rows.(s.col_cursor.(k)) <- i;
+          s.col_cursor.(k) <- s.col_cursor.(k) + 1;
+          e := !e land lnot b
+        done
+      done
+    done;
+    (* Fixed columns of the cube, cheapest (fewest blockers) first. *)
+    let fixed = ref [] in
+    for k = nv - 1 downto 0 do
+      let pair = (cin.(k / R.vars_per_word) lsr (2 * (k mod R.vars_per_word))) land 3 in
+      if pair <> 3 then fixed := k :: !fixed
+    done;
+    let order =
+      List.stable_sort
+        (fun a b -> Int.compare s.col_count.(a) s.col_count.(b))
+        !fixed
+    in
+    List.iter
+      (fun k ->
+        Stc_obs.Metrics.incr m_raise_att;
+        if not s.blocked.(k) then begin
+          let wi = k / R.vars_per_word and p = 2 * (k mod R.vars_per_word) in
+          cin.(wi) <- cin.(wi) lor (3 lsl p);
+          Stc_obs.Metrics.incr m_raise_acc;
+          for idx = s.col_start.(k) to s.col_start.(k + 1) - 1 do
+            let i = s.col_rows.(idx) in
+            s.sets.((i * nw) + wi) <- s.sets.((i * nw) + wi) land lnot (1 lsl p);
+            s.counts.(i) <- s.counts.(i) - 1;
+            if s.counts.(i) = 1 then s.blocked.(last_col (i * nw)) <- true
+          done
+        end)
+      order;
+    (* Output raising: output [o] may be added iff the (now raised) input
+       part is disjoint from every off-cube asserting [o].  One scan over
+       the off-set accumulates every blocked output. *)
+    let blocked_out = Array.make ow 0 in
+    Array.iter
+      (fun r ->
+        if not (rows_conflict nw cin (R.input_words r)) then begin
+          let rout = R.output_words r in
+          for w = 0 to ow - 1 do
+            blocked_out.(w) <- blocked_out.(w) lor rout.(w)
+          done
+        end)
+      off_cubes;
+    for o = 0 to no - 1 do
+      let wi = o / R.outs_per_word and p = o mod R.outs_per_word in
+      if cout.(wi) land (1 lsl p) = 0 then begin
+        Stc_obs.Metrics.incr m_raise_att;
+        if blocked_out.(wi) land (1 lsl p) = 0 then begin
+          cout.(wi) <- cout.(wi) lor (1 lsl p);
+          Stc_obs.Metrics.incr m_raise_acc
+        end
+      end
+    done;
+    R.make_packed ~num_vars:nv ~num_outputs:no cin cout
+  end
+
+let expand ?(jobs = 1) ~off cover =
+  Stc_obs.Trace.span ~cat:"logic" "expand" @@ fun () ->
+  let n = Array.length cover.Cover.cubes in
+  let raised =
+    if n = 0 then [||]
+    else
+      Stc_util.Parallel.map_range ~jobs n
+        (fun i -> expand_cube ~off cover.Cover.cubes.(i))
+        ~init:cover.Cover.cubes.(0)
+  in
   Cover.single_cube_containment
-    (Cover.make ~num_vars:cover.Cover.num_vars
+    (Cover.of_array ~num_vars:cover.Cover.num_vars
        ~num_outputs:cover.Cover.num_outputs raised)
 
-let irredundant ?dc cover =
-  (* Greedily drop cubes, most specific first, whenever the rest (plus the
-     don't-care set) still covers them. *)
-  let cubes =
-    List.sort (fun a b -> Int.compare (Cube.literals b) (Cube.literals a))
-      cover.Cover.cubes
-  in
-  let keep = ref [] in
-  let remaining = ref cubes in
-  while !remaining <> [] do
-    match !remaining with
-    | [] -> ()
-    | cube :: rest ->
-      remaining := rest;
-      let others =
-        Cover.make ~num_vars:cover.Cover.num_vars
-          ~num_outputs:cover.Cover.num_outputs (!keep @ rest)
-      in
-      let context = with_dc ?dc others in
-      if not (Cover.covers_cube context cube) then keep := cube :: !keep
+let cubes_except cubes alive i =
+  let out = ref [] in
+  for j = Array.length cubes - 1 downto 0 do
+    if j <> i && alive.(j) then out := cubes.(j) :: !out
   done;
-  Cover.make ~num_vars:cover.Cover.num_vars ~num_outputs:cover.Cover.num_outputs
-    !keep
+  !out
+
+(* IRREDUNDANT via the relatively-essential / partially-redundant split:
+   one (parallelizable) covered-by-all-others test per cube classifies it
+   as relatively essential (kept unconditionally) or partially redundant;
+   only the partially-redundant cubes then go through the sequential
+   greedy drop, most-specific first. *)
+let irredundant ?(jobs = 1) ?dc cover =
+  Stc_obs.Trace.span ~cat:"logic" "irredundant" @@ fun () ->
+  let cubes = cover.Cover.cubes in
+  let n = Array.length cubes in
+  if n <= 1 then cover
+  else begin
+    let num_vars = cover.Cover.num_vars
+    and num_outputs = cover.Cover.num_outputs in
+    let all_alive = Array.make n true in
+    let context_of alive i =
+      with_dc ?dc
+        (Cover.make ~num_vars ~num_outputs (cubes_except cubes alive i))
+    in
+    let covered =
+      Stc_util.Parallel.map_range ~jobs n
+        (fun i -> Cover.covers_cube (context_of all_alive i) cubes.(i))
+        ~init:false
+    in
+    let partially_redundant = ref [] in
+    for i = n - 1 downto 0 do
+      if covered.(i) then partially_redundant := i :: !partially_redundant
+    done;
+    let order =
+      List.stable_sort
+        (fun a b ->
+          let la = Cube.literals cubes.(a) and lb = Cube.literals cubes.(b) in
+          if la <> lb then Int.compare lb la
+          else Cube.compare cubes.(a) cubes.(b))
+        !partially_redundant
+    in
+    let alive = Array.make n true in
+    List.iter
+      (fun i ->
+        if Cover.covers_cube (context_of alive i) cubes.(i) then
+          alive.(i) <- false)
+      order;
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then kept := cubes.(i) :: !kept
+    done;
+    Cover.make ~num_vars ~num_outputs !kept
+  end
 
 let reduce ?dc cover =
+  Stc_obs.Trace.span ~cat:"logic" "reduce" @@ fun () ->
+  let cubes = Array.copy cover.Cover.cubes in
+  let n = Array.length cubes in
+  let alive = Array.make n true in
   let num_vars = cover.Cover.num_vars
   and num_outputs = cover.Cover.num_outputs in
-  let rec go processed = function
-    | [] -> List.rev processed
-    | cube :: rest ->
-      let others = Cover.make ~num_vars ~num_outputs (processed @ rest) in
-      let context = with_dc ?dc others in
-      let unique = Cover.sharp_cube cube context in
-      (match unique.Cover.cubes with
-      | [] -> go processed rest (* fully covered elsewhere: drop *)
-      | first :: more ->
-        let shrunk = List.fold_left Cube.supercube first more in
-        (* Never grow: reduction stays inside the original cube. *)
-        let shrunk = if Cube.contains cube shrunk then shrunk else cube in
-        go (shrunk :: processed) rest)
-  in
-  Cover.make ~num_vars ~num_outputs (go [] cover.Cover.cubes)
+  for i = 0 to n - 1 do
+    let others = Cover.make ~num_vars ~num_outputs (cubes_except cubes alive i) in
+    let context = with_dc ?dc others in
+    let unique = Cover.sharp_cube cubes.(i) context in
+    match Array.to_list unique.Cover.cubes with
+    | [] -> alive.(i) <- false (* fully covered elsewhere: drop *)
+    | first :: more ->
+      let shrunk = List.fold_left Cube.supercube first more in
+      (* Never grow: reduction stays inside the original cube. *)
+      if Cube.contains cubes.(i) shrunk then cubes.(i) <- shrunk
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if alive.(i) then kept := cubes.(i) :: !kept
+  done;
+  Cover.make ~num_vars ~num_outputs !kept
 
 let verify ~on ?dc result =
   let care_on =
@@ -95,33 +305,41 @@ let verify ~on ?dc result =
     | None -> on
     | Some d ->
       (* on \ dc: don't-cares take precedence where the sets overlap. *)
-      Cover.make ~num_vars:on.Cover.num_vars ~num_outputs:on.Cover.num_outputs
-        (List.concat_map
-           (fun cube -> (Cover.sharp_cube cube d).Cover.cubes)
-           on.Cover.cubes)
+      Cover.of_array ~num_vars:on.Cover.num_vars
+        ~num_outputs:on.Cover.num_outputs
+        (Array.concat
+           (Array.to_list
+              (Array.map
+                 (fun cube -> (Cover.sharp_cube cube d).Cover.cubes)
+                 on.Cover.cubes)))
   in
   Cover.covers result care_on && Cover.covers (with_dc ?dc on) result
 
 let is_irredundant ?dc cover =
+  let cubes = cover.Cover.cubes in
+  let n = Array.length cubes in
+  let alive = Array.make n true in
   let num_vars = cover.Cover.num_vars
   and num_outputs = cover.Cover.num_outputs in
-  let rec check before = function
-    | [] -> true
-    | cube :: rest ->
-      let others = Cover.make ~num_vars ~num_outputs (before @ rest) in
-      let context = with_dc ?dc others in
-      (not (Cover.covers_cube context cube)) && check (cube :: before) rest
-  in
-  check [] cover.Cover.cubes
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then begin
+      let others =
+        Cover.make ~num_vars ~num_outputs (cubes_except cubes alive i)
+      in
+      if Cover.covers_cube (with_dc ?dc others) cubes.(i) then ok := false
+    end
+  done;
+  !ok
 
-let m_calls = Stc_obs.Metrics.counter "logic.minimize_calls"
-
-let minimize ?dc on =
+let minimize ?(jobs = 1) ?dc on =
   Stc_obs.Trace.span ~cat:"logic" "minimize" @@ fun () ->
   Stc_obs.Metrics.incr m_calls;
   let initial_cubes, initial_literals = Cover.cost on in
-  let off = off_set ?dc on in
-  let current = ref (irredundant ?dc (expand ~off (Cover.single_cube_containment on))) in
+  let off = off_set ~jobs ?dc on in
+  let current =
+    ref (irredundant ~jobs ?dc (expand ~jobs ~off (Cover.single_cube_containment on)))
+  in
   let best = ref !current in
   let best_cost = ref (Cover.cost !current) in
   let iterations = ref 1 in
@@ -129,8 +347,8 @@ let minimize ?dc on =
   while !improving && !iterations < 10 do
     incr iterations;
     let reduced = reduce ?dc !current in
-    let expanded = expand ~off reduced in
-    let cleaned = irredundant ?dc expanded in
+    let expanded = expand ~jobs ~off reduced in
+    let cleaned = irredundant ~jobs ?dc expanded in
     current := cleaned;
     let cost = Cover.cost cleaned in
     if cost < !best_cost then begin
@@ -143,3 +361,11 @@ let minimize ?dc on =
   ( !best,
     { initial_cubes; initial_literals; final_cubes; final_literals;
       iterations = !iterations } )
+
+let reference ?budget ?dc on =
+  let initial_cubes, initial_literals = Cover.cost on in
+  let result, iterations = Naive.minimize ?budget ?dc on in
+  let final_cubes, final_literals = Cover.cost result in
+  ( result,
+    { initial_cubes; initial_literals; final_cubes; final_literals;
+      iterations } )

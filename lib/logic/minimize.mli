@@ -3,7 +3,19 @@
 
     This is the "logic minimization" step of the conventional synthesis
     flow (fig. 1) and of the pipeline blocks C1/C2 (fig. 4); the area
-    comparison of section 4 is made on the minimized covers. *)
+    comparison of section 4 is made on the minimized covers.
+
+    The hot loop is bit-parallel: EXPAND raises columns against per-cube
+    blocking matrices derived from the off-set (one word-AND per
+    off-cube), IRREDUNDANT splits cubes into relatively-essential and
+    partially-redundant classes before the sequential greedy drop, and
+    the optional [jobs] argument fans the per-cube work of EXPAND and
+    the classification pass of IRREDUNDANT (plus the per-output off-set
+    complements) over that many OCaml domains.  Results are identical
+    for every [jobs] value.  Progress is observable through the
+    [minimize.*] counters of {!Stc_obs.Metrics} (expand raises
+    attempted/accepted, tautology calls and memo hits, cofactor cache
+    hits) and the [logic] trace spans. *)
 
 type report = {
   initial_cubes : int;
@@ -13,28 +25,39 @@ type report = {
   iterations : int;
 }
 
-(** [minimize ?dc on] minimizes the on-set [on] using the optional
+(** [minimize ?jobs ?dc on] minimizes the on-set [on] using the optional
     don't-care set [dc].  The result covers every care on-set minterm
     (don't-cares take precedence on overlap), covers nothing outside
     on+dc, and is irredundant. *)
-val minimize : ?dc:Cover.t -> Cover.t -> Cover.t * report
+val minimize : ?jobs:int -> ?dc:Cover.t -> Cover.t -> Cover.t * report
 
-(** [expand ~off cover] raises each cube to a prime-ish cube: literals and
-    outputs are lifted greedily as long as the cube stays disjoint from the
-    off-set [off]; then single-cube containment cleans up. *)
-val expand : off:Cover.t -> Cover.t -> Cover.t
+(** [reference ?budget ?dc on] is the original list-based minimizer
+    retained in {!Naive}, with the same result contract as {!minimize}
+    (the covers are semantically equivalent, not cube-identical).
+    Benchmarks and the equivalence suite cross-check against it.
+    [budget] caps the wall-clock seconds; exceeding it raises
+    {!Naive.Timeout}. *)
+val reference : ?budget:float -> ?dc:Cover.t -> Cover.t -> Cover.t * report
 
-(** [irredundant ?dc cover] greedily removes cubes covered by the rest of
-    the cover (plus [dc]). *)
-val irredundant : ?dc:Cover.t -> Cover.t -> Cover.t
+(** [expand ?jobs ~off cover] raises each cube to a prime cube: columns
+    and outputs are lifted, cheapest first, as long as the cube stays
+    disjoint from the off-set [off]; then single-cube containment cleans
+    up. *)
+val expand : ?jobs:int -> off:Cover.t -> Cover.t -> Cover.t
+
+(** [irredundant ?jobs ?dc cover] removes cubes covered by the rest of
+    the cover (plus [dc]): relatively essential cubes are kept, the
+    partially redundant rest is dropped greedily, most specific
+    first. *)
+val irredundant : ?jobs:int -> ?dc:Cover.t -> Cover.t -> Cover.t
 
 (** [reduce ?dc cover] shrinks each cube to the supercube of the parts only
     it covers, enabling the next expansion to escape local minima.  Cubes
     that become empty are dropped. *)
 val reduce : ?dc:Cover.t -> Cover.t -> Cover.t
 
-(** [off_set ?dc on] is the complement of [on + dc]. *)
-val off_set : ?dc:Cover.t -> Cover.t -> Cover.t
+(** [off_set ?jobs ?dc on] is the complement of [on + dc]. *)
+val off_set : ?jobs:int -> ?dc:Cover.t -> Cover.t -> Cover.t
 
 (** [verify ~on ?dc result] checks the minimization contract:
     [(on \ dc) <= result <= on + dc]. *)

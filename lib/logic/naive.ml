@@ -1,0 +1,395 @@
+(* The pre-packed trit-array engine, retained verbatim as a reference
+   implementation: `bench minimize` and the QCheck equivalence suite
+   cross-check the packed Cube/Cover/Minimize results against this
+   module.  Everything here mirrors the original list-based code paths
+   (including their cube ordering quirks); only the entry points convert
+   from and to the packed public types. *)
+
+exception Timeout
+
+(* Wall-clock budget for {!minimize}: the reference engine predates every
+   performance fix, so on large covers (s1's 5000-row monolithic block)
+   a full espresso pass can take hours.  The deadline is polled every
+   1024 ticks from the recursion hot spots; [minimize] installs and
+   clears it.  The module is only ever driven sequentially (it is a
+   reference, not a production path), so plain mutable state is fine. *)
+let deadline = ref infinity
+
+let tick = ref 0
+
+let check () =
+  incr tick;
+  if !tick land 1023 = 0 && Stc_util.Clock.now () > !deadline then
+    raise Timeout
+
+type ncube = { input : Cube.trit array; output : bool array }
+
+type ncover = { nv : int; no : int; cubes : ncube list }
+
+let ncube_of c = { input = Cube.input c; output = Cube.output c }
+
+let cube_of n = Cube.make ~input:n.input ~output:n.output
+
+let ncover_of (c : Cover.t) =
+  { nv = c.Cover.num_vars;
+    no = c.Cover.num_outputs;
+    cubes = Array.to_list (Array.map ncube_of c.Cover.cubes) }
+
+let cover_of n =
+  Cover.make ~num_vars:n.nv ~num_outputs:n.no (List.map cube_of n.cubes)
+
+(* ------------------------------------------------------------------
+   Cube operations (original per-literal array walks).
+   ------------------------------------------------------------------ *)
+
+let ncube_literals c =
+  Array.fold_left (fun acc t -> if t = Cube.Dc then acc else acc + 1) 0 c.input
+
+let ncube_contains a b =
+  Array.length a.input = Array.length b.input
+  && Array.length a.output = Array.length b.output
+  && (let ok = ref true in
+      Array.iteri
+        (fun k ta ->
+          match (ta, b.input.(k)) with
+          | Cube.Dc, _ -> ()
+          | Cube.One, Cube.One | Cube.Zero, Cube.Zero -> ()
+          | Cube.One, (Cube.Zero | Cube.Dc) | Cube.Zero, (Cube.One | Cube.Dc)
+            ->
+            ok := false)
+        a.input;
+      !ok)
+  && (let ok = ref true in
+      Array.iteri
+        (fun o bo -> if bo && not a.output.(o) then ok := false)
+        b.output;
+      !ok)
+
+let ncube_intersect a b =
+  let n = Array.length a.input in
+  let input = Array.make n Cube.Dc in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    match (a.input.(k), b.input.(k)) with
+    | Cube.Dc, t | t, Cube.Dc -> input.(k) <- t
+    | Cube.One, Cube.One -> input.(k) <- Cube.One
+    | Cube.Zero, Cube.Zero -> input.(k) <- Cube.Zero
+    | Cube.One, Cube.Zero | Cube.Zero, Cube.One -> ok := false
+  done;
+  let output = Array.mapi (fun o bo -> bo && b.output.(o)) a.output in
+  if !ok && Array.exists Fun.id output then Some { input; output } else None
+
+let ncube_supercube a b =
+  let input =
+    Array.mapi
+      (fun k ta ->
+        match (ta, b.input.(k)) with
+        | Cube.One, Cube.One -> Cube.One
+        | Cube.Zero, Cube.Zero -> Cube.Zero
+        | _ -> Cube.Dc)
+      a.input
+  in
+  let output = Array.mapi (fun o bo -> bo || b.output.(o)) a.output in
+  { input; output }
+
+let ncube_distance a b =
+  let d = ref 0 in
+  Array.iteri
+    (fun k ta ->
+      match (ta, b.input.(k)) with
+      | Cube.One, Cube.Zero | Cube.Zero, Cube.One -> incr d
+      | _ -> ())
+    a.input;
+  !d
+
+let ncube_cofactor c ~wrt =
+  if ncube_distance c wrt > 0 then None
+  else begin
+    let input =
+      Array.mapi (fun k t -> if wrt.input.(k) = Cube.Dc then t else Cube.Dc)
+        c.input
+    in
+    let output = Array.mapi (fun o bo -> bo && wrt.output.(o)) c.output in
+    if Array.exists Fun.id output then Some { input; output } else None
+  end
+
+let ncube_full ~nv ~no =
+  { input = Array.make nv Cube.Dc; output = Array.make no true }
+
+(* ------------------------------------------------------------------
+   Cover operations (original list-based single-output rows engine).
+   ------------------------------------------------------------------ *)
+
+let ncover_cost c =
+  let literals =
+    List.fold_left
+      (fun acc cube ->
+        acc + ncube_literals cube
+        + Array.fold_left (fun a b -> if b then a + 1 else a) 0 cube.output)
+      0 c.cubes
+  in
+  (List.length c.cubes, literals)
+
+let ncover_cofactor c ~wrt =
+  { c with cubes = List.filter_map (fun cube -> ncube_cofactor cube ~wrt) c.cubes }
+
+let row_all_dc row = Array.for_all (fun t -> t = Cube.Dc) row
+
+let row_cofactor row k polarity =
+  match (row.(k), polarity) with
+  | Cube.Dc, _ -> Some row
+  | Cube.One, true | Cube.Zero, false ->
+    let r = Array.copy row in
+    r.(k) <- Cube.Dc;
+    Some r
+  | Cube.One, false | Cube.Zero, true -> None
+
+let rows_cofactor rows k polarity =
+  List.filter_map (fun r -> row_cofactor r k polarity) rows
+
+let select_var num_vars rows =
+  let ones = Array.make num_vars 0 and zeros = Array.make num_vars 0 in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun k t ->
+          match t with
+          | Cube.One -> ones.(k) <- ones.(k) + 1
+          | Cube.Zero -> zeros.(k) <- zeros.(k) + 1
+          | Cube.Dc -> ())
+        row)
+    rows;
+  let best = ref None in
+  for k = 0 to num_vars - 1 do
+    if ones.(k) + zeros.(k) > 0 then begin
+      let score = (min ones.(k) zeros.(k) * 10000) + ones.(k) + zeros.(k) in
+      match !best with
+      | Some (_, s) when s >= score -> ()
+      | _ -> best := Some (k, score)
+    end
+  done;
+  match !best with
+  | Some (k, _) -> Some (k, ones.(k) > 0 && zeros.(k) > 0)
+  | None -> None
+
+let rec rows_tautology num_vars rows =
+  check ();
+  if List.exists row_all_dc rows then true
+  else
+    match select_var num_vars rows with
+    | None -> false
+    | Some (k, binate) ->
+      if binate then
+        rows_tautology num_vars (rows_cofactor rows k true)
+        && rows_tautology num_vars (rows_cofactor rows k false)
+      else begin
+        let polarity = List.exists (fun r -> r.(k) = Cube.Zero) rows in
+        rows_tautology num_vars (rows_cofactor rows k polarity)
+      end
+
+let rec rows_complement num_vars rows =
+  check ();
+  if List.exists row_all_dc rows then []
+  else if rows = [] then [ Array.make num_vars Cube.Dc ]
+  else
+    match select_var num_vars rows with
+    | None -> assert false
+    | Some (k, _) ->
+      let branch polarity =
+        let sub = rows_complement num_vars (rows_cofactor rows k polarity) in
+        List.map
+          (fun r ->
+            let r = Array.copy r in
+            r.(k) <- (if polarity then Cube.One else Cube.Zero);
+            r)
+          sub
+      in
+      branch true @ branch false
+
+let rows_for_output c o =
+  List.filter_map
+    (fun cube -> if cube.output.(o) then Some cube.input else None)
+    c.cubes
+
+let ncover_covers_cube c cube =
+  let cf = ncover_cofactor c ~wrt:cube in
+  let ok = ref true in
+  Array.iteri
+    (fun o asserted ->
+      if asserted && !ok then
+        if not (rows_tautology c.nv (rows_for_output cf o)) then ok := false)
+    cube.output;
+  !ok
+
+let ncover_tautology c = ncover_covers_cube c (ncube_full ~nv:c.nv ~no:c.no)
+
+let output_singleton no o = Array.init no (fun i -> i = o)
+
+let ncover_complement c =
+  let cubes = ref [] in
+  for o = 0 to c.no - 1 do
+    let comp = rows_complement c.nv (rows_for_output c o) in
+    List.iter
+      (fun input ->
+        cubes := { input; output = output_singleton c.no o } :: !cubes)
+      comp
+  done;
+  { c with cubes = !cubes }
+
+let ncover_sharp_cube cube c =
+  let nv = Array.length cube.input in
+  let no = Array.length cube.output in
+  let cubes = ref [] in
+  Array.iteri
+    (fun o asserted ->
+      if asserted then begin
+        let comp = rows_complement nv (rows_for_output c o) in
+        List.iter
+          (fun input ->
+            let candidate = { input; output = output_singleton no o } in
+            match ncube_intersect cube candidate with
+            | Some piece ->
+              cubes := { piece with output = output_singleton no o } :: !cubes
+            | None -> ())
+          comp
+      end)
+    cube.output;
+  { nv; no; cubes = !cubes }
+
+(* The original (order-dependent) single-cube containment: keeps the
+   first of two equal cubes. *)
+let ncover_scc c =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | cube :: rest ->
+      let contained_elsewhere =
+        List.exists (fun other -> ncube_contains other cube) rest
+        || List.exists (fun other -> ncube_contains other cube) acc
+      in
+      if contained_elsewhere then keep acc rest else keep (cube :: acc) rest
+  in
+  { c with cubes = keep [] c.cubes }
+
+(* ------------------------------------------------------------------
+   The original minimize loop.
+   ------------------------------------------------------------------ *)
+
+let with_dc ?dc on =
+  match dc with None -> on | Some d -> { on with cubes = on.cubes @ d.cubes }
+
+let off_set ?dc on = ncover_complement (with_dc ?dc on)
+
+let conflicts_with_off off cube =
+  List.exists (fun r -> ncube_intersect cube r <> None) off.cubes
+
+let expand_cube ~off cube =
+  check ();
+  let current = ref cube in
+  let num_vars = Array.length cube.input in
+  for k = 0 to num_vars - 1 do
+    let c = !current in
+    if c.input.(k) <> Cube.Dc then begin
+      let input = Array.copy c.input in
+      input.(k) <- Cube.Dc;
+      let candidate = { c with input } in
+      if not (conflicts_with_off off candidate) then current := candidate
+    end
+  done;
+  let num_outputs = Array.length cube.output in
+  for o = 0 to num_outputs - 1 do
+    let c = !current in
+    if not c.output.(o) then begin
+      let output = Array.copy c.output in
+      output.(o) <- true;
+      let candidate = { c with output } in
+      if not (conflicts_with_off off candidate) then current := candidate
+    end
+  done;
+  !current
+
+let nexpand ~off cover =
+  ncover_scc { cover with cubes = List.map (expand_cube ~off) cover.cubes }
+
+let nirredundant ?dc cover =
+  let cubes =
+    List.sort (fun a b -> Int.compare (ncube_literals b) (ncube_literals a))
+      cover.cubes
+  in
+  let keep = ref [] in
+  let remaining = ref cubes in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | cube :: rest ->
+      remaining := rest;
+      let others = { cover with cubes = !keep @ rest } in
+      let context = with_dc ?dc others in
+      if not (ncover_covers_cube context cube) then keep := cube :: !keep
+  done;
+  { cover with cubes = !keep }
+
+let nreduce ?dc cover =
+  let rec go processed = function
+    | [] -> List.rev processed
+    | cube :: rest ->
+      let others = { cover with cubes = processed @ rest } in
+      let context = with_dc ?dc others in
+      let unique = ncover_sharp_cube cube context in
+      (match unique.cubes with
+      | [] -> go processed rest
+      | first :: more ->
+        let shrunk = List.fold_left ncube_supercube first more in
+        let shrunk = if ncube_contains cube shrunk then shrunk else cube in
+        go (shrunk :: processed) rest)
+  in
+  { cover with cubes = go [] cover.cubes }
+
+let nminimize ?dc on =
+  let off = off_set ?dc on in
+  let current = ref (nirredundant ?dc (nexpand ~off (ncover_scc on))) in
+  let best = ref !current in
+  let best_cost = ref (ncover_cost !current) in
+  let iterations = ref 1 in
+  let improving = ref true in
+  while !improving && !iterations < 10 do
+    incr iterations;
+    let reduced = nreduce ?dc !current in
+    let expanded = nexpand ~off reduced in
+    let cleaned = nirredundant ?dc expanded in
+    current := cleaned;
+    let cost = ncover_cost cleaned in
+    if cost < !best_cost then begin
+      best := cleaned;
+      best_cost := cost
+    end
+    else improving := false
+  done;
+  (!best, !iterations)
+
+(* ------------------------------------------------------------------
+   Public entry points on the packed types.
+   ------------------------------------------------------------------ *)
+
+let contains a b = ncube_contains (ncube_of a) (ncube_of b)
+
+let intersect a b =
+  Option.map cube_of (ncube_intersect (ncube_of a) (ncube_of b))
+
+let tautology c = ncover_tautology (ncover_of c)
+
+let complement c = cover_of (ncover_complement (ncover_of c))
+
+let covers_cube c cube = ncover_covers_cube (ncover_of c) (ncube_of cube)
+
+let single_cube_containment c = cover_of (ncover_scc (ncover_of c))
+
+let minimize ?budget ?dc on =
+  deadline :=
+    (match budget with
+    | None -> infinity
+    | Some b -> Stc_util.Clock.now () +. b);
+  tick := 0;
+  Fun.protect ~finally:(fun () -> deadline := infinity) @@ fun () ->
+  let dc = Option.map ncover_of dc in
+  let result, iterations = nminimize ?dc (ncover_of on) in
+  (cover_of result, iterations)

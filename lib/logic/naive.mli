@@ -1,0 +1,35 @@
+(** The pre-packed trit-array reference engine.
+
+    This module preserves the original list-based [Cube]/[Cover]/
+    [Minimize] code paths, byte for byte in behavior, as an executable
+    specification: the QCheck equivalence suite and the [bench minimize]
+    cross-check run every packed operation against it.  Entry points
+    take and return the packed public types; all internal work happens
+    on plain trit arrays.  It is deliberately slow - do not call it from
+    synthesis paths. *)
+
+(** Raised by {!minimize} when its [budget] is exhausted. *)
+exception Timeout
+
+val contains : Cube.t -> Cube.t -> bool
+
+val intersect : Cube.t -> Cube.t -> Cube.t option
+
+val tautology : Cover.t -> bool
+
+val complement : Cover.t -> Cover.t
+
+val covers_cube : Cover.t -> Cube.t -> bool
+
+(** The original order-dependent single-cube containment (keeps the
+    first of two equal cubes) - retained so the canonicality fix in
+    {!Cover.single_cube_containment} has a regression baseline. *)
+val single_cube_containment : Cover.t -> Cover.t
+
+(** [minimize ?budget ?dc on] is the original espresso loop (greedy
+    EXPAND against a materialized off-set, drop-and-retry IRREDUNDANT,
+    REDUCE); returns the minimized cover and the iteration count.
+    [budget] caps the wall-clock seconds spent; when exceeded the run
+    raises {!Timeout} (used by [bench minimize] to report a lower-bound
+    speedup on covers the reference engine cannot finish). *)
+val minimize : ?budget:float -> ?dc:Cover.t -> Cover.t -> Cover.t * int

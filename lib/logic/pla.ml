@@ -81,28 +81,29 @@ let print ?name ?dc on =
   (match name with
   | Some n -> Buffer.add_string buf (Printf.sprintf ".name %s\n" n)
   | None -> ());
-  let dc_cubes = match dc with None -> [] | Some d -> d.Cover.cubes in
+  let dc_cubes = match dc with None -> [||] | Some d -> d.Cover.cubes in
   Buffer.add_string buf (Printf.sprintf ".i %d\n" on.Cover.num_vars);
   Buffer.add_string buf (Printf.sprintf ".o %d\n" on.Cover.num_outputs);
   Buffer.add_string buf
-    (Printf.sprintf ".type %s\n" (if dc_cubes = [] then "f" else "fd"));
+    (Printf.sprintf ".type %s\n" (if dc_cubes = [||] then "f" else "fd"));
   Buffer.add_string buf
-    (Printf.sprintf ".p %d\n" (List.length on.Cover.cubes + List.length dc_cubes));
+    (Printf.sprintf ".p %d\n"
+       (Array.length on.Cover.cubes + Array.length dc_cubes));
   let add_cube ~dc_row cube =
     let inp =
       String.init (Cube.num_vars cube) (fun k ->
-          match cube.Cube.input.(k) with
+          match Cube.get cube k with
           | Cube.Zero -> '0'
           | Cube.One -> '1'
           | Cube.Dc -> '-')
     in
     let out =
       String.init (Cube.num_outputs cube) (fun o ->
-          if cube.Cube.output.(o) then (if dc_row then '-' else '1') else '0')
+          if Cube.output_bit cube o then (if dc_row then '-' else '1') else '0')
     in
     Buffer.add_string buf (inp ^ " " ^ out ^ "\n")
   in
-  List.iter (add_cube ~dc_row:false) on.Cover.cubes;
-  List.iter (add_cube ~dc_row:true) dc_cubes;
+  Array.iter (add_cube ~dc_row:false) on.Cover.cubes;
+  Array.iter (add_cube ~dc_row:true) dc_cubes;
   Buffer.add_string buf ".e\n";
   Buffer.contents buf

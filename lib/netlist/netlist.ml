@@ -103,22 +103,25 @@ module Builder = struct
     in
     let term_of_cube cube =
       let literals = ref [] in
-      Array.iteri
-        (fun k trit ->
-          match trit with
-          | Cube.One -> literals := inputs.(k) :: !literals
-          | Cube.Zero -> literals := inv k :: !literals
-          | Cube.Dc -> ())
-        cube.Cube.input;
+      for k = 0 to cover.Cover.num_vars - 1 do
+        match Cube.get cube k with
+        | Cube.One -> literals := inputs.(k) :: !literals
+        | Cube.Zero -> literals := inv k :: !literals
+        | Cube.Dc -> ()
+      done;
       match !literals with
       | [] -> const b true
       | ls -> and_ b (List.rev ls)
     in
-    let terms = List.map (fun cube -> (cube, term_of_cube cube)) cover.Cover.cubes in
+    let terms =
+      Array.to_list
+        (Array.map (fun cube -> (cube, term_of_cube cube)) cover.Cover.cubes)
+    in
     Array.init cover.Cover.num_outputs (fun o ->
         let fanin =
           List.filter_map
-            (fun (cube, term) -> if cube.Cube.output.(o) then Some term else None)
+            (fun (cube, term) ->
+              if Cube.output_bit cube o then Some term else None)
             terms
         in
         match fanin with [] -> const b false | ls -> or_ b ls)

@@ -104,16 +104,18 @@ type area_entry = {
   doubled_literals : int;
 }
 
-let area_of_machine ?(timeout = 120.0) (machine : Machine.t) =
+let area_of_machine ?(timeout = 120.0) ?jobs (machine : Machine.t) =
   let enc = Tables.encode machine in
   let on, dc = Tables.conventional enc in
-  let conv, _ = Minimize.minimize ~dc on in
+  let conv, _ = Minimize.minimize ?jobs ~dc on in
   let conv_cubes, conv_literals = Cover.cost conv in
-  let outcome = Stc_core.Ostr.run ~timeout machine in
+  let outcome = Stc_core.Ostr.run ~timeout ?jobs machine in
   let p = Tables.pipeline outcome.Stc_core.Ostr.realization in
-  let c1, _ = Minimize.minimize ~dc:p.Tables.c1_dc p.Tables.c1_on in
-  let c2, _ = Minimize.minimize ~dc:p.Tables.c2_dc p.Tables.c2_on in
-  let lambda, _ = Minimize.minimize ~dc:p.Tables.lambda_dc p.Tables.lambda_on in
+  let c1, _ = Minimize.minimize ?jobs ~dc:p.Tables.c1_dc p.Tables.c1_on in
+  let c2, _ = Minimize.minimize ?jobs ~dc:p.Tables.c2_dc p.Tables.c2_on in
+  let lambda, _ =
+    Minimize.minimize ?jobs ~dc:p.Tables.lambda_dc p.Tables.lambda_on
+  in
   let cubes3 c = fst (Cover.cost c) and lits3 c = snd (Cover.cost c) in
   {
     name = machine.Machine.name;
@@ -127,14 +129,17 @@ let area_of_machine ?(timeout = 120.0) (machine : Machine.t) =
     doubled_literals = 2 * conv_literals;
   }
 
-(* tbk is omitted from the default: its 2048-row covers take minutes in the
-   espresso loop.  `ostr area --names tbk` runs it explicitly. *)
-let default_area_names = [ "bbara"; "dk16"; "dk27"; "dk512"; "shiftreg"; "tav" ]
+(* tbk's monolithic block (2048-row covers) used to take minutes in the
+   trit-array espresso loop; the packed bit-parallel engine minimizes it
+   in seconds, so it is part of the default run. *)
+let default_area_names =
+  [ "bbara"; "dk16"; "dk27"; "dk512"; "shiftreg"; "tav"; "tbk" ]
 
-let area ?timeout ?names () =
+let area ?timeout ?jobs ?names () =
   let names = match names with Some ns -> ns | None -> default_area_names in
   List.map
-    (fun (spec : Suite.spec) -> area_of_machine ?timeout (Suite.machine spec))
+    (fun (spec : Suite.spec) ->
+      area_of_machine ?timeout ?jobs (Suite.machine spec))
     (specs_named (Some names))
 
 let render_area entries =
@@ -472,8 +477,9 @@ type scoap_entry = {
   pipe : Stc_analysis.Scoap.summary;
 }
 
-(* tbk is omitted for the same reason as in [area]: minimizing its
-   monolithic block C takes minutes.  `ostr scoap --names tbk` runs it. *)
+(* tbk stays opt-in here: the packed engine minimizes its monolithic block
+   quickly now, but the resulting netlist is still large to levelize.
+   `ostr scoap --names tbk` runs it. *)
 let default_scoap_names = [ "fig5"; "shiftreg"; "dk16"; "dk512"; "tav" ]
 
 let scoap ?timeout ?names () =

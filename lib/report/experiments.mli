@@ -45,9 +45,13 @@ type area_entry = {
   doubled_literals : int;  (** 2x conventional, the fig. 3 cost *)
 }
 
-(** [area ?timeout ?names ()] minimizes both structures for the selected
-    benchmarks (default: those with a nontrivial Table-1 solution). *)
-val area : ?timeout:float -> ?names:string list -> unit -> area_entry list
+(** [area ?timeout ?jobs ?names ()] minimizes both structures for the
+    selected benchmarks (default: those with a nontrivial Table-1
+    solution, including tbk's 2048-row monolithic block - fast under the
+    packed engine).  [jobs] fans each espresso pass and the OSTR solve
+    over that many domains (see {!Stc_logic.Minimize.minimize}). *)
+val area :
+  ?timeout:float -> ?jobs:int -> ?names:string list -> unit -> area_entry list
 
 val render_area : area_entry list -> string
 
@@ -175,7 +179,8 @@ type scoap_entry = {
 
 (** [scoap ?timeout ?names ()] synthesizes both structures and computes
     SCOAP summaries (default machines: fig5, shiftreg, dk16, dk512,
-    tav; tbk by request - its monolithic block is slow to minimize). *)
+    tav; tbk by request - minimizing it is fast now, but its monolithic
+    netlist is large to levelize). *)
 val scoap : ?timeout:float -> ?names:string list -> unit -> scoap_entry list
 
 val render_scoap : scoap_entry list -> string

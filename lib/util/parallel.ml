@@ -1,0 +1,27 @@
+let iter_range ~jobs n f =
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          f i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end
+
+let map_range ~jobs n f ~init =
+  let out = Array.make n init in
+  iter_range ~jobs n (fun i -> out.(i) <- f i);
+  out

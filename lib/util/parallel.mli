@@ -1,0 +1,15 @@
+(** Minimal deterministic fork/join over OCaml 5 domains.
+
+    Work items are indices [0..n-1] handed out through an atomic cursor;
+    each item is processed by exactly one domain and results are written
+    into index-addressed slots, so the outcome is independent of [jobs]
+    as long as [f] is pure per index. *)
+
+(** [iter_range ~jobs n f] runs [f i] for every [i] in [0..n-1] on up to
+    [jobs] domains (including the calling one).  [jobs <= 1] or [n <= 1]
+    degrades to a plain sequential loop with no domain spawns. *)
+val iter_range : jobs:int -> int -> (int -> unit) -> unit
+
+(** [map_range ~jobs n f ~init] collects [f i] into a fresh array
+    ([init] pre-fills the slots and is returned for [n = 0]). *)
+val map_range : jobs:int -> int -> (int -> 'a) -> init:'a -> 'a array

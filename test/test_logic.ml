@@ -1,6 +1,7 @@
 module Cube = Stc_logic.Cube
 module Cover = Stc_logic.Cover
 module Minimize = Stc_logic.Minimize
+module Naive = Stc_logic.Naive
 module Pla = Stc_logic.Pla
 module Truth = Stc_logic.Truth
 module Rng = Stc_util.Rng
@@ -81,9 +82,10 @@ let test_cube_contains_semantic =
         if Cube.matches b v && not (Cube.matches a v) then input_subset := false
       done;
       let output_subset = ref true in
-      Array.iteri
-        (fun o bo -> if bo && not a.Cube.output.(o) then output_subset := false)
-        b.Cube.output;
+      for o = 0 to num_outputs - 1 do
+        if Cube.output_bit b o && not (Cube.output_bit a o) then
+          output_subset := false
+      done;
       Cube.contains a b = (!input_subset && !output_subset))
 
 let test_cube_intersect_semantic =
@@ -95,10 +97,7 @@ let test_cube_intersect_semantic =
       let a = random_cube rng ~num_vars ~num_outputs
       and b = random_cube rng ~num_vars ~num_outputs in
       let both v = Cube.matches a v && Cube.matches b v in
-      let out_overlap =
-        Array.exists Fun.id
-          (Array.mapi (fun o bo -> bo && b.Cube.output.(o)) a.Cube.output)
-      in
+      let out_overlap = Cube.output_overlap a b in
       match Cube.intersect a b with
       | None ->
         (* empty: either inputs disjoint or outputs disjoint *)
@@ -181,9 +180,9 @@ let test_cover_covers_cube_oracle =
       for v = 0 to (1 lsl num_vars) - 1 do
         if Cube.matches cube v then begin
           let row = Cover.eval c v in
-          Array.iteri
-            (fun o want -> if want && not row.(o) then semantic := false)
-            cube.Cube.output
+          for o = 0 to num_outputs - 1 do
+            if Cube.output_bit cube o && not row.(o) then semantic := false
+          done
         end
       done;
       Cover.covers_cube c cube = !semantic)
@@ -200,11 +199,12 @@ let test_cover_sharp_cube_oracle =
       let ok = ref true in
       for v = 0 to (1 lsl num_vars) - 1 do
         let in_diff = Cover.eval diff v and in_c = Cover.eval c v in
-        Array.iteri
-          (fun o want ->
-            let expected = want && Cube.matches cube v && not in_c.(o) in
-            if in_diff.(o) <> expected then ok := false)
-          cube.Cube.output
+        for o = 0 to num_outputs - 1 do
+          let expected =
+            Cube.output_bit cube o && Cube.matches cube v && not in_c.(o)
+          in
+          if in_diff.(o) <> expected then ok := false
+        done
       done;
       !ok)
 
@@ -301,24 +301,23 @@ let test_expand_yields_primes =
       let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:6 in
       let off = Minimize.off_set on in
       let expanded = Minimize.expand ~off on in
-      List.for_all
+      Array.for_all
         (fun cube ->
           (* every remaining literal conflicts with the off-set if raised *)
           let prime = ref true in
-          Array.iteri
-            (fun k trit ->
-              if trit <> Cube.Dc then begin
-                let input = Array.copy cube.Cube.input in
-                input.(k) <- Cube.Dc;
-                let raised = Cube.make ~input ~output:cube.Cube.output in
-                let hits_off =
-                  List.exists
-                    (fun r -> Cube.intersect raised r <> None)
-                    off.Cover.cubes
-                in
-                if not hits_off then prime := false
-              end)
-            cube.Cube.input;
+          for k = 0 to num_vars - 1 do
+            if Cube.get cube k <> Cube.Dc then begin
+              let input = Cube.input cube in
+              input.(k) <- Cube.Dc;
+              let raised = Cube.make ~input ~output:(Cube.output cube) in
+              let hits_off =
+                Array.exists
+                  (fun r -> Cube.intersect raised r <> None)
+                  off.Cover.cubes
+              in
+              if not hits_off then prime := false
+            end
+          done;
           !prime)
         expanded.Cover.cubes)
 
@@ -330,6 +329,107 @@ let test_reduce_keeps_function =
       let num_vars, num_outputs = dims rng in
       let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
       Truth.equivalent on (Minimize.reduce on))
+
+(* ------------------------------------------------------------------ *)
+(* Packed engine vs. the retained trit-array reference (Naive)         *)
+(* ------------------------------------------------------------------ *)
+
+let same_cover a b =
+  Cover.size a = Cover.size b
+  && Array.for_all2 Cube.equal a.Cover.cubes b.Cover.cubes
+
+let test_packed_cube_ops_vs_naive =
+  QCheck.Test.make ~count:300 ~name:"packed contains/intersect = naive"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let a = random_cube rng ~num_vars ~num_outputs
+      and b = random_cube rng ~num_vars ~num_outputs in
+      Cube.contains a b = Naive.contains a b
+      && (match (Cube.intersect a b, Naive.intersect a b) with
+         | None, None -> true
+         | Some x, Some y -> Cube.equal x y
+         | _ -> false))
+
+let test_packed_cover_ops_vs_naive =
+  QCheck.Test.make ~count:200
+    ~name:"packed tautology/covers_cube/complement = naive"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let cube = random_cube rng ~num_vars ~num_outputs in
+      Cover.tautology c = Naive.tautology c
+      && Cover.covers_cube c cube = Naive.covers_cube c cube
+      && Truth.equivalent (Cover.complement c) (Naive.complement c))
+
+let test_minimize_vs_reference =
+  QCheck.Test.make ~count:80 ~name:"minimize matches the reference contract"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let dc = random_cover rng ~num_vars ~num_outputs ~max_cubes:4 in
+      let packed, _ = Minimize.minimize ~dc on in
+      let reference, _ = Minimize.reference ~dc on in
+      Minimize.verify ~on ~dc packed
+      && Minimize.verify ~on ~dc reference
+      && Truth.equivalent_with_dc ~on ~dc packed
+      && Truth.equivalent_with_dc ~on ~dc reference)
+
+let test_minimize_jobs_deterministic =
+  QCheck.Test.make ~count:60 ~name:"minimize jobs:1 = jobs:2, cube for cube"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let on = random_cover rng ~num_vars ~num_outputs ~max_cubes:8 in
+      let dc = random_cover rng ~num_vars ~num_outputs ~max_cubes:4 in
+      let r1, _ = Minimize.minimize ~jobs:1 ~dc on in
+      let r2, _ = Minimize.minimize ~jobs:2 ~dc on in
+      same_cover r1 r2)
+
+let test_of_string_edge_chars () =
+  (* espresso PLA alternates: '2' is a don't-care input, '4' asserts an
+     output, '~' clears one. *)
+  let c = Cube.of_string "2-01 4~0-" in
+  check_string "normalized" "--01 1000" (Cube.to_string c);
+  let c2 = Cube.of_string "--01 1000" in
+  check_bool "roundtrip equal" true (Cube.equal c c2)
+
+let test_scc_prefers_general_and_is_canonical () =
+  let of_rows rows = Cover.of_strings ~num_vars:2 ~num_outputs:1 rows in
+  (* The general cube must survive no matter where it sits. *)
+  let a = Cover.single_cube_containment (of_rows [ "11 1"; "1- 1" ]) in
+  let b = Cover.single_cube_containment (of_rows [ "1- 1"; "11 1" ]) in
+  check_int "one cube (a)" 1 (Cover.size a);
+  check_int "one cube (b)" 1 (Cover.size b);
+  check_string "keeps the more general cube" "1- 1"
+    (Cube.to_string a.Cover.cubes.(0));
+  check_bool "order-independent" true (same_cover a b);
+  (* Equal duplicates collapse to a single copy. *)
+  let c = Cover.single_cube_containment (of_rows [ "01 1"; "01 1" ]) in
+  check_int "dedup" 1 (Cover.size c)
+
+let test_scc_canonical_random =
+  QCheck.Test.make ~count:200 ~name:"scc result is independent of cube order"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let num_vars, num_outputs = dims rng in
+      let c = random_cover rng ~num_vars ~num_outputs ~max_cubes:10 in
+      let reversed =
+        Cover.of_array ~num_vars ~num_outputs
+          (let a = Array.copy c.Cover.cubes in
+           let n = Array.length a in
+           Array.init n (fun i -> a.(n - 1 - i)))
+      in
+      same_cover
+        (Cover.single_cube_containment c)
+        (Cover.single_cube_containment reversed))
 
 (* ------------------------------------------------------------------ *)
 (* Pla                                                                 *)
@@ -363,8 +463,9 @@ let test_pla_parse_errors () =
 let test_pla_dash_outputs_are_dc () =
   let file = Pla.parse ".i 2\n.o 2\n11 1-\n00 01\n.e\n" in
   check_int "one on-cube has output 0" 1
-    (List.length
-       (List.filter (fun c -> c.Cube.output.(0)) file.Pla.on.Cover.cubes));
+    (Array.fold_left
+       (fun acc c -> if Cube.output_bit c 0 then acc + 1 else acc)
+       0 file.Pla.on.Cover.cubes);
   check_int "dc set has one cube" 1 (Cover.size file.Pla.dc)
 
 let () =
@@ -402,6 +503,18 @@ let () =
           qcheck test_minimize_never_worse;
           qcheck test_expand_yields_primes;
           qcheck test_reduce_keeps_function;
+        ] );
+      ( "packed vs reference",
+        [
+          qcheck test_packed_cube_ops_vs_naive;
+          qcheck test_packed_cover_ops_vs_naive;
+          qcheck test_minimize_vs_reference;
+          qcheck test_minimize_jobs_deterministic;
+          Alcotest.test_case "of_string edge chars" `Quick
+            test_of_string_edge_chars;
+          Alcotest.test_case "scc canonicality" `Quick
+            test_scc_prefers_general_and_is_canonical;
+          qcheck test_scc_canonical_random;
         ] );
       ( "pla",
         [

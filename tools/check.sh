@@ -30,6 +30,16 @@ fi
 echo "== BENCH_faultsim.json must parse and carry the bench keys =="
 dune exec tools/json_lint.exe -- BENCH_faultsim.json bench rows
 
+echo "== minimize smoke (packed engine must match the naive reference) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- minimize-quick
+else
+  dune exec bench/main.exe -- minimize-quick
+fi
+
+echo "== BENCH_minimize.json must parse and carry the bench keys =="
+dune exec tools/json_lint.exe -- BENCH_minimize.json bench rows
+
 echo "== traced smoke (trace + metrics files must parse as JSON) =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
@@ -44,8 +54,9 @@ echo "== static lint gate (benchmark suite, --werror) =="
 # zero warnings; --werror turns any regression into a nonzero exit.  Keep
 # the list explicit so a regression shows up as a diff of this file, not as
 # a silent skip.  s1 is excluded from the per-commit gate only because
-# minimizing its blocks exceeds the CI time budget; it is linted offline
-# (see EXPERIMENTS.md "Static analysis").
+# the cover-lint minterm-enumeration checks on its 5000-cube blocks exceed
+# the CI time budget (minimization itself is fast with the packed engine);
+# it is linted offline (see EXPERIMENTS.md "Static analysis").
 LINT_WERROR_CLEAN="bbara bbtas dk14 dk15 dk16 dk17 dk27 dk512 mc shiftreg tav tbk"
 for m in $LINT_WERROR_CLEAN; do
   echo "   lint --werror $m"
