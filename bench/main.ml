@@ -26,7 +26,12 @@
      after, expand/tautology counters; nonzero exit if any engine
      violates the minimization contract or jobs>1 changes the result.
    - `minimize-quick`: the same checks on small machines, no file
-     written - the CI gate. *)
+     written - the CI gate.
+   - `core`: write BENCH_core.json - the shared bit-engine kernels
+     (word SWAR ops, bitvec algebra, packed partition ops) timed against
+     the retained element-wise references, with per-row equality checks.
+   - `core-quick`: packed-vs-reference equivalence only, no timing
+     loops, no file written - the CI gate. *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -704,6 +709,308 @@ let run_minimize_quick () =
   exit failures
 
 (* ------------------------------------------------------------------ *)
+(* Core kernel trajectory: packed bit engine vs element-wise references *)
+(* ------------------------------------------------------------------ *)
+
+module Word = Stc_bits.Word
+module Bitvec = Stc_bits.Bitvec
+module Reference = Stc_partition.Reference
+module Rng = Stc_util.Rng
+
+(* Self-calibrating ns/op: grow the repeat count until the measured
+   window is long enough to trust the monotonic clock, then report the
+   mean.  Deterministic workloads (Rng-seeded, pregenerated) keep the
+   old and new sides byte-comparable. *)
+let ns_per_op f =
+  f ();
+  (* warm-up: fill caches, trigger interning *)
+  let rec measure iters =
+    let t0 = Clock.now () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Clock.elapsed ~since:t0 in
+    if dt < 0.05 && iters < 10_000_000 then measure (iters * 4)
+    else dt *. 1e9 /. float_of_int iters
+  in
+  measure 1
+
+type core_row = {
+  ck_kernel : string;
+  ck_n : int;
+  ck_old_ns : float;
+  ck_new_ns : float;
+  ck_equal : bool;
+}
+
+let core_sizes = [ 15; 32; 200 ]
+
+(* Random class maps biased toward few classes (the solver's regime:
+   partitions stay coarse near the top of the Mm lattice). *)
+let core_class_maps rng n count =
+  Array.init count (fun _ ->
+      let k = 1 + Rng.int rng n in
+      Array.init n (fun _ -> Rng.int rng k))
+
+let consume_int = ref 0
+let consume_bool = ref false
+
+(* One partition kernel at size [n]: time the old element-wise reference
+   against the packed implementation over the same pregenerated
+   workload, and check result equality on every workload item. *)
+let partition_rows n =
+  let rng = Rng.create (0x5eed + n) in
+  let maps = core_class_maps rng n 64 in
+  let pairs = Array.map (fun a -> (a, (core_class_maps rng n 1).(0))) maps in
+  let parts = Array.map Partition.of_class_map maps in
+  let part_pairs =
+    Array.map (fun (a, b) -> (Partition.of_class_map a, Partition.of_class_map b)) pairs
+  in
+  let cursor = ref 0 in
+  let next_idx () =
+    let i = !cursor in
+    cursor := (i + 1) land 63;
+    i
+  in
+  let row kernel ~equal ~old_op ~new_op =
+    let ck_equal = equal () in
+    cursor := 0;
+    let ck_old_ns = ns_per_op (fun () -> old_op (next_idx ())) in
+    cursor := 0;
+    let ck_new_ns = ns_per_op (fun () -> new_op (next_idx ())) in
+    { ck_kernel = kernel; ck_n = n; ck_old_ns; ck_new_ns; ck_equal }
+  in
+  let all_eq f = Array.for_all Fun.id (Array.init 64 f) in
+  [
+    row "partition/canonicalize"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            Partition.class_map (Partition.of_class_map maps.(i))
+            = Reference.canonicalize maps.(i)))
+      ~old_op:(fun i -> consume_int := Array.length (Reference.canonicalize maps.(i)))
+      ~new_op:(fun i ->
+        consume_int := Partition.num_classes (Partition.of_class_map maps.(i)));
+    row "partition/meet"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            let a, b = pairs.(i) and p, q = part_pairs.(i) in
+            Partition.class_map (Partition.meet p q) = Reference.meet a b))
+      ~old_op:(fun i ->
+        let a, b = pairs.(i) in
+        consume_int := Array.length (Reference.meet a b))
+      ~new_op:(fun i ->
+        let p, q = part_pairs.(i) in
+        consume_int := Partition.num_classes (Partition.meet p q));
+    row "partition/join"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            let a, b = pairs.(i) and p, q = part_pairs.(i) in
+            Partition.class_map (Partition.join p q) = Reference.join a b))
+      ~old_op:(fun i ->
+        let a, b = pairs.(i) in
+        consume_int := Array.length (Reference.join a b))
+      ~new_op:(fun i ->
+        let p, q = part_pairs.(i) in
+        consume_int := Partition.num_classes (Partition.join p q));
+    row "partition/subseteq"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            let a, b = pairs.(i) and p, q = part_pairs.(i) in
+            Partition.subseteq p q = Reference.subseteq a b))
+      ~old_op:(fun i ->
+        let a, b = pairs.(i) in
+        consume_bool := Reference.subseteq a b)
+      ~new_op:(fun i ->
+        let p, q = part_pairs.(i) in
+        consume_bool := Partition.subseteq p q);
+    (* meet_subseteq fuses what the old code spelled as subseteq(meet p q) r;
+       both sides run their full composition. *)
+    row "partition/meet_subseteq"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            let a, b = pairs.(i) and p, q = part_pairs.(i) in
+            let r = parts.(i) and rc = maps.(i) in
+            Partition.meet_subseteq p q r
+            = Reference.subseteq (Reference.meet a b) rc))
+      ~old_op:(fun i ->
+        let a, b = pairs.(i) in
+        consume_bool := Reference.subseteq (Reference.meet a b) maps.(i))
+      ~new_op:(fun i ->
+        let p, q = part_pairs.(i) in
+        consume_bool := Partition.meet_subseteq p q parts.(i));
+    (* Hash timing only: the new rows-based hash is a different function
+       by design, so "equal" here means both sides are self-consistent
+       across a relabeling of the input class map. *)
+    row "partition/hash"
+      ~equal:(fun () ->
+        all_eq (fun i ->
+            let relabeled = Array.map (fun id -> (id * 2) + 7) maps.(i) in
+            Reference.hash_class_map n (Reference.canonicalize maps.(i))
+            = Reference.hash_class_map n (Reference.canonicalize relabeled)
+            && Partition.hash (Partition.of_class_map maps.(i))
+               = Partition.hash (Partition.of_class_map relabeled)))
+      ~old_op:(fun i -> consume_int := Reference.hash_class_map n maps.(i))
+      ~new_op:(fun i -> consume_int := Partition.hash parts.(i));
+  ]
+
+(* The retired bit-serial word loops (see test/test_bits.ml for the
+   pinning tests) vs the SWAR kernels, over one word array. *)
+let word_rows () =
+  let rng = Rng.create 0xb175 in
+  let words =
+    Array.init 4096 (fun _ ->
+        let w = Int64.to_int (Rng.bits64 rng) in
+        if w = 0 then 1 else w)
+  in
+  let parity_loop v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+    go v 0
+  in
+  let popcount_loop v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+    go v 0
+  in
+  let ffs_loop w =
+    let rec go k w = if w land 1 = 1 then k else go (k + 1) (w lsr 1) in
+    go 0 w
+  in
+  let sweep f =
+    let acc = ref 0 in
+    Array.iter (fun w -> acc := !acc + f w) words;
+    consume_int := !acc
+  in
+  let row kernel old_f new_f =
+    {
+      ck_kernel = "word/" ^ kernel;
+      ck_n = Array.length words;
+      ck_old_ns = ns_per_op (fun () -> sweep old_f) /. float_of_int (Array.length words);
+      ck_new_ns = ns_per_op (fun () -> sweep new_f) /. float_of_int (Array.length words);
+      ck_equal = Array.for_all (fun w -> old_f w = new_f w) words;
+    }
+  in
+  [
+    row "popcount" popcount_loop Word.popcount;
+    row "parity" parity_loop Word.parity;
+    row "ffs" ffs_loop Word.ffs;
+  ]
+
+(* Bitvec set algebra vs the bool-array spec it is property-tested
+   against. *)
+let bitvec_rows n =
+  let rng = Rng.create (0xb17 + n) in
+  let bools = Array.init 64 (fun _ -> Array.init n (fun _ -> Rng.int rng 2 = 1)) in
+  let vecs = Array.map Bitvec.of_bools bools in
+  let spec_union a b = Array.init n (fun i -> a.(i) || b.(i)) in
+  let spec_count a = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 a in
+  let cursor = ref 0 in
+  let next_pair () =
+    let i = !cursor in
+    cursor := (i + 1) land 63;
+    (i, (i + 1) land 63)
+  in
+  let equal =
+    Array.for_all Fun.id
+      (Array.init 64 (fun i ->
+           let j = (i + 1) land 63 in
+           Bitvec.to_bools (Bitvec.union vecs.(i) vecs.(j))
+           = spec_union bools.(i) bools.(j)
+           && Bitvec.popcount vecs.(i) = spec_count bools.(i)))
+  in
+  cursor := 0;
+  let old_ns =
+    ns_per_op (fun () ->
+        let i, j = next_pair () in
+        consume_int := spec_count (spec_union bools.(i) bools.(j)))
+  in
+  cursor := 0;
+  let new_ns =
+    ns_per_op (fun () ->
+        let i, j = next_pair () in
+        consume_int := Bitvec.popcount (Bitvec.union vecs.(i) vecs.(j)))
+  in
+  [
+    {
+      ck_kernel = "bitvec/union+popcount";
+      ck_n = n;
+      ck_old_ns = old_ns;
+      ck_new_ns = new_ns;
+      ck_equal = equal;
+    };
+  ]
+
+let core_rows () =
+  word_rows ()
+  @ List.concat_map bitvec_rows core_sizes
+  @ List.concat_map partition_rows core_sizes
+
+let print_core_row r =
+  Printf.printf "%-24s n=%-4d %s  old %10.1f ns/op  new %10.1f ns/op  %5.2fx\n%!"
+    r.ck_kernel r.ck_n
+    (if r.ck_equal then "ok  " else "FAIL")
+    r.ck_old_ns r.ck_new_ns
+    (r.ck_old_ns /. Float.max 1e-9 r.ck_new_ns)
+
+let json_of_core_row r =
+  Json.Obj
+    [
+      ("kernel", Json.String r.ck_kernel);
+      ("n", Json.Int r.ck_n);
+      ("old_ns_per_op", Json.Float r.ck_old_ns);
+      ("new_ns_per_op", Json.Float r.ck_new_ns);
+      ("speedup", Json.Float (r.ck_old_ns /. Float.max 1e-9 r.ck_new_ns));
+      ("equal", Json.Bool r.ck_equal);
+    ]
+
+let core_failures rows =
+  List.filter (fun r -> not r.ck_equal) rows
+  |> List.map (fun r ->
+         Printf.printf "FAIL %s n=%d: packed result differs from reference\n"
+           r.ck_kernel r.ck_n;
+         r.ck_kernel)
+
+let run_core () =
+  let rows = core_rows () in
+  List.iter print_core_row rows;
+  let path = "BENCH_core.json" in
+  Json.write path
+    (Json.Obj
+       [
+         ("bench", Json.String "core");
+         ("rows", Json.List (List.map json_of_core_row rows));
+       ]);
+  Printf.printf "wrote %s\n" path;
+  if core_failures rows <> [] then exit 1
+
+(* CI gate: equivalence checks only (no timing loops beyond the one
+   calibration pass), no file written; exit status counts failures. *)
+let run_core_quick () =
+  let rng = Rng.create 0xc0de in
+  let failures = ref 0 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 50 do
+        let pick () = (core_class_maps rng n 1).(0) in
+        let a = pick () and b = pick () and c = pick () in
+        let p = Partition.of_class_map a
+        and q = Partition.of_class_map b
+        and r = Partition.of_class_map c in
+        let ok =
+          Partition.class_map (Partition.meet p q) = Reference.meet a b
+          && Partition.class_map (Partition.join p q) = Reference.join a b
+          && Partition.subseteq p q = Reference.subseteq a b
+          && Partition.meet_subseteq p q r
+             = Reference.subseteq (Reference.meet a b) c
+        in
+        if not ok then begin
+          Printf.printf "FAIL core-quick: n=%d packed vs reference mismatch\n" n;
+          incr failures
+        end
+      done)
+    core_sizes;
+  if !failures = 0 then Printf.printf "core quick: all kernels agree\n";
+  exit !failures
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -826,6 +1133,8 @@ let () =
   | "faultsim-quick" -> run_faultsim_quick ()
   | "minimize" -> run_minimize ()
   | "minimize-quick" -> run_minimize_quick ()
+  | "core" -> run_core ()
+  | "core-quick" -> run_core_quick ()
   | "micro" -> run_benchmarks ()
   | "tables" -> print_tables ()
   | "all" ->
@@ -835,5 +1144,5 @@ let () =
     prerr_endline
       ("bench: unknown mode " ^ other
      ^ " (expected all, tables, micro, quick, json, faultsim, \
-        faultsim-quick, minimize or minimize-quick)");
+        faultsim-quick, minimize, minimize-quick, core or core-quick)");
     exit 2

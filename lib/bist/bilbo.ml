@@ -28,9 +28,7 @@ let state t = t.state
 
 let load t word = t.state <- word land t.mask
 
-let parity v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
-  go v 0
+let parity = Stc_bits.Word.parity
 
 let clock t ~parallel ~serial =
   let feedback = parity (t.state land t.polynomial) in

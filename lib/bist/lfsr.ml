@@ -61,9 +61,7 @@ let width l = l.width
 
 let state l = l.state
 
-let parity v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
-  go v 0
+let parity = Stc_bits.Word.parity
 
 (* Fibonacci style: feedback bit = parity of tapped stages, shifted in at
    the top. *)

@@ -14,9 +14,7 @@ let width m = m.width
 
 let signature m = m.state
 
-let parity v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
-  go v 0
+let parity = Stc_bits.Word.parity
 
 let absorb m word =
   let feedback = parity (m.state land m.polynomial) in

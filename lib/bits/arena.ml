@@ -1,0 +1,52 @@
+(* Scratch-arena helpers for per-domain hot-loop buffers.
+
+   The pattern shared by the minimizer's blocking matrix, the fault
+   simulator's faulty-value overlay and the partition kernels is: one
+   mutable buffer per domain, grown geometrically and never shrunk, with
+   O(1) logical clearing between uses.  These helpers capture the two
+   halves of that pattern ([ensure*] growth, [Stamped] epoch clearing);
+   ownership stays with the caller - typically a [Domain.DLS] slot - so
+   nothing here needs synchronization. *)
+
+let grow_to len n = max n (max 16 (2 * len))
+
+let ensure a n =
+  if Array.length a >= n then a else Array.make (grow_to (Array.length a) n) 0
+
+let ensure_bool a n =
+  if Array.length a >= n then a
+  else Array.make (grow_to (Array.length a) n) false
+
+module Stamped = struct
+  type t = {
+    mutable data : int array;
+    mutable stamp : int array;
+    mutable epoch : int;
+  }
+
+  let create n =
+    let n = max 1 n in
+    { data = Array.make n 0; stamp = Array.make n 0; epoch = 0 }
+
+  (* Growth discards contents: slots of the fresh arrays carry stamp 0,
+     which is strictly below every epoch ever handed out, so they read as
+     unwritten - exactly the semantics of a [bump]. *)
+  let ensure t n =
+    if Array.length t.data < n then begin
+      let cap = grow_to (Array.length t.data) n in
+      t.data <- Array.make cap 0;
+      t.stamp <- Array.make cap 0
+    end
+
+  let bump t =
+    t.epoch <- t.epoch + 1;
+    t.epoch
+
+  let mem t i = t.stamp.(i) = t.epoch
+
+  let get t i ~default = if t.stamp.(i) = t.epoch then t.data.(i) else default
+
+  let set t i v =
+    t.data.(i) <- v;
+    t.stamp.(i) <- t.epoch
+end

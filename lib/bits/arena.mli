@@ -1,0 +1,55 @@
+(** Per-domain scratch arenas for allocation-free hot loops.
+
+    Two building blocks, both single-domain (callers keep one instance
+    per domain, typically in a [Domain.DLS] slot):
+
+    - [ensure]/[ensure_bool]: geometric buffer growth, never shrinking,
+      so a loop that is re-entered with varying problem sizes settles on
+      one allocation.
+    - {!Stamped}: an epoch-stamped overlay whose logical clear is a
+      single integer increment, for sparse writes over a large index
+      space (the fault simulator's faulty-value overlay, the partition
+      kernels' class renumbering). *)
+
+(** [ensure a n] returns [a] if it has at least [n] slots, otherwise a
+    fresh array of at least [max n (2 * length a)] zeros.  Contents are
+    unspecified; callers must write before reading. *)
+val ensure : int array -> int -> int array
+
+(** [ensure_bool a n] is {!ensure} for bool buffers (fresh slots
+    [false]). *)
+val ensure_bool : bool array -> int -> bool array
+
+(** Epoch-stamped integer overlay.  A slot is "written" iff its stamp
+    equals the current epoch; {!Stamped.bump} therefore clears the whole
+    overlay in O(1).  The record is exposed so hot loops can address
+    [data]/[stamp] directly with the epoch in a register. *)
+module Stamped : sig
+  type t = {
+    mutable data : int array;
+    mutable stamp : int array;
+    mutable epoch : int;
+  }
+
+  (** [create n] allocates an overlay for indices [0..n-1], all slots
+      unwritten. *)
+  val create : int -> t
+
+  (** [ensure t n] grows the overlay to at least [n] slots.  Growth
+      discards contents (fresh slots read as unwritten). *)
+  val ensure : t -> int -> unit
+
+  (** [bump t] starts a new epoch - logically clearing every slot - and
+      returns it. *)
+  val bump : t -> int
+
+  (** [mem t i] tests whether slot [i] was written this epoch. *)
+  val mem : t -> int -> bool
+
+  (** [get t i ~default] reads slot [i], or [default] if unwritten this
+      epoch. *)
+  val get : t -> int -> default:int -> int
+
+  (** [set t i v] writes slot [i] for the current epoch. *)
+  val set : t -> int -> int -> unit
+end

@@ -1,0 +1,136 @@
+(* Packed bitvector over native int words.
+
+   Invariant: bits at positions >= len in the last word are zero.  Every
+   operation preserves it (only [compl] has to mask), so word loops never
+   need end-of-vector special cases and [equal]/[popcount] are plain word
+   scans. *)
+
+type t = { len : int; words : int array }
+
+let wb = Word.bits
+
+let words_for len = (len + wb - 1) / wb
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (words_for len) 0 }
+
+let length v = v.len
+
+let copy v = { v with words = Array.copy v.words }
+
+let check_index v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let set v i =
+  check_index v i;
+  v.words.(i / wb) <- v.words.(i / wb) lor (1 lsl (i mod wb))
+
+let clear v i =
+  check_index v i;
+  v.words.(i / wb) <- v.words.(i / wb) land lnot (1 lsl (i mod wb))
+
+let mem v i =
+  check_index v i;
+  v.words.(i / wb) land (1 lsl (i mod wb)) <> 0
+
+let of_bools bools =
+  let v = create (Array.length bools) in
+  Array.iteri (fun i b -> if b then set v i) bools;
+  v
+
+let to_bools v = Array.init v.len (mem v)
+
+let check_pair a b ctx =
+  if a.len <> b.len then invalid_arg ("Bitvec." ^ ctx ^ ": length mismatch")
+
+let binop ctx f a b =
+  check_pair a b ctx;
+  { len = a.len;
+    words =
+      Array.init (Array.length a.words) (fun i ->
+          f (Array.unsafe_get a.words i) (Array.unsafe_get b.words i)) }
+
+let union a b = binop "union" ( lor ) a b
+
+let inter a b = binop "inter" ( land ) a b
+
+let diff a b = binop "diff" (fun x y -> x land lnot y) a b
+
+let symdiff a b = binop "symdiff" ( lxor ) a b
+
+let compl a =
+  let nw = Array.length a.words in
+  let words = Array.map lnot a.words in
+  if nw > 0 then begin
+    let tail = a.len - ((nw - 1) * wb) in
+    words.(nw - 1) <- words.(nw - 1) land Word.mask tail
+  end;
+  { a with words }
+
+let is_empty v = Array.for_all (fun w -> w = 0) v.words
+
+let equal a b = a.len = b.len && a.words = b.words
+
+(* Subset / disjointness with early exit: the common use is a guard in a
+   larger loop, where the first conflicting word decides. *)
+let subset a b =
+  check_pair a b "subset";
+  let nw = Array.length a.words in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < nw do
+    if Array.unsafe_get a.words !i land lnot (Array.unsafe_get b.words !i) <> 0
+    then ok := false;
+    incr i
+  done;
+  !ok
+
+let disjoint a b =
+  check_pair a b "disjoint";
+  let nw = Array.length a.words in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < nw do
+    if Array.unsafe_get a.words !i land Array.unsafe_get b.words !i <> 0 then
+      ok := false;
+    incr i
+  done;
+  !ok
+
+let popcount v =
+  let n = ref 0 in
+  for i = 0 to Array.length v.words - 1 do
+    n := !n + Word.popcount (Array.unsafe_get v.words i)
+  done;
+  !n
+
+let parity v = popcount v land 1
+
+let first_set v =
+  let nw = Array.length v.words in
+  let rec go i =
+    if i >= nw then None
+    else
+      let w = Array.unsafe_get v.words i in
+      if w = 0 then go (i + 1) else Some ((i * wb) + Word.ffs w)
+  in
+  go 0
+
+let iter f v =
+  for i = 0 to Array.length v.words - 1 do
+    let w = ref (Array.unsafe_get v.words i) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      f ((i * wb) + Word.ffs b);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f init v =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) v;
+  !acc
+
+let to_string v =
+  String.init v.len (fun i -> if mem v i then '1' else '0')

@@ -1,0 +1,71 @@
+(** Packed bitvectors: sets over [0..len-1] stored 63 elements per native
+    int word.
+
+    The general-purpose face of the shared bit engine.  The specialized
+    packed representations (positional cubes, partition block rows,
+    stimuli words) keep their own flat layouts for cache reasons but use
+    the same {!Word} kernels; [Bitvec] is for everything else, and doubles
+    as the executable specification the hot layouts are property-tested
+    against.
+
+    Bits at positions [>= length] are kept zero, so word-wise operations
+    never mask. *)
+
+type t
+
+(** [create len] is the empty set over [0..len-1]. *)
+val create : int -> t
+
+val length : t -> int
+
+val copy : t -> t
+
+(** [set]/[clear]/[mem]: single-bit access.
+    @raise Invalid_argument when the index is out of range. *)
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val of_bools : bool array -> t
+
+val to_bools : t -> bool array
+
+(** Set algebra.  All binary operations require equal lengths.
+    @raise Invalid_argument on a length mismatch. *)
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+(** [diff a b] is [a land lnot b]. *)
+val diff : t -> t -> t
+
+val symdiff : t -> t -> t
+
+val compl : t -> t
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+
+(** [subset a b] / [disjoint a b]: word-parallel with early exit on the
+    first deciding word. *)
+val subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+
+val popcount : t -> int
+
+val parity : t -> int
+
+(** [first_set v] is the smallest member, if any. *)
+val first_set : t -> int option
+
+(** [iter f v] calls [f] on each member in ascending order. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** ['0'/'1'] rendering, index 0 first. *)
+val to_string : t -> string

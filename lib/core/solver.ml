@@ -208,7 +208,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
   in
   let admissible candidate_pi candidate_rho =
     Pair.is_symmetric_pair ~next candidate_pi candidate_rho
-    && Partition.subseteq (Partition.meet candidate_pi candidate_rho) equiv
+    && Partition.meet_subseteq candidate_pi candidate_rho equiv
   in
   (* Alternately coarsen each side with the M operator while the pair stays
      admissible.  If (pi, rho) is a symmetric pair then so is (M rho, rho):
@@ -299,7 +299,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
         if not (Partition.equal mpi big_mpi) then record w mpi pi;
         (* Lemma 1: if m(pi) /\ pi does not refine equivalence, no successor
            can yield an admissible pair with right member above pi. *)
-        let viable = Partition.subseteq (Partition.meet mpi pi) equiv in
+        let viable = Partition.meet_subseteq mpi pi equiv in
         if prune && not viable then begin
           w.pruned <- w.pruned + 1;
           Metrics.incr m_pruned;
@@ -321,7 +321,7 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
         record main_worker big_m_root root;
         if not (Partition.equal m_root big_m_root) then
           record main_worker m_root root;
-        Partition.subseteq (Partition.meet m_root root) equiv)
+        Partition.meet_subseteq m_root root equiv)
   in
   PTbl.replace main_worker.seen root closed_node;
   if prune && not root_viable then begin
@@ -483,7 +483,7 @@ let solve_exhaustive (machine : Machine.t) =
         (fun rho ->
           if
             Pair.is_symmetric_pair ~next pi rho
-            && Partition.subseteq (Partition.meet pi rho) equiv
+            && Partition.meet_subseteq pi rho equiv
           then begin
             let cost = cost_of machine ~pi ~rho in
             let sol = { pi; rho; cost } in

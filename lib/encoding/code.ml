@@ -27,9 +27,7 @@ let one_hot ~num_states =
   if num_states > 30 then invalid_arg "Code.one_hot: too many states";
   { width = num_states; codes = Array.init num_states (fun s -> 1 lsl s) }
 
-let popcount v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
-  go v 0
+let popcount = Stc_bits.Word.popcount
 
 let adjacency_cost (m : Machine.t) code =
   let total = ref 0 in

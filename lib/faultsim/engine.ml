@@ -1,5 +1,8 @@
 module Metrics = Stc_obs.Metrics
 module Clock = Stc_util.Clock
+module Word = Stc_bits.Word
+module Arena = Stc_bits.Arena
+module Parallel = Stc_bits.Parallel
 
 type stimuli = int array array
 
@@ -41,8 +44,7 @@ let num_batches p = Array.length p.words
    where the faulty response differs. *)
 let first_lane word =
   if word = 0 then invalid_arg "Engine.first_lane: zero difference word";
-  let rec go k w = if w land 1 = 1 then k else go (k + 1) (w lsr 1) in
-  go 0 word
+  Word.ffs word
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -106,17 +108,12 @@ let golden t (p : packed) : golden =
 (* Cone-limited incremental faulty evaluation                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Per-domain scratch: a faulty-value overlay over the golden buffer,
-   epoch-stamped so clearing between faults is O(1). *)
-type scratch = {
-  faulty : int array;
-  stamp : int array;
-  mutable epoch : int;
-}
+(* Per-domain scratch: a faulty-value overlay over the golden buffer -
+   an epoch-stamped arena ([Arena.Stamped]), so clearing between faults
+   is O(1). *)
+type scratch = Arena.Stamped.t
 
-let scratch t =
-  let n = Netlist.num_gates t.net in
-  { faulty = Array.make n 0; stamp = Array.make n 0; epoch = 0 }
+let scratch t = Arena.Stamped.create (Netlist.num_gates t.net)
 
 let all_ones = -1
 
@@ -133,9 +130,8 @@ let eval_fault t scr ~(gv : int array) ~mask ~(obs_mark : bool array)
   let gates = t.net.Netlist.gates in
   let site = fault.Netlist.gate in
   let cone = t.cones.(site) in
-  scr.epoch <- scr.epoch + 1;
-  let ep = scr.epoch in
-  let stamp = scr.stamp and faulty = scr.faulty in
+  let ep = Arena.Stamped.bump scr in
+  let stamp = scr.Arena.Stamped.stamp and faulty = scr.Arena.Stamped.data in
   let stuck = if fault.Netlist.stuck_at then all_ones else 0 in
   let evals = ref 1 in
   let site_val =
@@ -232,10 +228,8 @@ let response t scr (g : golden) (p : packed) ~batch fault ~observed ~into =
   let diff =
     eval_fault t scr ~gv ~mask:p.masks.(batch) ~obs_mark ~stop_early:false fault
   in
-  let ep = scr.epoch in
   Array.iteri
-    (fun j gate ->
-      into.(j) <- (if scr.stamp.(gate) = ep then scr.faulty.(gate) else gv.(gate)))
+    (fun j gate -> into.(j) <- Arena.Stamped.get scr gate ~default:gv.(gate))
     observed;
   diff <> 0
 
@@ -245,36 +239,21 @@ let response t scr (g : golden) (p : packed) ~batch fault ~observed ~into =
 
 type verdict = Undetected | Detected of int option
 
-(* Shard [work] (class ids) over [jobs] domains through an atomic cursor;
-   each domain owns its scratch buffers and writes disjoint slots of
+(* Shard [work] (class ids) over [jobs] domains with chunked grabs; each
+   domain owns its scratch buffers and writes disjoint slots of
    [verdicts]. *)
 let run_sharded t ~jobs ~verdicts ~grade_one (work : int array) =
   let nw = Array.length work in
-  if nw > 0 then begin
-    let cursor = Atomic.make 0 in
-    let worker () =
-      let scr = scratch t in
-      let t0 = Clock.now () in
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < nw then begin
-          let c = work.(i) in
-          verdicts.(c) <- grade_one scr c;
-          loop ()
-        end
-      in
-      loop ();
-      Metrics.observe m_domain_ms
-        (int_of_float (1000.0 *. Clock.elapsed ~since:t0))
-    in
-    let jobs = max 1 (min jobs nw) in
-    if jobs = 1 then worker ()
-    else begin
-      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join domains
-    end
-  end
+  if nw > 0 then
+    Parallel.iter_range_local ~jobs
+      ~local:(fun () -> (scratch t, Clock.now ()))
+      ~finish:(fun (_, t0) ->
+        Metrics.observe m_domain_ms
+          (int_of_float (1000.0 *. Clock.elapsed ~since:t0)))
+      nw
+      (fun (scr, _) i ->
+        let c = work.(i) in
+        verdicts.(c) <- grade_one scr c)
 
 let grade t ~jobs ~need_cycles ?(dominance = true) (p : packed) (g : golden)
     ~observed ~(active : bool array) =

@@ -30,22 +30,7 @@ let in_words nv = (nv + vars_per_word - 1) / vars_per_word
 
 let out_words no = (no + outs_per_word - 1) / outs_per_word
 
-(* Branch-free popcount via a 16-bit table; per-nibble SWAR constants do
-   not fit the 63-bit literal syntax either. *)
-let pc16 =
-  let t = Bytes.create 65536 in
-  Bytes.unsafe_set t 0 '\000';
-  for i = 1 to 65535 do
-    Bytes.unsafe_set t i
-      (Char.chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
-  done;
-  t
-
-let popcount x =
-  Char.code (Bytes.unsafe_get pc16 (x land 0xffff))
-  + Char.code (Bytes.unsafe_get pc16 ((x lsr 16) land 0xffff))
-  + Char.code (Bytes.unsafe_get pc16 ((x lsr 32) land 0xffff))
-  + Char.code (Bytes.unsafe_get pc16 ((x lsr 48) land 0xffff))
+let popcount = Stc_bits.Word.popcount
 
 (* Some pair of [v] is 00 (an empty variable after an AND). *)
 let words_conflict v = (v lor (v lsr 1)) land mask01 <> mask01

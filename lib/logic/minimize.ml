@@ -52,7 +52,7 @@ let scratch_key =
         blocked = [||];
       })
 
-let ensure a n = if Array.length a < n then Array.make n 0 else a
+let ensure = Stc_bits.Arena.ensure
 
 (* Raise one cube against the off-set using a blocking matrix: for every
    off-cube whose output part overlaps the cube's, record the set of
@@ -78,7 +78,7 @@ let expand_cube ~(off : Cover.t) cube =
   s.col_count <- ensure s.col_count nv;
   s.col_start <- ensure s.col_start (nv + 1);
   s.col_cursor <- ensure s.col_cursor nv;
-  if Array.length s.blocked < nv then s.blocked <- Array.make nv false;
+  s.blocked <- Stc_bits.Arena.ensure_bool s.blocked nv;
   (* Conflict-column sets of the output-overlapping off-cubes. *)
   let nrel = ref 0 and total = ref 0 in
   let invalid = ref false in

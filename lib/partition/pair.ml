@@ -9,22 +9,17 @@ let is_pair ~next pi rho =
   let n, k = dims next in
   if Partition.size pi <> n || Partition.size rho <> n then
     invalid_arg "Pair.is_pair: size mismatch";
-  (* Enough to compare each state against its block representative. *)
-  let reps = Partition.representatives pi in
-  let ok = ref true in
-  let s = ref 0 in
-  while !ok && !s < n do
-    let r = reps.(Partition.class_of pi !s) in
-    if r <> !s then begin
-      let i = ref 0 in
-      while !ok && !i < k do
-        if not (Partition.same rho next.(!s).(!i) next.(r).(!i)) then ok := false;
-        incr i
-      done
-    end;
-    incr s
-  done;
-  !ok
+  (* Enough to compare each state against its block representative;
+     [iter_coarse_members] skips singleton blocks outright. *)
+  match
+    Partition.iter_coarse_members pi (fun r s ->
+        let nr = next.(r) and ns = next.(s) in
+        for i = 0 to k - 1 do
+          if not (Partition.same rho ns.(i) nr.(i)) then raise Exit
+        done)
+  with
+  | () -> true
+  | exception Exit -> false
 
 let is_symmetric_pair ~next pi rho =
   is_pair ~next pi rho && is_pair ~next rho pi
@@ -32,30 +27,56 @@ let is_symmetric_pair ~next pi rho =
 let m ~next pi =
   let n, k = dims next in
   let uf = Union_find.create n in
-  let reps = Partition.representatives pi in
-  for s = 0 to n - 1 do
-    let r = reps.(Partition.class_of pi s) in
-    if r <> s then
+  Partition.iter_coarse_members pi (fun r s ->
+      let nr = next.(r) and ns = next.(s) in
       for i = 0 to k - 1 do
-        ignore (Union_find.union uf next.(s).(i) next.(r).(i))
-      done
-  done;
+        ignore (Union_find.union uf ns.(i) nr.(i))
+      done);
   Partition.of_class_map (Union_find.class_map uf)
 
+(* Successor-signature grouping.  When the [k] rho-class ids fit one
+   native word the signature packs into an int key (cheap hash, cheap
+   compare); the int-array keying remains as fallback for very wide
+   input alphabets. *)
 let big_m ~next rho =
   let n, k = dims next in
-  let table = Hashtbl.create 16 in
+  let width =
+    let rec go b = if 1 lsl b >= Partition.num_classes rho then b else go (b + 1) in
+    go 1
+  in
   let cls = Array.make n 0 in
-  for s = 0 to n - 1 do
-    let signature = Array.init k (fun i -> Partition.class_of rho next.(s).(i)) in
-    cls.(s) <-
-      (match Hashtbl.find_opt table signature with
-      | Some id -> id
-      | None ->
-        let id = Hashtbl.length table in
-        Hashtbl.replace table signature id;
-        id)
-  done;
+  if k * width <= 62 then begin
+    let table = Hashtbl.create 16 in
+    for s = 0 to n - 1 do
+      let ns = next.(s) in
+      let key = ref 0 in
+      for i = 0 to k - 1 do
+        key := (!key lsl width) lor Partition.class_of rho ns.(i)
+      done;
+      cls.(s) <-
+        (match Hashtbl.find_opt table !key with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length table in
+          Hashtbl.replace table !key id;
+          id)
+    done
+  end
+  else begin
+    let table = Hashtbl.create 16 in
+    for s = 0 to n - 1 do
+      let signature =
+        Array.init k (fun i -> Partition.class_of rho next.(s).(i))
+      in
+      cls.(s) <-
+        (match Hashtbl.find_opt table signature with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length table in
+          Hashtbl.replace table signature id;
+          id)
+    done
+  end;
   Partition.of_class_map cls
 
 let is_mm_pair ~next pi rho =
@@ -71,25 +92,25 @@ let m_of_state_pair ~next s t =
   done;
   Partition.of_class_map (Union_find.class_map uf)
 
-let basis ~next =
-  let n, _ = dims next in
-  let seen = Hashtbl.create 64 in
-  for s = 0 to n - 1 do
-    for t = s + 1 to n - 1 do
-      let p = m_of_state_pair ~next s t in
-      if not (Hashtbl.mem seen p) then Hashtbl.replace seen p ()
-    done
-  done;
-  Hashtbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort Partition.compare
-
-let basis_size ~next = List.length (basis ~next)
-
 module PTbl = Hashtbl.Make (struct
   type t = Partition.t
 
   let equal = Partition.equal
   let hash = Partition.hash
 end)
+
+let basis ~next =
+  let n, _ = dims next in
+  let seen = PTbl.create 64 in
+  for s = 0 to n - 1 do
+    for t = s + 1 to n - 1 do
+      let p = m_of_state_pair ~next s t in
+      if not (PTbl.mem seen p) then PTbl.replace seen p ()
+    done
+  done;
+  PTbl.fold (fun p () acc -> p :: acc) seen [] |> List.sort Partition.compare
+
+let basis_size ~next = List.length (basis ~next)
 
 module Memo = struct
   type nonrec t = {
@@ -129,11 +150,11 @@ end
 let mm_pairs ~next =
   let n, _ = dims next in
   let base = basis ~next in
-  let seen = Hashtbl.create 64 in
+  let seen = PTbl.create 64 in
   let queue = Queue.create () in
   let add p =
-    if not (Hashtbl.mem seen p) then begin
-      Hashtbl.replace seen p ();
+    if not (PTbl.mem seen p) then begin
+      PTbl.replace seen p ();
       Queue.add p queue
     end
   in
@@ -142,5 +163,5 @@ let mm_pairs ~next =
     let p = Queue.take queue in
     List.iter (fun b -> add (Partition.join p b)) base
   done;
-  Hashtbl.fold (fun p () acc -> (p, big_m ~next p) :: acc) seen []
+  PTbl.fold (fun p () acc -> (p, big_m ~next p) :: acc) seen []
   |> List.sort (fun (a, _) (b, _) -> Partition.compare a b)

@@ -1,11 +1,42 @@
-module Union_find = Stc_util.Union_find
+module Word = Stc_bits.Word
+module Arena = Stc_bits.Arena
+
+(* A partition carries two synchronized representations:
+
+   - [cls], the canonical class map (dense ids by first occurrence) -
+     the external interface and the basis of the [compare] order that
+     the solver's deterministic traversal depends on;
+   - [rows], packed membership bitvectors, one block per [wpr] words
+     ([wpr = ceil (n / Word.bits)]), in class-id order.
+
+   The row family is where the speed lives: refinement checks become a
+   couple of word subset tests per block, [join] becomes a merge of
+   disjoint rows, and block iteration skips singletons without touching
+   their elements.  The class map keeps [meet]/[meet_subseteq] O(n) via
+   epoch-stamped pair renumbering, with no hashing on the hot path. *)
 
 type t = {
   n : int;
   cls : int array;  (* canonical: dense class ids by first occurrence *)
   count : int;
-  hcache : int;  (* cached hash over (n, cls) *)
+  wpr : int;  (* words per row *)
+  rows : int array;  (* count * wpr words; row c = block c's members *)
+  hcache : int;  (* cached hash over (n, rows) *)
 }
+
+let wb = Word.bits
+
+let words_per_row n = (n + wb - 1) / wb
+
+(* [cls] must be canonical with [count] classes. *)
+let rows_of_cls ~n ~count ~wpr cls =
+  let rows = Array.make (count * wpr) 0 in
+  for s = 0 to n - 1 do
+    let idx = (Array.unsafe_get cls s * wpr) + (s / wb) in
+    Array.unsafe_set rows idx
+      (Array.unsafe_get rows idx lor (1 lsl (s mod wb)))
+  done;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing                                                        *)
@@ -24,27 +55,45 @@ type t = {
    distinct, so [equal] keeps a structural fallback (guarded by the
    cached hash); all semantics are unchanged. *)
 
-(* Full-width FNV-style mix: [Hashtbl.hash] only samples a prefix of the
-   array, which collides badly on the long class maps of dk16/tbk. *)
-let hash_class_map n cls =
+(* Full-width FNV-style mix over the packed rows ([Hashtbl.hash] only
+   samples a prefix, which collides badly on the long class maps of
+   dk16/tbk).  The row family determines the partition, and at
+   [count * wpr] words it is shorter than the [n]-element class map.
+
+   Unlike class ids, row words carry their entropy in arbitrary bit
+   positions (member [s] sets bit [s mod 63]), and an FNV multiply only
+   diffuses low bits upward - hash tables index with the low bits, so
+   partitions differing in high-half words would all share buckets.
+   Each word is therefore folded onto its low half before mixing, and a
+   xorshift-multiply avalanche spreads the final state both ways. *)
+let hash_rows n rows =
   let h = ref (0x811c9dc5 + n) in
-  for i = 0 to Array.length cls - 1 do
-    h := ((!h lxor cls.(i)) * 0x01000193) land max_int
+  for i = 0 to Array.length rows - 1 do
+    let w = Array.unsafe_get rows i in
+    h := (!h lxor (w lxor (w lsr 31))) * 0x01000193
   done;
-  !h
+  let h = !h in
+  let h = (h lxor (h lsr 29)) * 0x2545f4914f6cdd1d in
+  (h lxor (h lsr 32)) land max_int
 
 module Intern = Weak.Make (struct
   type nonrec t = t
 
-  let equal a b = a.hcache = b.hcache && a.n = b.n && a.cls = b.cls
+  let equal a b = a.hcache = b.hcache && a.n = b.n && a.rows = b.rows
   let hash p = p.hcache
 end)
 
 let intern_table = Domain.DLS.new_key (fun () -> Intern.create 4096)
 
-(* [cls] must already be canonical and must not be mutated afterwards. *)
-let intern ~n ~count cls =
-  let p = { n; cls; count; hcache = hash_class_map n cls } in
+(* [cls] must already be canonical and must not be mutated afterwards.
+   [rows], when given, must be the matching row family (callers that
+   already materialized the rows, e.g. [join], pass them through). *)
+let intern ?rows ~n ~count cls =
+  let wpr = words_per_row n in
+  let rows =
+    match rows with Some r -> r | None -> rows_of_cls ~n ~count ~wpr cls
+  in
+  let p = { n; cls; count; wpr; rows; hcache = hash_rows n rows } in
   Intern.merge (Domain.DLS.get intern_table) p
 
 let size p = p.n
@@ -55,8 +104,39 @@ let class_of p s = p.cls.(s)
 
 let same p s t = p.cls.(s) = p.cls.(t)
 
-let canonicalize cls =
-  let n = Array.length cls in
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense renumbering by first occurrence.  The hot path (every id
+   already in [0..n-1], true for every internally produced class map)
+   renumbers through an epoch-stamped scratch arena: no hashing, no
+   per-call allocation beyond the result.  Arbitrary ids from
+   [of_class_map] fall back to a hash table. *)
+
+let scratch = Domain.DLS.new_key (fun () -> Arena.Stamped.create 256)
+
+let canonicalize_small cls n =
+  let a = Domain.DLS.get scratch in
+  Arena.Stamped.ensure a n;
+  let e = Arena.Stamped.bump a in
+  let data = a.data and stamp = a.stamp in
+  let out = Array.make n 0 in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    let c = Array.unsafe_get cls s in
+    if Array.unsafe_get stamp c = e then
+      Array.unsafe_set out s (Array.unsafe_get data c)
+    else begin
+      Array.unsafe_set stamp c e;
+      Array.unsafe_set data c !count;
+      Array.unsafe_set out s !count;
+      incr count
+    end
+  done;
+  intern ~n ~count:!count out
+
+let canonicalize_slow cls n =
   let remap = Hashtbl.create 16 in
   let out = Array.make n 0 in
   for s = 0 to n - 1 do
@@ -69,6 +149,15 @@ let canonicalize cls =
         id)
   done;
   intern ~n ~count:(Hashtbl.length remap) out
+
+let canonicalize cls =
+  let n = Array.length cls in
+  let in_range = ref true in
+  for s = 0 to n - 1 do
+    let c = Array.unsafe_get cls s in
+    if c < 0 || c >= n then in_range := false
+  done;
+  if !in_range then canonicalize_small cls n else canonicalize_slow cls n
 
 let of_class_map cls =
   if Array.length cls = 0 then invalid_arg "Partition.of_class_map: empty";
@@ -110,13 +199,6 @@ let of_blocks ~n blocks =
   done;
   canonicalize cls
 
-let blocks p =
-  let buckets = Array.make p.count [] in
-  for s = p.n - 1 downto 0 do
-    buckets.(p.cls.(s)) <- s :: buckets.(p.cls.(s))
-  done;
-  Array.to_list buckets
-
 let pair_relation ~n s t =
   if s < 0 || s >= n || t < 0 || t >= n then
     invalid_arg "Partition.pair_relation: out of range";
@@ -124,8 +206,72 @@ let pair_relation ~n s t =
   cls.(max s t) <- min s t;
   canonicalize cls
 
-let meet p q =
-  if p.n <> q.n then invalid_arg "Partition.meet: size mismatch";
+(* ------------------------------------------------------------------ *)
+(* Row iteration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [iter_row_members rows wpr c f] calls [f] on block [c]'s members in
+   ascending order, one [ffs] per member. *)
+let iter_row_members rows wpr c f =
+  let base = c * wpr in
+  for wi = 0 to wpr - 1 do
+    let w = ref (Array.unsafe_get rows (base + wi)) in
+    while !w <> 0 do
+      f ((wi * wb) + Word.ffs !w);
+      w := !w land (!w - 1)
+    done
+  done
+
+let blocks p =
+  let out = ref [] in
+  for c = p.count - 1 downto 0 do
+    let members = ref [] in
+    iter_row_members p.rows p.wpr c (fun s -> members := s :: !members);
+    out := List.rev !members :: !out
+  done;
+  !out
+
+let representatives p =
+  Array.init p.count (fun c ->
+      let base = c * p.wpr in
+      let rec go wi =
+        (* every block is non-empty, so this terminates within the row *)
+        let w = Array.unsafe_get p.rows (base + wi) in
+        if w = 0 then go (wi + 1) else (wi * wb) + Word.ffs w
+      in
+      go 0)
+
+let members p c =
+  let acc = ref [] in
+  iter_row_members p.rows p.wpr c (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let iter_coarse_members p f =
+  for c = 0 to p.count - 1 do
+    let base = c * p.wpr in
+    let rep = ref (-1) in
+    for wi = 0 to p.wpr - 1 do
+      let w = ref (Array.unsafe_get p.rows (base + wi)) in
+      if !rep < 0 && !w <> 0 then begin
+        rep := (wi * wb) + Word.ffs !w;
+        w := !w land (!w - 1)
+      end;
+      while !w <> 0 do
+        f !rep ((wi * wb) + Word.ffs !w);
+        w := !w land (!w - 1)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lattice operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pair-key renumbering cap: beyond [count_p * count_q] stamped slots of
+   this budget, fall back to hashing so scratch memory stays O(n). *)
+let pair_key_cap n = max 1024 (4 * n)
+
+let meet_slow p q =
   let table = Hashtbl.create 16 in
   let cls = Array.make p.n 0 in
   for s = 0 to p.n - 1 do
@@ -138,46 +284,229 @@ let meet p q =
         Hashtbl.replace table key id;
         id)
   done;
-  (* The (p-class, q-class) keying numbers classes by first occurrence, so
-     [cls] is already canonical. *)
   intern ~n:p.n ~count:(Hashtbl.length table) cls
+
+let meet p q =
+  if p.n <> q.n then invalid_arg "Partition.meet: size mismatch";
+  if p == q || is_identity p || is_universal q then p
+  else if is_identity q || is_universal p then q
+  else if p.count * q.count > pair_key_cap p.n then meet_slow p q
+  else begin
+    let a = Domain.DLS.get scratch in
+    Arena.Stamped.ensure a (p.count * q.count);
+    let e = Arena.Stamped.bump a in
+    let data = a.data and stamp = a.stamp in
+    let pc = p.cls and qc = q.cls and qn = q.count in
+    let cls = Array.make p.n 0 in
+    let count = ref 0 in
+    for s = 0 to p.n - 1 do
+      let key = (Array.unsafe_get pc s * qn) + Array.unsafe_get qc s in
+      if Array.unsafe_get stamp key = e then
+        Array.unsafe_set cls s (Array.unsafe_get data key)
+      else begin
+        Array.unsafe_set stamp key e;
+        Array.unsafe_set data key !count;
+        Array.unsafe_set cls s !count;
+        incr count
+      end
+    done;
+    (* first-occurrence numbering of the pair keys is already canonical *)
+    intern ~n:p.n ~count:!count cls
+  end
+
+(* Coarse-regime join by row merging.  Start from [p]'s rows; for each
+   block of [q], union every live row it touches into the first one.
+   One pass suffices: live rows stay pairwise disjoint (they only ever
+   merge), so a row can meet a [q]-block group only through the block's
+   own bits, and later blocks absorb previously merged rows the same
+   way.
+
+   Canonical numbering comes for free: the canonical row family has
+   strictly increasing minimum elements, a merged group survives at the
+   minimum index of its members, and min-index order equals min-element
+   order - so scanning surviving rows in index order is first-occurrence
+   order. *)
+let join_rows p q =
+  let n = p.n and wpr = p.wpr in
+  let live = Array.copy p.rows in
+  let alive = Array.make p.count true in
+  let survivors = ref p.count in
+  for j = 0 to q.count - 1 do
+    let qbase = j * wpr in
+    let acc = ref (-1) in
+    for r = 0 to p.count - 1 do
+      if Array.unsafe_get alive r then begin
+        let rbase = r * wpr in
+        let hit = ref false in
+        let wi = ref 0 in
+        while (not !hit) && !wi < wpr do
+          if
+            Array.unsafe_get live (rbase + !wi)
+            land Array.unsafe_get q.rows (qbase + !wi)
+            <> 0
+          then hit := true;
+          incr wi
+        done;
+        if !hit then
+          if !acc < 0 then acc := r
+          else begin
+            let abase = !acc * wpr in
+            for wi = 0 to wpr - 1 do
+              Array.unsafe_set live (abase + wi)
+                (Array.unsafe_get live (abase + wi)
+                lor Array.unsafe_get live (rbase + wi))
+            done;
+            Array.unsafe_set alive r false;
+            decr survivors
+          end
+      end
+    done
+  done;
+  let count = !survivors in
+  let cls = Array.make n 0 in
+  let rows = Array.make (count * wpr) 0 in
+  let id = ref 0 in
+  for r = 0 to p.count - 1 do
+    if alive.(r) then begin
+      let c = !id in
+      incr id;
+      Array.blit live (r * wpr) rows (c * wpr) wpr;
+      iter_row_members live wpr r (fun s -> Array.unsafe_set cls s c)
+    end
+  done;
+  intern ~rows ~n ~count cls
+
+(* Fine-regime join: union-find over [p]'s class ids (path halving, no
+   ranks - the forests are tiny), unioning along each coarse block of
+   [q] - singleton [q]-blocks merge nothing and are skipped via the
+   rows.  The output pass fuses find with the stamped first-occurrence
+   renumbering, so the whole join is one scan of [q]'s coarse members
+   plus one scan of the elements. *)
+let join_uf p q =
+  let n = p.n in
+  let parent = Array.init p.count (fun c -> c) in
+  let rec find c =
+    let pc = Array.unsafe_get parent c in
+    if pc = c then c
+    else begin
+      let gp = Array.unsafe_get parent pc in
+      Array.unsafe_set parent c gp;
+      find gp
+    end
+  in
+  iter_coarse_members q (fun rep s ->
+      let a = find (Array.unsafe_get p.cls rep)
+      and b = find (Array.unsafe_get p.cls s) in
+      if a <> b then Array.unsafe_set parent b a);
+  let a = Domain.DLS.get scratch in
+  Arena.Stamped.ensure a p.count;
+  let e = Arena.Stamped.bump a in
+  let data = a.data and stamp = a.stamp in
+  let out = Array.make n 0 in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    let c = find (Array.unsafe_get p.cls s) in
+    if Array.unsafe_get stamp c = e then
+      Array.unsafe_set out s (Array.unsafe_get data c)
+    else begin
+      Array.unsafe_set stamp c e;
+      Array.unsafe_set data c !count;
+      Array.unsafe_set out s !count;
+      incr count
+    end
+  done;
+  intern ~n ~count:!count out
 
 let join p q =
   if p.n <> q.n then invalid_arg "Partition.join: size mismatch";
-  if p == q then p
-  else begin
-    let uf = Union_find.create p.n in
-    let first_p = Array.make p.count (-1) and first_q = Array.make q.count (-1) in
-    for s = 0 to p.n - 1 do
-      let cp = p.cls.(s) and cq = q.cls.(s) in
-      if first_p.(cp) < 0 then first_p.(cp) <- s
-      else ignore (Union_find.union uf first_p.(cp) s);
-      if first_q.(cq) < 0 then first_q.(cq) <- s
-      else ignore (Union_find.union uf first_q.(cq) s)
-    done;
-    canonicalize (Union_find.class_map uf)
-  end
+  if p == q || is_identity q || is_universal p then p
+  else if is_identity p || is_universal q then q
+  else if p.count * q.count * p.wpr <= 2 * p.n then join_rows p q
+  else join_uf p q
 
 let join_all ~n ps = List.fold_left join (identity n) ps
 
+(* p refines q iff every row of p is a subset of the q-row of its
+   representative: one class lookup plus [wpr] word tests per block. *)
 let subseteq p q =
   p.n = q.n
-  && begin
-    (* p refines q iff each p-class maps into a single q-class. *)
-    let image = Array.make p.count (-1) in
+  && (p == q || is_universal q || is_identity p
+     || p.count >= q.count
+        && begin
+          let wpr = p.wpr in
+          let ok = ref true in
+          let c = ref 0 in
+          while !ok && !c < p.count do
+            let base = !c * wpr in
+            let rec rep wi =
+              let w = Array.unsafe_get p.rows (base + wi) in
+              if w = 0 then rep (wi + 1) else (wi * wb) + Word.ffs w
+            in
+            let qbase = Array.unsafe_get q.cls (rep 0) * wpr in
+            let wi = ref 0 in
+            while !ok && !wi < wpr do
+              if
+                Array.unsafe_get p.rows (base + !wi)
+                land lnot (Array.unsafe_get q.rows (qbase + !wi))
+                <> 0
+              then ok := false;
+              incr wi
+            done;
+            incr c
+          done;
+          !ok
+        end)
+
+let meet_subseteq_slow p q r =
+  let table = Hashtbl.create 16 in
+  let ok = ref true in
+  let s = ref 0 in
+  while !ok && !s < p.n do
+    let key = (p.cls.(!s), q.cls.(!s)) in
+    let rc = r.cls.(!s) in
+    (match Hashtbl.find_opt table key with
+    | Some rc' -> if rc' <> rc then ok := false
+    | None -> Hashtbl.replace table key rc);
+    incr s
+  done;
+  !ok
+
+(* [subseteq (meet p q) r] without materializing (or interning) the
+   meet: the meet refines r iff all elements sharing a (p, q) class
+   pair share their r class. *)
+let meet_subseteq p q r =
+  if p.n <> q.n || p.n <> r.n then
+    invalid_arg "Partition.meet_subseteq: size mismatch";
+  if is_universal r || is_identity p || is_identity q then true
+  else if p == q then subseteq p r
+  else if is_universal p then subseteq q r
+  else if is_universal q then subseteq p r
+  else if p.count * q.count > pair_key_cap p.n then meet_subseteq_slow p q r
+  else begin
+    let a = Domain.DLS.get scratch in
+    Arena.Stamped.ensure a (p.count * q.count);
+    let e = Arena.Stamped.bump a in
+    let data = a.data and stamp = a.stamp in
+    let pc = p.cls and qc = q.cls and rc = r.cls and qn = q.count in
     let ok = ref true in
     let s = ref 0 in
     while !ok && !s < p.n do
-      let cp = p.cls.(!s) and cq = q.cls.(!s) in
-      if image.(cp) < 0 then image.(cp) <- cq
-      else if image.(cp) <> cq then ok := false;
+      let key = (Array.unsafe_get pc !s * qn) + Array.unsafe_get qc !s in
+      let cr = Array.unsafe_get rc !s in
+      if Array.unsafe_get stamp key = e then begin
+        if Array.unsafe_get data key <> cr then ok := false
+      end
+      else begin
+        Array.unsafe_set stamp key e;
+        Array.unsafe_set data key cr
+      end;
       incr s
     done;
     !ok
   end
 
 let equal p q =
-  p == q || (p.hcache = q.hcache && p.n = q.n && p.cls = q.cls)
+  p == q || (p.hcache = q.hcache && p.n = q.n && p.rows = q.rows)
 
 let compare p q =
   if p == q then 0
@@ -186,19 +515,6 @@ let compare p q =
     if c <> 0 then c else Stdlib.compare p.cls q.cls
 
 let hash p = p.hcache
-
-let representatives p =
-  let reps = Array.make p.count (-1) in
-  for s = p.n - 1 downto 0 do
-    reps.(p.cls.(s)) <- s
-  done;
-  reps
-
-let members p c =
-  let rec go s acc =
-    if s < 0 then acc else go (s - 1) (if p.cls.(s) = c then s :: acc else acc)
-  in
-  go (p.n - 1) []
 
 let pp ppf p =
   List.iter

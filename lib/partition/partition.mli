@@ -79,8 +79,14 @@ val join : t -> t -> t
     [identity n]. *)
 val join_all : n:int -> t list -> t
 
-(** [subseteq p q] is relation inclusion ([p] refines [q]). *)
+(** [subseteq p q] is relation inclusion ([p] refines [q]).  Decided by
+    one word-parallel subset test per block of [p]. *)
 val subseteq : t -> t -> bool
+
+(** [meet_subseteq p q r] is [subseteq (meet p q) r] without
+    materializing (or interning) the meet - the solver's admissibility
+    and Lemma-1 viability tests in one O(n) pass. *)
+val meet_subseteq : t -> t -> t -> bool
 
 (** [equal p q] is semantic (= structural) equality; thanks to interning
     it is usually decided by a pointer comparison. *)
@@ -99,6 +105,13 @@ val representatives : t -> int array
 
 (** [members p c] lists the elements of class [c], sorted. *)
 val members : t -> int -> int list
+
+(** [iter_coarse_members p f] calls [f rep s] for every element [s] that
+    is not the smallest member [rep] of its block, blocks in class-id
+    order, members ascending.  Singleton blocks are skipped without
+    touching their elements - the workhorse of the [m]-operator and
+    partition-pair checks, which only look at non-representatives. *)
+val iter_coarse_members : t -> (int -> int -> unit) -> unit
 
 (** [pp] prints blocks as [{0,3}{1,2}]. *)
 val pp : Format.formatter -> t -> unit

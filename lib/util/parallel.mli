@@ -1,15 +1,41 @@
-(** Minimal deterministic fork/join over OCaml 5 domains.
+(** Deterministic fork/join over OCaml 5 domains with chunked work
+    stealing.
 
-    Work items are indices [0..n-1] handed out through an atomic cursor;
-    each item is processed by exactly one domain and results are written
-    into index-addressed slots, so the outcome is independent of [jobs]
-    as long as [f] is pure per index. *)
+    Work items are indices [0..n-1] handed out through an atomic cursor
+    in chunks (default {!default_chunk}, capped so every domain gets at
+    least a few grabs); each index is processed by exactly one domain and
+    results are written into index-addressed slots, so the outcome is
+    independent of [jobs] and [chunk] as long as [f] is pure per index. *)
+
+(** Default chunk size (64): large enough that the cursor's cache line is
+    touched rarely, small enough to balance uneven per-index costs. *)
+val default_chunk : int
 
 (** [iter_range ~jobs n f] runs [f i] for every [i] in [0..n-1] on up to
     [jobs] domains (including the calling one).  [jobs <= 1] or [n <= 1]
-    degrades to a plain sequential loop with no domain spawns. *)
-val iter_range : jobs:int -> int -> (int -> unit) -> unit
+    degrades to a plain sequential loop with no domain spawns.
+    [?chunk] overrides the grab size (it is still capped to keep at
+    least four grabs per domain when [n] allows).
+    @raise Invalid_argument when [chunk < 1]. *)
+val iter_range : ?chunk:int -> jobs:int -> int -> (int -> unit) -> unit
 
-(** [map_range ~jobs n f ~init] collects [f i] into a fresh array
-    ([init] pre-fills the slots and is returned for [n = 0]). *)
-val map_range : jobs:int -> int -> (int -> 'a) -> init:'a -> 'a array
+(** [map_range ~jobs n f ~init] collects [f i] into a fresh array in
+    index order ([init] pre-fills the slots and is returned for
+    [n = 0]). *)
+val map_range :
+  ?chunk:int -> jobs:int -> int -> (int -> 'a) -> init:'a -> 'a array
+
+(** [iter_range_local ~jobs ~local ?finish n f] is {!iter_range} with
+    per-domain state: every participating domain calls [local ()] once
+    before its first index, passes the result to each [f], and runs
+    [finish] on it after its last grab (also on the degraded sequential
+    path).  This is the hook for per-domain scratch buffers and metrics
+    flushes. *)
+val iter_range_local :
+  ?chunk:int ->
+  jobs:int ->
+  local:(unit -> 's) ->
+  ?finish:('s -> unit) ->
+  int ->
+  ('s -> int -> unit) ->
+  unit

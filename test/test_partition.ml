@@ -407,6 +407,152 @@ let test_mm_pairs_are_mm =
            pairs)
 
 (* ------------------------------------------------------------------ *)
+(* Packed kernels vs the retained element-wise reference               *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = Stc_partition.Reference
+
+(* Class maps with ids well outside [0..n-1] (including negatives), to
+   drive the canonicalization fallback as well as the stamped fast
+   path. *)
+let wild_class_map rng n =
+  let k = 1 + Rng.int rng n in
+  let spread = Rng.int rng 3 in
+  Array.init n (fun _ ->
+      let id = Rng.int rng k in
+      match spread with
+      | 0 -> id
+      | 1 -> (id * 7919) + 100000
+      | _ -> (id * 104729) - 500000)
+
+(* Sizes straddling the 63-bit word boundary: multi-word rows from
+   n = 64 up exercise every word-loop remainder. *)
+let size_gen = QCheck.oneof [ QCheck.int_range 1 20; QCheck.int_range 60 150 ]
+
+let test_canonicalize_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"of_class_map = Reference.canonicalize"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let cls = wild_class_map rng n in
+      let p = Partition.of_class_map cls in
+      Partition.class_map p = Reference.canonicalize cls
+      && Partition.num_classes p = Reference.num_classes cls)
+
+let test_meet_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"meet = Reference.meet"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = wild_class_map rng n and b = wild_class_map rng n in
+      let p = Partition.of_class_map a and q = Partition.of_class_map b in
+      Partition.class_map (Partition.meet p q)
+      = Reference.canonicalize (Reference.meet (Partition.class_map p) (Partition.class_map q)))
+
+let test_join_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"join = Reference.join"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = wild_class_map rng n and b = wild_class_map rng n in
+      let p = Partition.of_class_map a and q = Partition.of_class_map b in
+      Partition.class_map (Partition.join p q)
+      = Reference.join (Partition.class_map p) (Partition.class_map q))
+
+let test_join_all_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"join_all = folded Reference.join"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let maps = List.init (1 + Rng.int rng 4) (fun _ -> wild_class_map rng n) in
+      let ps = List.map Partition.of_class_map maps in
+      let expected =
+        List.fold_left
+          (fun acc m -> Reference.join acc (Reference.canonicalize m))
+          (Array.init n (fun s -> s))
+          maps
+      in
+      Partition.class_map (Partition.join_all ~n ps) = expected)
+
+let test_subseteq_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"subseteq = Reference.subseteq"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let a = wild_class_map rng n and b = wild_class_map rng n in
+      let p = Partition.of_class_map a and q = Partition.of_class_map b in
+      (* both directions, plus guaranteed-true instances via meet *)
+      let m = Partition.meet p q in
+      Partition.subseteq p q
+      = Reference.subseteq (Partition.class_map p) (Partition.class_map q)
+      && Partition.subseteq q p
+         = Reference.subseteq (Partition.class_map q) (Partition.class_map p)
+      && Partition.subseteq m p && Partition.subseteq m q)
+
+let test_meet_subseteq_matches_composition =
+  QCheck.Test.make ~count:300 ~name:"meet_subseteq p q r = subseteq (meet p q) r"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = Partition.of_class_map (wild_class_map rng n)
+      and q = Partition.of_class_map (wild_class_map rng n)
+      and r = Partition.of_class_map (wild_class_map rng n) in
+      let direct = Partition.meet_subseteq p q r in
+      direct = Partition.subseteq (Partition.meet p q) r
+      (* and a guaranteed-true instance *)
+      && Partition.meet_subseteq p q (Partition.meet p q))
+
+(* Relabeling the input class map must not change the partition - and
+   therefore not its hash. *)
+let test_hash_stable_under_relabeling =
+  QCheck.Test.make ~count:300 ~name:"hash stable under class-map relabeling"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let cls = wild_class_map rng n in
+      let p = Partition.of_class_map cls in
+      (* injective relabeling of the ids *)
+      let shift = 1 + Rng.int rng 1000 in
+      let relabeled = Array.map (fun id -> (id * 2) + shift) cls in
+      let q = Partition.of_class_map relabeled in
+      Partition.equal p q && Partition.hash p = Partition.hash q)
+
+let test_iter_coarse_members_spec =
+  QCheck.Test.make ~count:300 ~name:"iter_coarse_members = non-reps by block"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = Partition.of_class_map (wild_class_map rng n) in
+      let got = ref [] in
+      Partition.iter_coarse_members p (fun rep s -> got := (rep, s) :: !got);
+      let expected =
+        List.concat_map
+          (fun block ->
+            match block with
+            | rep :: rest -> List.map (fun s -> (rep, s)) rest
+            | [] -> [])
+          (Partition.blocks p)
+      in
+      List.rev !got = expected)
+
+let test_blocks_members_multiword =
+  QCheck.Test.make ~count:200 ~name:"blocks/members/representatives agree (multi-word)"
+    QCheck.(pair (int_bound 100000) (int_range 60 150))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = Partition.of_class_map (wild_class_map rng n) in
+      let blocks = Partition.blocks p in
+      let reps = Partition.representatives p in
+      List.length blocks = Partition.num_classes p
+      && List.for_all
+           (fun block ->
+             let c = Partition.class_of p (List.hd block) in
+             Partition.members p c = block && reps.(c) = List.hd block)
+           blocks
+      && List.concat blocks |> List.sort Stdlib.compare
+         = List.init n (fun s -> s))
+
+(* ------------------------------------------------------------------ *)
 (* Paper's fig. 6 oracle                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -451,6 +597,18 @@ let () =
           Alcotest.test_case "lattice laws (exhaustive n=4)" `Quick
             test_lattice_laws_exhaustive;
           qcheck test_lattice_laws_random;
+        ] );
+      ( "packed_vs_reference",
+        [
+          qcheck test_canonicalize_matches_reference;
+          qcheck test_meet_matches_reference;
+          qcheck test_join_matches_reference;
+          qcheck test_join_all_matches_reference;
+          qcheck test_subseteq_matches_reference;
+          qcheck test_meet_subseteq_matches_composition;
+          qcheck test_hash_stable_under_relabeling;
+          qcheck test_iter_coarse_members_spec;
+          qcheck test_blocks_members_multiword;
         ] );
       ( "hashcons",
         [

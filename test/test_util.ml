@@ -1,5 +1,6 @@
 module Rng = Stc_util.Rng
 module Union_find = Stc_util.Union_find
+module Parallel = Stc_util.Parallel
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -95,6 +96,61 @@ let test_rng_pick_member () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact coverage: every index visited exactly once, whatever the
+   jobs/chunk combination (including chunk = 1 and jobs > n). *)
+let test_parallel_iter_coverage () =
+  List.iter
+    (fun (n, jobs, chunk) ->
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Parallel.iter_range ~chunk ~jobs n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i h ->
+          check_int (Printf.sprintf "n=%d jobs=%d chunk=%d i=%d" n jobs chunk i)
+            1 (Atomic.get h))
+        hits)
+    [ (0, 4, 64); (1, 4, 64); (17, 1, 64); (17, 4, 1); (100, 3, 7); (1000, 4, 64);
+      (5, 16, 64); (257, 2, 64) ]
+
+let test_parallel_iter_rejects_bad_chunk () =
+  Alcotest.check_raises "chunk 0"
+    (Invalid_argument "Parallel.iter_range_local: chunk < 1") (fun () ->
+      Parallel.iter_range ~chunk:0 ~jobs:2 10 ignore)
+
+(* map_range returns f 0 .. f (n-1) in order, independent of jobs and
+   chunk. *)
+let test_parallel_map_deterministic () =
+  let expected = Parallel.map_range ~jobs:1 100 (fun i -> (i * i) + 1) ~init:0 in
+  List.iter
+    (fun (jobs, chunk) ->
+      let got = Parallel.map_range ~chunk ~jobs 100 (fun i -> (i * i) + 1) ~init:0 in
+      check_bool (Printf.sprintf "jobs=%d chunk=%d" jobs chunk) true (got = expected))
+    [ (2, 1); (3, 7); (4, 64); (8, 1000) ]
+
+(* iter_range_local: each worker gets its own [local] state, [finish]
+   sees every worker's state exactly once, and the per-worker partial
+   sums add up to the whole range. *)
+let test_parallel_local_state () =
+  List.iter
+    (fun jobs ->
+      let n = 500 in
+      let workers = Atomic.make 0 in
+      let total = Atomic.make 0 in
+      Parallel.iter_range_local ~jobs
+        ~local:(fun () ->
+          Atomic.incr workers;
+          ref 0)
+        ~finish:(fun acc -> ignore (Atomic.fetch_and_add total !acc))
+        n
+        (fun acc i -> acc := !acc + i);
+      check_int (Printf.sprintf "sum jobs=%d" jobs) (n * (n - 1) / 2) (Atomic.get total);
+      check_bool (Printf.sprintf "workers jobs=%d" jobs) true
+        (Atomic.get workers >= 1 && Atomic.get workers <= jobs))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Union_find                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -152,6 +208,17 @@ let () =
           Alcotest.test_case "shuffle preserves multiset" `Quick
             test_rng_shuffle_preserves_multiset;
           Alcotest.test_case "pick member" `Quick test_rng_pick_member;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "iter_range exact coverage" `Quick
+            test_parallel_iter_coverage;
+          Alcotest.test_case "iter_range rejects bad chunk" `Quick
+            test_parallel_iter_rejects_bad_chunk;
+          Alcotest.test_case "map_range deterministic" `Quick
+            test_parallel_map_deterministic;
+          Alcotest.test_case "iter_range_local per-worker state" `Quick
+            test_parallel_local_state;
         ] );
       ( "union_find",
         [

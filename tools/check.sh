@@ -40,6 +40,16 @@ fi
 echo "== BENCH_minimize.json must parse and carry the bench keys =="
 dune exec tools/json_lint.exe -- BENCH_minimize.json bench rows
 
+echo "== core kernel smoke (packed bit engine must match the references) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- core-quick
+else
+  dune exec bench/main.exe -- core-quick
+fi
+
+echo "== BENCH_core.json must parse and carry the bench keys =="
+dune exec tools/json_lint.exe -- BENCH_core.json bench rows
+
 echo "== traced smoke (trace + metrics files must parse as JSON) =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
