@@ -49,6 +49,9 @@ module Clock = Stc_util.Clock
 module Json = Stc_obs.Json
 module Trace = Stc_obs.Trace
 module Metrics = Stc_obs.Metrics
+module Profile = Stc_obs.Profile
+module Parmon = Stc_obs.Parmon
+module Schema = Stc_benchmarks.Schema
 
 (* ------------------------------------------------------------------ *)
 (* Artifact regeneration (the paper's tables and figures)              *)
@@ -228,13 +231,10 @@ let run_json () =
   let runs = solver_runs ~timeout:120.0 in
   let path = "BENCH_solver.json" in
   Json.write path
-    (Json.Obj
-       [
-         ("bench", Json.String "solver");
-         ("parallel_jobs", Json.Int par_jobs);
-         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
-         ("rows", Json.List (List.map json_of_run runs));
-       ]);
+    (Schema.wrap ~bench:"solver" ~jobs:par_jobs
+       ~extra:
+         [ ("recommended_domains", Json.Int (Domain.recommended_domain_count ())) ]
+       (List.map json_of_run runs));
   Printf.printf "wrote %s\n" path;
   let phase r name =
     Option.value ~default:0.0 (List.assoc_opt name r.phases)
@@ -452,14 +452,13 @@ let run_faultsim () =
   List.iter print_fs_row rows;
   let path = "BENCH_faultsim.json" in
   Json.write path
-    (Json.Obj
-       [
-         ("bench", Json.String "faultsim");
-         ("cycles", Json.Int cycles);
-         ("parallel_jobs", Json.Int par_jobs);
-         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
-         ("rows", Json.List (List.map json_of_fs_row rows));
-       ]);
+    (Schema.wrap ~bench:"faultsim" ~jobs:par_jobs
+       ~extra:
+         [
+           ("cycles", Json.Int cycles);
+           ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+         ]
+       (List.map json_of_fs_row rows));
   Printf.printf "wrote %s\n" path;
   let bad = List.filter (fun r -> not (fs_row_ok r)) rows in
   if bad <> [] then begin
@@ -691,13 +690,10 @@ let run_minimize () =
   let rows = minimize_rows minimize_machines in
   let path = "BENCH_minimize.json" in
   Json.write path
-    (Json.Obj
-       [
-         ("bench", Json.String "minimize");
-         ("parallel_jobs", Json.Int par_jobs);
-         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
-         ("rows", Json.List (List.map json_of_mz_row rows));
-       ]);
+    (Schema.wrap ~bench:"minimize" ~jobs:par_jobs
+       ~extra:
+         [ ("recommended_domains", Json.Int (Domain.recommended_domain_count ())) ]
+       (List.map json_of_mz_row rows));
   Printf.printf "wrote %s\n" path;
   if mz_failures rows <> [] then exit 1
 
@@ -720,17 +716,22 @@ module Rng = Stc_util.Rng
 (* Self-calibrating ns/op: grow the repeat count until the measured
    window is long enough to trust the monotonic clock, then report the
    mean.  Deterministic workloads (Rng-seeded, pregenerated) keep the
-   old and new sides byte-comparable. *)
+   old and new sides byte-comparable.  The window is a ref so the
+   core-quick noise gate can trade precision for speed (check.sh times
+   the suite twice and diffs the two files). *)
+let calibration_window = ref 0.05
+
 let ns_per_op f =
   f ();
   (* warm-up: fill caches, trigger interning *)
+  let window = !calibration_window in
   let rec measure iters =
     let t0 = Clock.now () in
     for _ = 1 to iters do
       f ()
     done;
     let dt = Clock.elapsed ~since:t0 in
-    if dt < 0.05 && iters < 10_000_000 then measure (iters * 4)
+    if dt < window && iters < 10_000_000 then measure (iters * 4)
     else dt *. 1e9 /. float_of_int iters
   in
   measure 1
@@ -973,17 +974,16 @@ let run_core () =
   List.iter print_core_row rows;
   let path = "BENCH_core.json" in
   Json.write path
-    (Json.Obj
-       [
-         ("bench", Json.String "core");
-         ("rows", Json.List (List.map json_of_core_row rows));
-       ]);
+    (Schema.wrap ~bench:"core" ~jobs:1 (List.map json_of_core_row rows));
   Printf.printf "wrote %s\n" path;
   if core_failures rows <> [] then exit 1
 
-(* CI gate: equivalence checks only (no timing loops beyond the one
-   calibration pass), no file written; exit status counts failures. *)
-let run_core_quick () =
+(* CI gate: equivalence checks only, no timing loops, no file written;
+   exit status counts failures.  With [?out] it additionally writes a
+   light-timed (short calibration window) schema'd BENCH file - check.sh
+   runs that twice and feeds both files to bench_diff to prove the
+   regression thresholds absorb same-box noise. *)
+let run_core_quick ?out () =
   let rng = Rng.create 0xc0de in
   let failures = ref 0 in
   List.iter
@@ -1008,6 +1008,16 @@ let run_core_quick () =
       done)
     core_sizes;
   if !failures = 0 then Printf.printf "core quick: all kernels agree\n";
+  (match out with
+  | Some path when !failures = 0 ->
+    calibration_window := 0.02;
+    let rows = core_rows () in
+    Json.write path
+      (Schema.wrap ~bench:"core" ~jobs:1
+         ~extra:[ ("quick", Json.Bool true) ]
+         (List.map json_of_core_row rows));
+    Printf.printf "wrote %s\n" path
+  | _ -> ());
   exit !failures
 
 (* ------------------------------------------------------------------ *)
@@ -1125,24 +1135,49 @@ let run_benchmarks () =
           rows))
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match mode with
-  | "quick" -> run_quick ()
-  | "json" -> run_json ()
-  | "faultsim" -> run_faultsim ()
-  | "faultsim-quick" -> run_faultsim_quick ()
-  | "minimize" -> run_minimize ()
-  | "minimize-quick" -> run_minimize_quick ()
-  | "core" -> run_core ()
-  | "core-quick" -> run_core_quick ()
-  | "micro" -> run_benchmarks ()
-  | "tables" -> print_tables ()
-  | "all" ->
+  (* `--profile FILE` anywhere on the line samples the whole run and
+     writes folded stacks at exit - modes terminate via [exit], so the
+     writer hangs off [at_exit]. *)
+  let rec strip_profile acc = function
+    | [] -> (List.rev acc, None)
+    | "--profile" :: file :: rest -> (List.rev acc @ rest, Some file)
+    | [ "--profile" ] ->
+      prerr_endline "bench: --profile needs a file argument";
+      exit 2
+    | arg :: rest -> strip_profile (arg :: acc) rest
+  in
+  let args, profile = strip_profile [] (List.tl (Array.to_list Sys.argv)) in
+  Parmon.install ();
+  (match profile with
+  | None -> ()
+  | Some file ->
+    Profile.start ();
+    at_exit (fun () ->
+        if Profile.running () then begin
+          let report = Profile.stop () in
+          Profile.write_folded file report;
+          Printf.eprintf "profile: wrote %s (%d samples @ %d Hz)\n%!" file
+            report.Profile.samples report.Profile.hz
+        end));
+  match args with
+  | [ "quick" ] -> run_quick ()
+  | [ "json" ] -> run_json ()
+  | [ "faultsim" ] -> run_faultsim ()
+  | [ "faultsim-quick" ] -> run_faultsim_quick ()
+  | [ "minimize" ] -> run_minimize ()
+  | [ "minimize-quick" ] -> run_minimize_quick ()
+  | [ "core" ] -> run_core ()
+  | [ "core-quick" ] -> run_core_quick ()
+  | [ "core-quick"; out ] -> run_core_quick ~out ()
+  | [ "micro" ] -> run_benchmarks ()
+  | [ "tables" ] -> print_tables ()
+  | [] | [ "all" ] ->
     print_tables ();
     run_benchmarks ()
-  | other ->
+  | other :: _ ->
     prerr_endline
       ("bench: unknown mode " ^ other
      ^ " (expected all, tables, micro, quick, json, faultsim, \
-        faultsim-quick, minimize, minimize-quick, core or core-quick)");
+        faultsim-quick, minimize, minimize-quick, core or core-quick \
+        [OUT]; any mode accepts --profile FILE)");
     exit 2

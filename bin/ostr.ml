@@ -20,6 +20,7 @@ module Session = Stc_faultsim.Session
 module Trace = Stc_obs.Trace
 module Metrics = Stc_obs.Metrics
 module Progress = Stc_obs.Progress
+module Profile = Stc_obs.Profile
 module Json = Stc_obs.Json
 module Lint = Stc_analysis.Lint
 module Diagnostic = Stc_analysis.Diagnostic
@@ -78,10 +79,15 @@ let or_die = function
     exit 1
 
 (* ------------------------------------------------------------------ *)
-(* Observability: --trace / --metrics / --progress                     *)
+(* Observability: --trace / --metrics / --progress / --profile         *)
 (* ------------------------------------------------------------------ *)
 
-type obs = { trace : string option; metrics : string option; progress : bool }
+type obs = {
+  trace : string option;
+  metrics : string option;
+  progress : bool;
+  profile : string option;
+}
 
 let obs_term =
   let trace =
@@ -105,9 +111,17 @@ let obs_term =
     in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
+  let profile =
+    let doc =
+      "Sample every domain's span stack while the command runs and write \
+       folded stacks (flamegraph.pl / speedscope format) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
   Term.(
-    const (fun trace metrics progress -> { trace; metrics; progress })
-    $ trace $ metrics $ progress)
+    const (fun trace metrics progress profile ->
+        { trace; metrics; progress; profile })
+    $ trace $ metrics $ progress $ profile)
 
 (* Enable the requested observability sinks around [f], and flush them
    even when [f] dies - a trace of a crashed run is the useful one. *)
@@ -117,8 +131,18 @@ let with_obs obs f =
   if obs.progress then Progress.set_enabled true;
   Trace.reset ();
   Metrics.reset ();
+  Option.iter (fun _ -> Profile.start ()) obs.profile;
   Fun.protect
     ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          if Profile.running () then begin
+            let report = Profile.stop () in
+            Profile.write_folded path report;
+            Format.eprintf "wrote profile %s (%d samples at %d Hz)@." path
+              report.Stc_obs.Profile.samples report.Stc_obs.Profile.hz
+          end)
+        obs.profile;
       Option.iter
         (fun path ->
           Trace.write path;
@@ -137,8 +161,9 @@ let with_obs obs f =
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run spec =
+  let run spec obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     Format.printf "%a@." Machine.pp m;
     Format.printf "states: %d, inputs: %d, outputs: %d@." m.Machine.num_states
       m.Machine.num_inputs m.Machine.num_outputs;
@@ -152,22 +177,23 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print a machine's transition table and statistics.")
-    Term.(const run $ machine_arg)
+    Term.(const run $ machine_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* minimize                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let minimize_cmd =
-  let run spec =
+  let run spec obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     let reduced = Equiv.minimize (Reach.trim m) in
     print_string (Kiss.print reduced)
   in
   Cmd.v
     (Cmd.info "minimize"
        ~doc:"Trim unreachable states, merge equivalent states, emit KISS2.")
-    Term.(const run $ machine_arg)
+    Term.(const run $ machine_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -245,8 +271,9 @@ let realize_cmd =
 (* ------------------------------------------------------------------ *)
 
 let dot_cmd =
-  let run spec clusters timeout =
+  let run spec clusters timeout obs =
     let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
     if clusters then begin
       let outcome = Ostr_core.run ~timeout m in
       let pi = outcome.Ostr_core.solution.Solver.pi in
@@ -261,7 +288,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit the machine as a Graphviz digraph.")
-    Term.(const run $ machine_arg $ clusters $ timeout_arg)
+    Term.(const run $ machine_arg $ clusters $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / table2 / area / faultcov                                   *)
@@ -296,7 +323,8 @@ let table2_cmd =
     Term.(const run $ timeout_arg $ jobs_arg $ names_arg $ obs_term)
 
 let area_cmd =
-  let run timeout jobs names =
+  let run timeout jobs names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.area ~timeout ~jobs:(resolve_jobs jobs)
         ?names:(split_names names) ()
@@ -308,7 +336,7 @@ let area_cmd =
        ~doc:
          "Two-level cost of the monolithic block C vs the factored blocks \
           C1+C2+Lambda (section 4's hardware-saving discussion).")
-    Term.(const run $ timeout_arg $ jobs_arg $ names_arg)
+    Term.(const run $ timeout_arg $ jobs_arg $ names_arg $ obs_term)
 
 let faultcov_cmd =
   let run cycles jobs names obs =
@@ -331,7 +359,8 @@ let faultcov_cmd =
     Term.(const run $ cycles $ jobs_arg $ names_arg $ obs_term)
 
 let testlen_cmd =
-  let run cycles jobs names =
+  let run cycles jobs names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.strategies ~cycles ~jobs:(resolve_jobs jobs)
         ?names:(split_names names) ()
@@ -348,10 +377,11 @@ let testlen_cmd =
          "Compare test strategies: random sequential testing through the \
           primary pins, full scan, and the fig. 4 two-session BIST \
           (section 1's motivation, quantified).")
-    Term.(const run $ cycles $ jobs_arg $ names_arg)
+    Term.(const run $ cycles $ jobs_arg $ names_arg $ obs_term)
 
 let extensions_cmd =
-  let run timeout names =
+  let run timeout names obs =
+    with_obs obs @@ fun () ->
     let entries = Experiments.extensions ~timeout ?names:(split_names names) () in
     print_string (Experiments.render_extensions entries)
   in
@@ -360,10 +390,11 @@ let extensions_cmd =
        ~doc:
          "Run the extensions: state splitting (the paper's future work) \
           and 3-stage pipeline chains, against the 2-stage baseline.")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ names_arg $ obs_term)
 
 let decompose_cmd =
-  let run timeout names =
+  let run timeout names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.decomposition ~timeout ?names:(split_names names) ()
     in
@@ -375,10 +406,11 @@ let decompose_cmd =
          "Compare the OSTR pipeline against classical parallel/serial FSM \
           decomposition (the [16,3,15] techniques the paper distinguishes \
           itself from; decomposed submachines keep feedback loops).")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ names_arg $ obs_term)
 
 let aliasing_cmd =
-  let run cycles jobs names =
+  let run cycles jobs names obs =
+    with_obs obs @@ fun () ->
     let entries =
       Experiments.aliasing ~cycles ~jobs:(resolve_jobs jobs)
         ?names:(split_names names) ()
@@ -394,7 +426,7 @@ let aliasing_cmd =
        ~doc:
          "Measure real MISR aliasing on the fig. 4 structure (quantifies \
           the grader's ideal-compaction assumption).")
-    Term.(const run $ cycles $ jobs_arg $ names_arg)
+    Term.(const run $ cycles $ jobs_arg $ names_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* selftest: narrated two-session BIST demo                            *)
@@ -524,7 +556,8 @@ let lint_cmd =
       $ list_passes $ obs_term)
 
 let scoap_cmd =
-  let run timeout names =
+  let run timeout names obs =
+    with_obs obs @@ fun () ->
     let entries = Experiments.scoap ~timeout ?names:(split_names names) () in
     print_string (Experiments.render_scoap entries)
   in
@@ -534,14 +567,15 @@ let scoap_cmd =
          "SCOAP testability metrics (CC0/CC1 controllability, CO \
           observability) of the conventional fig. 1 structure vs the \
           decomposed fig. 4 pipeline.")
-    Term.(const run $ timeout_arg $ names_arg)
+    Term.(const run $ timeout_arg $ names_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* export-benchmarks                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let export_cmd =
-  let run out_dir =
+  let run out_dir obs =
+    with_obs obs @@ fun () ->
     if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
     List.iter
       (fun spec ->
@@ -560,9 +594,10 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export-benchmarks"
        ~doc:"Write all 13 benchmark stand-ins as KISS2 files.")
-    Term.(const run $ out_dir)
+    Term.(const run $ out_dir $ obs_term)
 
 let () =
+  Stc_obs.Parmon.install ();
   let doc = "synthesis of self-testable controllers (ED&TC 1994 reproduction)" in
   let main =
     Cmd.group

@@ -1,0 +1,216 @@
+module Json = Stc_obs.Json
+
+(* Noise-aware comparison of two versioned bench documents.
+
+   Rows are matched by identity key ("kernel"/n when present, else
+   "name"), then flattened to numeric leaves; only time-like leaves are
+   judged — a path ending in "_s" that mentions "wall", or one ending in
+   "ns_per_op".  Ratios ("speedup"), counters and structural fields are
+   carried by the rows but say nothing about regressions directly, and
+   judging them would double-count the walls they are derived from.
+
+   A change only counts when it clears BOTH a relative threshold and an
+   absolute floor: micro-kernel timings in the low nanoseconds jitter by
+   tens of percent between runs, and long walls can drift by whole
+   milliseconds that matter to nobody.  The defaults (35 % and
+   50 ms / 3 ns) absorb run-to-run noise on an unloaded box — the
+   check.sh gate runs the same config twice and fails on any reported
+   regression, which keeps the thresholds honest. *)
+
+type options = { rel : float; abs_s : float; abs_ns : float }
+
+let default_options = { rel = 0.35; abs_s = 0.05; abs_ns = 3.0 }
+
+type verdict = {
+  key : string;  (* row identity *)
+  metric : string;  (* flattened leaf path, e.g. "parallel.wall_s" *)
+  old_v : float;
+  new_v : float;
+  ratio : float;  (* new / old *)
+  regressed : bool;
+  improved : bool;
+}
+
+type result_t = {
+  verdicts : verdict list;
+  warnings : string list;  (* unmatched rows, non-numeric mismatches *)
+  regressions : int;
+  improvements : int;
+}
+
+(* --- row plumbing -------------------------------------------------- *)
+
+let row_key row =
+  match Json.member "kernel" row with
+  | Some (Json.String k) -> (
+    match Json.member "n" row with
+    | Some (Json.Int n) -> Some (Printf.sprintf "%s[n=%d]" k n)
+    | _ -> Some k)
+  | _ -> (
+    match Json.member "name" row with
+    | Some (Json.String n) -> Some n
+    | _ -> None)
+
+let rows_of doc =
+  match Json.member "rows" doc with
+  | Some (Json.List rows) -> rows
+  | _ -> []
+
+(* Flatten to (path, float) leaves; Int leaves are included so integer
+   nanosecond fields still compare. *)
+let rec numeric_leaves prefix json acc =
+  match json with
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let path = if prefix = "" then k else prefix ^ "." ^ k in
+        numeric_leaves path v acc)
+      acc fields
+  | Json.Float f -> (prefix, f) :: acc
+  | Json.Int n -> (prefix, float_of_int n) :: acc
+  | Json.List _ | Json.String _ | Json.Bool _ | Json.Null -> acc
+
+let leaf_name path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let contains_sub ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  ls = 0 || go 0
+
+type unit_kind = Seconds | Nanoseconds
+
+(* Which leaves are time measurements (lower is better)? *)
+let time_unit path =
+  let name = leaf_name path in
+  if ends_with ~suffix:"ns_per_op" name then Some Nanoseconds
+  else if ends_with ~suffix:"_ns" name then Some Nanoseconds
+  else if ends_with ~suffix:"_s" name && contains_sub ~sub:"wall" name then
+    Some Seconds
+  else None
+
+(* --- comparison ---------------------------------------------------- *)
+
+let judge opts ~unit_kind ~old_v ~new_v =
+  let floor = match unit_kind with Seconds -> opts.abs_s | Nanoseconds -> opts.abs_ns in
+  let regressed =
+    new_v > old_v *. (1.0 +. opts.rel) && new_v -. old_v > floor
+  in
+  let improved =
+    old_v > new_v *. (1.0 +. opts.rel) && old_v -. new_v > floor
+  in
+  (regressed, improved)
+
+let compare_docs ?(opts = default_options) ~old_doc ~new_doc () =
+  match (Schema.validate old_doc, Schema.validate new_doc) with
+  | Error errs, _ -> Error ("old file: " ^ String.concat "; " errs)
+  | _, Error errs -> Error ("new file: " ^ String.concat "; " errs)
+  | Ok old_bench, Ok new_bench ->
+    if old_bench <> new_bench then
+      Error
+        (Printf.sprintf "bench mismatch: old is %S, new is %S" old_bench
+           new_bench)
+    else begin
+      let warnings = ref [] in
+      let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+      let index rows =
+        List.filteri (fun i _ -> i >= 0) rows
+        |> List.mapi (fun i row ->
+               match row_key row with
+               | Some k -> (k, row)
+               | None ->
+                 (* Keyless rows match positionally as a last resort. *)
+                 (Printf.sprintf "#%d" i, row))
+      in
+      let old_rows = index (rows_of old_doc) in
+      let new_rows = index (rows_of new_doc) in
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k new_rows) then
+            warn "row %S only in old file" k)
+        old_rows;
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k old_rows) then
+            warn "row %S only in new file" k)
+        new_rows;
+      let verdicts =
+        List.concat_map
+          (fun (key, old_row) ->
+            match List.assoc_opt key new_rows with
+            | None -> []
+            | Some new_row ->
+              let old_leaves = numeric_leaves "" old_row [] in
+              let new_leaves = numeric_leaves "" new_row [] in
+              List.filter_map
+                (fun (path, old_v) ->
+                  match time_unit path with
+                  | None -> None
+                  | Some unit_kind -> (
+                    match List.assoc_opt path new_leaves with
+                    | None ->
+                      warn "row %S: metric %s missing in new file" key path;
+                      None
+                    | Some new_v ->
+                      let regressed, improved =
+                        judge opts ~unit_kind ~old_v ~new_v
+                      in
+                      Some
+                        {
+                          key;
+                          metric = path;
+                          old_v;
+                          new_v;
+                          ratio =
+                            (if old_v > 0.0 then new_v /. old_v
+                             else if new_v > 0.0 then Float.infinity
+                             else 1.0);
+                          regressed;
+                          improved;
+                        }))
+                (List.rev old_leaves))
+          old_rows
+      in
+      let count p = List.length (List.filter p verdicts) in
+      Ok
+        {
+          verdicts;
+          warnings = List.rev !warnings;
+          regressions = count (fun v -> v.regressed);
+          improvements = count (fun v -> v.improved);
+        }
+    end
+
+(* --- rendering ----------------------------------------------------- *)
+
+let pp_value unit_kind v =
+  match unit_kind with
+  | _ when Float.abs v >= 1.0 -> Printf.sprintf "%.3f" v
+  | _ -> Printf.sprintf "%.4g" v
+
+let render ?(verbose = false) r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let interesting v = v.regressed || v.improved in
+  List.iter
+    (fun v ->
+      if interesting v || verbose then
+        line "%-11s %-32s %-28s %10s -> %-10s %5.2fx"
+          (if v.regressed then "REGRESSION"
+           else if v.improved then "improved"
+           else "ok")
+          v.key v.metric
+          (pp_value Seconds v.old_v)
+          (pp_value Seconds v.new_v) v.ratio)
+    r.verdicts;
+  List.iter (fun w -> line "warning: %s" w) r.warnings;
+  line "%d metrics compared: %d regressions, %d improvements, %d stable"
+    (List.length r.verdicts) r.regressions r.improvements
+    (List.length r.verdicts - r.regressions - r.improvements);
+  Buffer.contents b

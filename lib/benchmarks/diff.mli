@@ -1,0 +1,48 @@
+(** Noise-aware regression comparison of two versioned bench documents
+    (see {!Schema}).
+
+    Rows are matched by identity ([kernel]/[n] when present, else
+    [name]); within matched rows, every time-like numeric leaf — a
+    [..wall.._s] field or a [..ns_per_op] field, at any nesting depth —
+    is compared.  A change counts only when it clears both the relative
+    threshold and the unit's absolute floor, so nanosecond-kernel jitter
+    and irrelevant millisecond drift stay quiet. *)
+
+type options = {
+  rel : float;  (** relative threshold, e.g. 0.35 = 35 % *)
+  abs_s : float;  (** absolute floor for seconds metrics *)
+  abs_ns : float;  (** absolute floor for nanosecond metrics *)
+}
+
+(** 35 %, 50 ms, 3 ns. *)
+val default_options : options
+
+type verdict = {
+  key : string;
+  metric : string;
+  old_v : float;
+  new_v : float;
+  ratio : float;  (** new / old *)
+  regressed : bool;
+  improved : bool;
+}
+
+type result_t = {
+  verdicts : verdict list;
+  warnings : string list;
+  regressions : int;
+  improvements : int;
+}
+
+(** [compare_docs ~old_doc ~new_doc ()] validates both documents against
+    the schema (and that they describe the same bench), then judges
+    every matched time metric.  Unmatched rows and metrics become
+    warnings, not errors. *)
+val compare_docs :
+  ?opts:options -> old_doc:Stc_obs.Json.t -> new_doc:Stc_obs.Json.t -> unit ->
+  (result_t, string) result
+
+(** [render r] is a human-readable report: one line per regression or
+    improvement ([~verbose:true] prints stable metrics too) plus a
+    summary line. *)
+val render : ?verbose:bool -> result_t -> string

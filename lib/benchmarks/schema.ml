@@ -1,0 +1,166 @@
+module Json = Stc_obs.Json
+
+(* Versioned envelope shared by every BENCH_*.json writer.
+
+   Before this module each bench mode invented its own top level, so no
+   tool could compare two runs: there was no version to dispatch on, no
+   provenance (which commit? which host? how many domains?) and no
+   guarantee that rows of one file even carried the same keys.  The
+   envelope fixes the contract:
+
+     { "schema_version": 1,
+       "bench": "<suite name>",
+       "git_rev": "<commit or \"unknown\">",
+       "host": "<hostname>",
+       "jobs": <parallel fan-out used>,
+       "timestamp_unix_s": <externally supplied or wall clock>,
+       ...suite-specific extras...,
+       "rows": [ {..}, {..} ] }
+
+   The timestamp honours SOURCE_DATE_EPOCH / BENCH_TIMESTAMP so CI can
+   pin it for reproducible artifacts. *)
+
+let schema_version = 1
+
+let required_keys =
+  [ "schema_version"; "bench"; "git_rev"; "host"; "jobs"; "timestamp_unix_s"; "rows" ]
+
+(* --- provenance ---------------------------------------------------- *)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Some (String.trim s)
+        | exception End_of_file -> None)
+
+let is_hex40 s =
+  String.length s = 40
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+(* Resolve HEAD without running git: walk up from the cwd to the first
+   .git directory, follow one level of "ref:" indirection, fall back to
+   packed-refs.  "unknown" on any miss — provenance is best-effort. *)
+let git_rev_at root =
+  let git = Filename.concat root ".git" in
+  if not (Sys.file_exists git && Sys.is_directory git) then None
+  else
+    match read_file (Filename.concat git "HEAD") with
+    | None -> None
+    | Some head ->
+      if is_hex40 head then Some head
+      else if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+        let refname = String.trim (String.sub head 5 (String.length head - 5)) in
+        match read_file (Filename.concat git refname) with
+        | Some rev when is_hex40 rev -> Some rev
+        | _ -> (
+          match read_file (Filename.concat git "packed-refs") with
+          | None -> None
+          | Some packed ->
+            String.split_on_char '\n' packed
+            |> List.find_map (fun line ->
+                   match String.index_opt line ' ' with
+                   | Some i
+                     when String.sub line (i + 1) (String.length line - i - 1)
+                          = refname ->
+                     let rev = String.sub line 0 i in
+                     if is_hex40 rev then Some rev else None
+                   | _ -> None))
+      end
+      else None
+
+let git_rev () =
+  let rec up root k =
+    if k = 0 then None
+    else
+      match git_rev_at root with
+      | Some rev -> Some rev
+      | None -> up (Filename.concat root Filename.parent_dir_name) (k - 1)
+  in
+  Option.value ~default:"unknown" (up Filename.current_dir_name 6)
+
+let host () =
+  match Unix.gethostname () with
+  | h -> h
+  | exception Unix.Unix_error _ -> "unknown"
+
+(* Externally supplied timestamp: SOURCE_DATE_EPOCH (the reproducible-
+   builds convention) or BENCH_TIMESTAMP override the wall clock. *)
+let timestamp () =
+  let env k =
+    Option.bind (Sys.getenv_opt k) (fun v -> int_of_string_opt (String.trim v))
+  in
+  match env "BENCH_TIMESTAMP" with
+  | Some t -> t
+  | None -> (
+    match env "SOURCE_DATE_EPOCH" with
+    | Some t -> t
+    | None -> int_of_float (Unix.time ()))
+
+(* --- construction -------------------------------------------------- *)
+
+let header ~bench ~jobs =
+  [
+    ("schema_version", Json.Int schema_version);
+    ("bench", Json.String bench);
+    ("git_rev", Json.String (git_rev ()));
+    ("host", Json.String (host ()));
+    ("jobs", Json.Int jobs);
+    ("timestamp_unix_s", Json.Int (timestamp ()));
+  ]
+
+let wrap ~bench ~jobs ?(extra = []) rows =
+  Json.Obj (header ~bench ~jobs @ extra @ [ ("rows", Json.List rows) ])
+
+(* --- validation ---------------------------------------------------- *)
+
+let obj_keys = function
+  | Json.Obj fields -> Some (List.map fst fields)
+  | _ -> None
+
+let validate doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Json.member "schema_version" doc with
+  | Some (Json.Int v) when v = schema_version -> ()
+  | Some (Json.Int v) ->
+    err "schema_version %d (this validator knows %d)" v schema_version
+  | Some _ -> err "schema_version is not an int"
+  | None -> err "missing key \"schema_version\"");
+  List.iter
+    (fun k ->
+      match Json.member k doc with
+      | Some _ -> ()
+      | None -> err "missing key %S" k)
+    (List.filter (fun k -> k <> "schema_version" && k <> "rows") required_keys);
+  (match Json.member "rows" doc with
+  | Some (Json.List rows) -> (
+    match rows with
+    | [] -> ()
+    | first :: _ -> (
+      match obj_keys first with
+      | None -> err "rows.0 is not an object"
+      | Some keys0 ->
+        let sorted0 = List.sort String.compare keys0 in
+        List.iteri
+          (fun i row ->
+            match obj_keys row with
+            | None -> err "rows.%d is not an object" i
+            | Some keys ->
+              if List.sort String.compare keys <> sorted0 then
+                err "rows.%d keys differ from rows.0 (%s vs %s)" i
+                  (String.concat "," (List.sort String.compare keys))
+                  (String.concat "," sorted0))
+          rows))
+  | Some _ -> err "\"rows\" is not a list"
+  | None -> err "missing key \"rows\"");
+  match !errors with
+  | [] -> (
+    match Json.member "bench" doc with
+    | Some (Json.String b) -> Ok b
+    | _ -> Error [ "\"bench\" is not a string" ])
+  | errs -> Error (List.rev errs)

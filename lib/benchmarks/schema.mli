@@ -1,0 +1,40 @@
+(** Versioned envelope for the BENCH_*.json artifacts.
+
+    Every bench writer wraps its rows with {!wrap}, which stamps the
+    schema version plus provenance — git revision (resolved from the
+    [.git] directory without running git), hostname, parallel fan-out
+    and a timestamp that honours [SOURCE_DATE_EPOCH] / [BENCH_TIMESTAMP]
+    for reproducible artifacts.  {!validate} is the shared checker used
+    by [tools/json_lint --bench] and [tools/bench_diff]: header keys
+    present, version understood, and every row carrying the same key set
+    as row 0 (so per-row comparisons are meaningful). *)
+
+val schema_version : int
+
+(** Top-level keys every versioned bench file must carry:
+    [schema_version], [bench], [git_rev], [host], [jobs],
+    [timestamp_unix_s], [rows]. *)
+val required_keys : string list
+
+val git_rev : unit -> string
+val host : unit -> string
+
+(** Seconds since the epoch, from [BENCH_TIMESTAMP] or
+    [SOURCE_DATE_EPOCH] when set (CI pins these), else the wall clock. *)
+val timestamp : unit -> int
+
+val header : bench:string -> jobs:int -> (string * Stc_obs.Json.t) list
+
+(** [wrap ~bench ~jobs ?extra rows] is the full document:
+    header fields, then [extra] suite-specific fields, then ["rows"]. *)
+val wrap :
+  bench:string ->
+  jobs:int ->
+  ?extra:(string * Stc_obs.Json.t) list ->
+  Stc_obs.Json.t list ->
+  Stc_obs.Json.t
+
+(** [validate doc] is [Ok bench_name], or [Error messages] listing every
+    violation (missing/mistyped header keys, unknown version, row key
+    inconsistencies). *)
+val validate : Stc_obs.Json.t -> (string, string list) result

@@ -101,6 +101,16 @@ let counter_value (c : counter) =
   Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
 
 let set_gauge (g : gauge) v = if enabled () then Atomic.set g v
+
+(* Keep-the-max semantics for high-water gauges (max heap size).  The
+   CAS loop makes concurrent raisers race safely; a stale read only
+   retries. *)
+let rec set_gauge_max (g : gauge) v =
+  if enabled () then begin
+    let cur = Atomic.get g in
+    if v > cur && not (Atomic.compare_and_set g cur v) then set_gauge_max g v
+  end
+
 let gauge_value (g : gauge) = Atomic.get g
 
 let bucket_of edges v =

@@ -52,6 +52,10 @@ val gauge : string -> gauge
 (** [set_gauge g v] stores the latest value (no-op when disabled). *)
 val set_gauge : gauge -> int -> unit
 
+(** [set_gauge_max g v] raises the gauge to [v] if larger (high-water
+    mark; safe against concurrent raisers, no-op when disabled). *)
+val set_gauge_max : gauge -> int -> unit
+
 val gauge_value : gauge -> int
 
 type histogram

@@ -1,0 +1,49 @@
+(* Bridge from Stc_util.Parallel's utilization monitor into the
+   observability sinks.  Stc_util sits below this library, so Parallel
+   cannot call Metrics/Trace itself; instead it exposes a callback and
+   this module installs one that
+
+   - bumps the obs.parallel.* counters (busy/idle nanoseconds, cursor
+     grabs, items, workers) and a per-mille utilization histogram, and
+   - back-dates a "parallel.worker" span over the worker's busy window
+     so parallel sections show up as per-domain blocks in traces.
+
+   The callback runs on the worker's own domain right after its last
+   grab, before the fork/join returns - both sinks are domain-safe.
+   When every sink is disabled the callback is two atomic loads. *)
+
+module Parallel = Stc_util.Parallel
+
+let m_busy = lazy (Metrics.counter "obs.parallel.busy_ns")
+let m_idle = lazy (Metrics.counter "obs.parallel.idle_ns")
+let m_grabs = lazy (Metrics.counter "obs.parallel.grabs")
+let m_items = lazy (Metrics.counter "obs.parallel.items")
+let m_workers = lazy (Metrics.counter "obs.parallel.workers")
+
+(* Busy share of the worker's wall window, in permille (0..1000): the
+   direct parallel-efficiency read-out.  Edges resolve the interesting
+   high end. *)
+let h_util =
+  lazy
+    (Metrics.histogram
+       ~edges:[| 100; 250; 500; 700; 800; 900; 950; 990; 1000 |]
+       "obs.parallel.utilization_permille")
+
+let observe (s : Parallel.worker_stats) =
+  if Metrics.enabled () then begin
+    let wall = max 1 (s.Parallel.stop_ns - s.Parallel.start_ns) in
+    let busy = min s.Parallel.busy_ns wall in
+    Metrics.add (Lazy.force m_busy) busy;
+    Metrics.add (Lazy.force m_idle) (wall - busy);
+    Metrics.add (Lazy.force m_grabs) s.Parallel.grabs;
+    Metrics.add (Lazy.force m_items) s.Parallel.items;
+    Metrics.incr (Lazy.force m_workers);
+    Metrics.observe (Lazy.force h_util) (busy * 1000 / wall)
+  end;
+  if Trace.enabled () then
+    Trace.interval ~cat:"parallel"
+      (Printf.sprintf "parallel.worker.%d" s.Parallel.worker)
+      ~start_ns:s.Parallel.start_ns ~stop_ns:s.Parallel.stop_ns
+
+let install () = Parallel.set_monitor (Some observe)
+let uninstall () = Parallel.set_monitor None

@@ -1,0 +1,16 @@
+(** Bridge from {!Stc_util.Parallel}'s utilization monitor to the
+    metrics registry and the span tracer.
+
+    Once {!install}ed, every [Parallel.iter_range] /
+    [iter_range_local] / [map_range] reports per-worker busy/idle time,
+    cursor-grab and item counts into the [obs.parallel.*] metrics family
+    (including a busy-permille utilization histogram) and back-dates a
+    [parallel.worker.N] span over each worker's busy window in traces.
+    With all sinks disabled the installed callback costs two atomic
+    loads per worker per range — install it once at program start. *)
+
+(** The callback itself, exposed for tests. *)
+val observe : Stc_util.Parallel.worker_stats -> unit
+
+val install : unit -> unit
+val uninstall : unit -> unit

@@ -1,0 +1,290 @@
+module Clock = Stc_util.Clock
+
+(* Sampling profiler.
+
+   A ticker domain wakes every [1/hz] seconds and snapshots the active
+   span stack of every domain (maintained by Trace whenever tracing or
+   sampling is enabled).  Samples aggregate into a folded-stack table —
+   the flamegraph.pl / speedscope input format: one line per distinct
+   stack, frames joined by ';', a space, and the sample count.
+
+   Sampling is statistical by construction: the stack reads race with
+   the running domains (see Trace.live_stacks), and on a loaded box the
+   ticker's period stretches.  Both effects only blur attribution, they
+   never corrupt the table. *)
+
+let default_hz = 199
+(* A prime just under 200 Hz: dense enough for sub-second solves, cheap
+   enough for a one-core box, and off every round-number period a
+   phase-locked workload could hide behind. *)
+
+(* ------------------------------------------------------------------ *)
+(* Frame escaping and the folded format                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Folded syntax reserves ';' (frame separator), ' ' (count separator)
+   and the line structure itself; '%' is the escape lead-in.  Percent
+   encoding keeps escaped names readable and round-trips exactly. *)
+let escape_frame name =
+  let must_escape = function
+    | ';' | ' ' | '\t' | '\n' | '\r' | '%' -> true
+    | _ -> false
+  in
+  if not (String.exists must_escape name) then name
+  else begin
+    let b = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+        else Buffer.add_char b c)
+      name;
+    Buffer.contents b
+  end
+
+let unescape_frame s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Profile.unescape_frame: bad hex digit"
+  in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' then begin
+        if i + 2 >= n then invalid_arg "Profile.unescape_frame: truncated escape";
+        Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+let fold_key stack = String.concat ";" (List.map escape_frame stack)
+
+let unfold_key key =
+  List.map unescape_frame (String.split_on_char ';' key)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  hz : int;
+  samples : int;  (** total samples taken, = sum of folded counts *)
+  ticks : int;  (** ticker wakeups (a tick with no live span samples nothing) *)
+  wall_s : float;
+  folded : (string list * int) list;  (** stack (outermost first), count *)
+}
+
+(* Per-name self (samples with the name as leaf) and total (samples with
+   the name anywhere, counted once per sample) attribution. *)
+let self_total r =
+  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let cell name =
+    match Hashtbl.find_opt tbl name with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace tbl name c;
+      c
+  in
+  List.iter
+    (fun (stack, count) ->
+      (match List.rev stack with
+      | leaf :: _ ->
+        let self, _ = cell leaf in
+        self := !self + count
+      | [] -> ());
+      List.iter
+        (fun name ->
+          let _, total = cell name in
+          total := !total + count)
+        (List.sort_uniq String.compare stack))
+    r.folded;
+  Hashtbl.fold (fun name (self, total) acc -> (name, !self, !total) :: acc) tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* The ticker                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type running = {
+  hz : int;
+  table : (string, int ref) Hashtbl.t;  (* folded key -> count; ticker-only *)
+  stop_requested : bool Atomic.t;
+  mutable samples : int;
+  mutable ticks : int;
+  started_ns : int;
+  mutable ticker : unit Domain.t option;
+}
+
+let current : running option ref = ref None
+let current_mutex = Mutex.create ()
+
+let running () =
+  Mutex.protect current_mutex (fun () -> Option.is_some !current)
+
+let start ?(hz = default_hz) () =
+  if hz < 1 then invalid_arg "Profile.start: hz < 1";
+  Mutex.protect current_mutex @@ fun () ->
+  match !current with
+  | Some _ -> invalid_arg "Profile.start: already running"
+  | None ->
+    let st =
+      {
+        hz;
+        table = Hashtbl.create 64;
+        stop_requested = Atomic.make false;
+        samples = 0;
+        ticks = 0;
+        started_ns = Int64.to_int (Clock.now_ns ());
+        ticker = None;
+      }
+    in
+    Trace.set_sampling true;
+    let period = 1.0 /. float_of_int hz in
+    let ticker () =
+      (* The ticker's own DLS buffer registers in Trace; it never runs a
+         span, so its stack stays empty and is skipped by live_stacks. *)
+      while not (Atomic.get st.stop_requested) do
+        Unix.sleepf period;
+        st.ticks <- st.ticks + 1;
+        List.iter
+          (fun (_dom, stack) ->
+            st.samples <- st.samples + 1;
+            let key = fold_key stack in
+            match Hashtbl.find_opt st.table key with
+            | Some c -> incr c
+            | None -> Hashtbl.replace st.table key (ref 1))
+          (Trace.live_stacks ())
+      done
+    in
+    st.ticker <- Some (Domain.spawn ticker);
+    current := Some st
+
+let stop () =
+  let st =
+    Mutex.protect current_mutex (fun () ->
+        match !current with
+        | None -> invalid_arg "Profile.stop: not running"
+        | Some st ->
+          current := None;
+          st)
+  in
+  Atomic.set st.stop_requested true;
+  Option.iter Domain.join st.ticker;
+  Trace.set_sampling false;
+  let wall_ns = Int64.to_int (Clock.now_ns ()) - st.started_ns in
+  let folded =
+    Hashtbl.fold (fun key count acc -> (key, !count) :: acc) st.table []
+    (* Hot stacks first; key breaks ties so output is deterministic for
+       a fixed sample table. *)
+    |> List.sort (fun (ka, ca) (kb, cb) ->
+           match compare cb ca with 0 -> compare ka kb | c -> c)
+    |> List.map (fun (key, count) -> (unfold_key key, count))
+  in
+  {
+    hz = st.hz;
+    samples = st.samples;
+    ticks = st.ticks;
+    wall_s = float_of_int wall_ns *. 1e-9;
+    folded;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Folded file I/O                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let header_magic = "# stc-profile "
+
+let header_json (r : report) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("hz", Json.Int r.hz);
+      ("samples", Json.Int r.samples);
+      ("ticks", Json.Int r.ticks);
+      ("wall_s", Json.Float r.wall_s);
+    ]
+
+let to_folded_string r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header_magic;
+  Buffer.add_string b (Json.to_string (header_json r));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (stack, count) ->
+      Buffer.add_string b (fold_key stack);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int count);
+      Buffer.add_char b '\n')
+    r.folded;
+  Buffer.contents b
+
+let write_folded path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_folded_string r))
+
+let parse_folded text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line line =
+    match String.rindex_opt line ' ' with
+    | None -> Error (Printf.sprintf "folded line without count: %S" line)
+    | Some i -> (
+      let stack_part = String.sub line 0 i in
+      let count_part = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt count_part with
+      | Some count when count > 0 && stack_part <> "" -> (
+        match unfold_key stack_part with
+        | stack -> Ok (stack, count)
+        | exception Invalid_argument msg -> Error msg)
+      | _ -> Error (Printf.sprintf "bad folded count: %S" line))
+  in
+  match lines with
+  | [] -> Error "empty folded file"
+  | header :: rest ->
+    if not (String.length header > String.length header_magic
+            && String.sub header 0 (String.length header_magic) = header_magic)
+    then Error "missing '# stc-profile' header line"
+    else begin
+      let meta =
+        String.sub header (String.length header_magic)
+          (String.length header - String.length header_magic)
+      in
+      match Json.parse meta with
+      | Error msg -> Error ("header json: " ^ msg)
+      | Ok meta -> (
+        let int_key k =
+          match Json.member k meta with Some (Json.Int n) -> Some n | _ -> None
+        in
+        match (int_key "hz", int_key "samples", int_key "ticks") with
+        | Some hz, Some samples, Some ticks -> (
+          let body = List.filter (fun l -> l <> "") rest in
+          let rec fold acc = function
+            | [] -> Ok (List.rev acc)
+            | l :: tl -> (
+              match parse_line l with
+              | Ok entry -> fold (entry :: acc) tl
+              | Error msg -> Error msg)
+          in
+          match fold [] body with
+          | Error msg -> Error msg
+          | Ok folded ->
+            let wall_s =
+              match Json.member "wall_s" meta with
+              | Some (Json.Float f) -> f
+              | Some (Json.Int n) -> float_of_int n
+              | _ -> 0.0
+            in
+            Ok { hz; samples; ticks; wall_s; folded })
+        | _ -> Error "header json: missing hz/samples/ticks")
+    end

@@ -1,0 +1,66 @@
+(** Sampling profiler over the span tracer.
+
+    {!start} spawns a ticker domain that wakes [hz] times a second and
+    snapshots every domain's active span stack (maintained by
+    {!Trace.span} whenever tracing or sampling is on — {!start} enables
+    {!Trace.set_sampling}, so the profiler works without event
+    recording).  {!stop} joins the ticker and returns the aggregated
+    folded-stack {!report}, writable in the flamegraph.pl / speedscope
+    "folded" format: one line per distinct stack — frames joined by
+    [';'], a space, the sample count — preceded by a
+    [# stc-profile {json}] header line.
+
+    Sampling is statistical: stack reads race with the running domains
+    (prefix-consistent by construction, see {!Trace.live_stacks}), and
+    the period stretches under load.  Counts are therefore estimates of
+    time shares, not exact durations. *)
+
+(** Default sampling rate (199 Hz — a prime, so phase-locked workloads
+    cannot hide between ticks). *)
+val default_hz : int
+
+val running : unit -> bool
+
+(** [start ?hz ()] begins sampling.
+    @raise Invalid_argument if already running or [hz < 1]. *)
+val start : ?hz:int -> unit -> unit
+
+type report = {
+  hz : int;
+  samples : int;  (** one per live (domain, stack) snapshot; = sum of counts *)
+  ticks : int;  (** ticker wakeups, including those that sampled nothing *)
+  wall_s : float;
+  folded : (string list * int) list;
+      (** distinct stacks (outermost frame first) with sample counts,
+          hottest first *)
+}
+
+(** [stop ()] ends sampling and returns the report.
+    @raise Invalid_argument if not running. *)
+val stop : unit -> report
+
+(** [self_total r] per-name attribution: [(name, self, total)] where
+    [self] counts samples with [name] as the leaf frame and [total]
+    samples containing [name] anywhere (once per sample).  Sorted by
+    descending [self]. *)
+val self_total : report -> (string * int * int) list
+
+(** Frame escaping for the folded format: [';'], whitespace and ['%']
+    are percent-encoded, so any span name round-trips through a folded
+    line. *)
+val escape_frame : string -> string
+
+(** @raise Invalid_argument on a malformed escape. *)
+val unescape_frame : string -> string
+
+(** First-line prefix of a folded file ([# stc-profile ]), followed by a
+    JSON object with [schema_version], [hz], [samples], [ticks],
+    [wall_s]. *)
+val header_magic : string
+
+val to_folded_string : report -> string
+val write_folded : string -> report -> unit
+
+(** [parse_folded text] inverts {!to_folded_string} (field order inside
+    the folded list is preserved; a report round-trips exactly). *)
+val parse_folded : string -> (report, string) result

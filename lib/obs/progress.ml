@@ -7,32 +7,65 @@ let enabled () = Atomic.get enabled_flag
 let default_interval = Atomic.make 0.5
 let set_interval secs = Atomic.set default_interval secs
 
+type style = Ansi | Plain
+
+(* CI logs must stay readable: carriage-return redraw is only worth it
+   on an interactive terminal, and NO_COLOR (https://no-color.org) is a
+   request for plain output that we extend to cursor tricks.  Anything
+   non-TTY (a pipe, a redirected log) gets one full line per update. *)
+let auto_style out =
+  let tty =
+    match Unix.isatty (Unix.descr_of_out_channel out) with
+    | b -> b
+    | exception Unix.Unix_error _ -> false
+    | exception Sys_error _ -> false
+  in
+  let no_color =
+    match Sys.getenv_opt "NO_COLOR" with Some "" | None -> false | Some _ -> true
+  in
+  let dumb_term =
+    match Sys.getenv_opt "TERM" with Some "dumb" | None -> true | Some _ -> false
+  in
+  if tty && (not no_color) && not dumb_term then Ansi else Plain
+
 type t = {
   interval : float;
   out : out_channel;
+  style : style;
   label : string;
   render : unit -> string;
   started : float;
   next_due : float Atomic.t;
 }
 
-let create ?interval ?(out = stderr) ~label ~render () =
+let create ?interval ?(out = stderr) ?style ~label ~render () =
   let interval =
     match interval with Some i -> i | None -> Atomic.get default_interval
   in
+  let style = match style with Some s -> s | None -> auto_style out in
   let started = Clock.now () in
   {
     interval;
     out;
+    style;
     label;
     render;
     started;
     next_due = Atomic.make (started +. interval);
   }
 
-let report t now =
-  Printf.fprintf t.out "[%s +%.2fs] %s\n%!" t.label (now -. t.started)
-    (t.render ())
+let style t = t.style
+
+let report ?(final = false) t now =
+  let line =
+    Printf.sprintf "[%s +%.2fs] %s" t.label (now -. t.started) (t.render ())
+  in
+  match t.style with
+  | Plain -> Printf.fprintf t.out "%s\n%!" line
+  | Ansi ->
+    (* Redraw in place; the final report commits the line with a
+       newline so the shell prompt does not overwrite it. *)
+    Printf.fprintf t.out "\r\027[K%s%s%!" line (if final then "\n" else "")
 
 let tick t =
   if enabled () then begin
@@ -44,4 +77,4 @@ let tick t =
     then report t now
   end
 
-let force t = if enabled () then report t (Clock.now ())
+let force t = if enabled () then report ~final:true t (Clock.now ())

@@ -3,13 +3,23 @@
     A handle created with a [render] closure; the instrumented hot loop
     calls {!tick} at will (typically once per node).  The tick checks a
     global enable flag, then an atomic next-due timestamp, and at most
-    one caller wins the compare-and-set and prints one line to the
+    one caller wins the compare-and-set and prints one report to the
     output channel (stderr by default) — so reporting works unchanged
     when several domains tick concurrently.
+
+    Output adapts to the destination: on an interactive terminal the
+    report redraws one status line in place ([\r] + erase); on anything
+    else — a pipe, a CI log, a redirect — or when the [NO_COLOR]
+    environment variable is set (or [TERM] is unset/[dumb]), every
+    update is a plain full line, so captured logs stay readable.
 
     Disabled (the default), a tick is a single [Atomic.get]. *)
 
 type t
+
+(** How reports are written: [Ansi] redraws one line in place, [Plain]
+    emits a line per update. *)
+type style = Ansi | Plain
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
@@ -18,19 +28,26 @@ val enabled : unit -> bool
     (initially 0.5 s) used by subsequently created reporters. *)
 val set_interval : float -> unit
 
-(** [create ?interval ?out ~label ~render ()] makes a reporter.  The
-    first report is due one [interval] after creation. *)
+(** [create ?interval ?out ?style ~label ~render ()] makes a reporter.
+    The first report is due one [interval] after creation.  [style]
+    defaults to auto-detection: [Ansi] only when [out] is a TTY,
+    [NO_COLOR] is unset/empty and [TERM] is neither unset nor [dumb]. *)
 val create :
   ?interval:float ->
   ?out:out_channel ->
+  ?style:style ->
   label:string ->
   render:(unit -> string) ->
   unit ->
   t
 
+(** The style the reporter resolved to (exposed for tests). *)
+val style : t -> style
+
 (** [tick t] prints "[label +elapsed] render ()" when a report is due. *)
 val tick : t -> unit
 
 (** [force t] prints unconditionally (when enabled) — used for a final
-    summary line. *)
+    summary line; in [Ansi] style this commits the line with a
+    newline. *)
 val force : t -> unit

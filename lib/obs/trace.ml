@@ -2,35 +2,76 @@ module Clock = Stc_util.Clock
 
 type phase = Begin | End | Instant
 
+(* GC movement across one span, from [Gc.quick_stat] at begin and end.
+   Word counts are per-domain in OCaml 5, which matches the span's
+   owner; [heap_words] is the absolute major-heap size at span end. *)
+type gc_delta = {
+  minor_words : int;
+  promoted_words : int;
+  major_words : int;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;
+}
+
 type event = {
   name : string;
   cat : string;
   phase : phase;
   ts_ns : int;
   dom : int;
+  gc : gc_delta option;
 }
 
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-(* Per-domain growable event buffer.  Only the owning domain appends;
-   merging happens from the flushing domain after workers are joined
-   (the solver joins its domains before any flush, so reads race only
-   with domains that are already dead). *)
-type buf = { mutable events : event array; mutable len : int }
+(* The profiler keeps span stacks alive without event recording: when
+   sampling is on (and tracing possibly off), spans still push/pop their
+   name on the domain's stack so a ticker domain can observe it. *)
+let sampling_flag = Atomic.make false
+let set_sampling b = Atomic.set sampling_flag b
+let sampling () = Atomic.get sampling_flag
 
-let dummy = { name = ""; cat = ""; phase = Instant; ts_ns = 0; dom = 0 }
+let instrumented () = enabled () || sampling ()
 
-(* All buffers ever created, for merging; guarded by [buffers_mutex].
-   Buffers of dead domains stay listed — their events are part of the
-   trace. *)
+(* Per-domain growable event buffer plus the live span stack.  Only the
+   owning domain mutates either; event merging happens from the flushing
+   domain after workers are joined (the solver joins its domains before
+   any flush, so reads race only with domains that are already dead).
+   The span stack, by contrast, is read racily by the profiler's ticker
+   domain while the owner runs: the push writes the frame before bumping
+   [depth] and the pop only decrements [depth], so a racy reader sees at
+   worst a one-frame-stale stack, never garbage. *)
+type buf = {
+  mutable events : event array;
+  mutable len : int;
+  mutable frames : string array;
+  mutable depth : int;
+  buf_dom : int;
+}
+
+let dummy =
+  { name = ""; cat = ""; phase = Instant; ts_ns = 0; dom = 0; gc = None }
+
+(* All buffers ever created, for merging and for stack sampling; guarded
+   by [buffers_mutex].  Buffers of dead domains stay listed — their
+   events are part of the trace (and their stacks are empty). *)
 let buffers : buf list ref = ref []
 let buffers_mutex = Mutex.create ()
 
 let key : buf Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      let b = { events = Array.make 256 dummy; len = 0 } in
+      let b =
+        {
+          events = Array.make 256 dummy;
+          len = 0;
+          frames = Array.make 32 "";
+          depth = 0;
+          buf_dom = (Domain.self () :> int);
+        }
+      in
       Mutex.protect buffers_mutex (fun () -> buffers := b :: !buffers);
       b)
 
@@ -44,18 +85,117 @@ let push ev =
   b.events.(b.len) <- ev;
   b.len <- b.len + 1
 
+let stack_push name =
+  let b = Domain.DLS.get key in
+  if b.depth = Array.length b.frames then begin
+    (* Publish the grown array before any frame write: a concurrent
+       sampler holding the old array still reads valid (shorter) data. *)
+    let grown = Array.make (2 * b.depth) "" in
+    Array.blit b.frames 0 grown 0 b.depth;
+    b.frames <- grown
+  end;
+  b.frames.(b.depth) <- name;
+  b.depth <- b.depth + 1
+
+let stack_pop () =
+  let b = Domain.DLS.get key in
+  if b.depth > 0 then b.depth <- b.depth - 1
+
+(* [live_stacks ()] snapshots every domain's active span stack,
+   outermost first.  Reads race with the owning domains by design: the
+   profiler wants a statistical sample, and the publish order in
+   [stack_push] keeps a racy read prefix-consistent.  Empty stacks are
+   dropped. *)
+let live_stacks () =
+  let bufs = Mutex.protect buffers_mutex (fun () -> !buffers) in
+  List.filter_map
+    (fun b ->
+      let frames = b.frames in
+      let depth = min b.depth (Array.length frames) in
+      if depth <= 0 then None
+      else Some (b.buf_dom, List.init depth (fun i -> frames.(i))))
+    bufs
+
 let now_ns () = Int64.to_int (Clock.now_ns ())
 
-let emit phase cat name =
-  push { name; cat; phase; ts_ns = now_ns (); dom = (Domain.self () :> int) }
+let emit ?gc phase cat name =
+  push
+    {
+      name;
+      cat;
+      phase;
+      ts_ns = now_ns ();
+      dom = (Domain.self () :> int);
+      gc;
+    }
 
 let instant ?(cat = "") name = if enabled () then emit Instant cat name
 
+(* obs.gc.*: allocation and collection pressure attributed by the span
+   layer.  Only outermost spans bump the word/collection counters —
+   nested spans overlap their parents, and double-charging would make
+   the totals meaningless.  The heap high-water gauge is raised on every
+   span end. *)
+let m_gc_minor = lazy (Metrics.counter "obs.gc.minor_words")
+let m_gc_promoted = lazy (Metrics.counter "obs.gc.promoted_words")
+let m_gc_major = lazy (Metrics.counter "obs.gc.major_words")
+let m_gc_minor_col = lazy (Metrics.counter "obs.gc.minor_collections")
+let m_gc_major_col = lazy (Metrics.counter "obs.gc.major_collections")
+let g_gc_heap = lazy (Metrics.gauge "obs.gc.max_heap_words")
+
+let gc_metrics ~outermost (d : gc_delta) =
+  if Metrics.enabled () then begin
+    if outermost then begin
+      Metrics.add (Lazy.force m_gc_minor) d.minor_words;
+      Metrics.add (Lazy.force m_gc_promoted) d.promoted_words;
+      Metrics.add (Lazy.force m_gc_major) d.major_words;
+      Metrics.add (Lazy.force m_gc_minor_col) d.minor_collections;
+      Metrics.add (Lazy.force m_gc_major_col) d.major_collections
+    end;
+    Metrics.set_gauge_max (Lazy.force g_gc_heap) d.heap_words
+  end
+
+(* [Gc.quick_stat]'s [minor_words] is only refreshed at minor
+   collections, so short spans would read a zero delta; [Gc.minor_words]
+   reads the domain's allocation pointer and is exact.  One capture is
+   the pair of both. *)
+type gc_capture = { cap_stat : Gc.stat; cap_minor : float }
+
+let gc_capture () =
+  { cap_stat = Gc.quick_stat (); cap_minor = Gc.minor_words () }
+
+let gc_delta c0 c1 =
+  let g0 = c0.cap_stat and g1 = c1.cap_stat in
+  {
+    minor_words = int_of_float (c1.cap_minor -. c0.cap_minor);
+    promoted_words =
+      int_of_float (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    major_words = int_of_float (g1.Gc.major_words -. g0.Gc.major_words);
+    minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    heap_words = g1.Gc.heap_words;
+  }
+
+(* A span is instrumented when any sink wants it: event recording
+   (tracing), stack sampling (profiler) or the obs.gc.* metrics. *)
 let span ?(cat = "") name f =
-  if not (enabled ()) then f ()
+  if not (instrumented () || Metrics.enabled ()) then f ()
   else begin
-    emit Begin cat name;
-    Fun.protect ~finally:(fun () -> emit End cat name) f
+    let accounted = enabled () || Metrics.enabled () in
+    let g0 = if accounted then Some (gc_capture ()) else None in
+    if enabled () then emit Begin cat name;
+    stack_push name;
+    Fun.protect
+      ~finally:(fun () ->
+        stack_pop ();
+        match g0 with
+        | None -> ()
+        | Some g0 ->
+          let d = gc_delta g0 (gc_capture ()) in
+          let b = Domain.DLS.get key in
+          gc_metrics ~outermost:(b.depth = 0) d;
+          if enabled () then emit ~gc:d End cat name)
+      f
   end
 
 let reset () =
@@ -71,6 +211,17 @@ let events () =
      order, so a Begin/End pair emitted in the same nanosecond stays
      ordered. *)
   |> List.stable_sort (fun a b -> compare (a.ts_ns, a.dom) (b.ts_ns, b.dom))
+
+(* [interval] back-dates a Begin/End pair with caller-supplied
+   timestamps — used by Parmon to chart a worker's busy window after the
+   fact, from the worker's own domain.  The flush sort puts the pair in
+   timestamp order. *)
+let interval ?(cat = "") name ~start_ns ~stop_ns =
+  if enabled () then begin
+    let dom = (Domain.self () :> int) in
+    push { name; cat; phase = Begin; ts_ns = start_ns; dom; gc = None };
+    push { name; cat; phase = End; ts_ns = stop_ns; dom; gc = None }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -122,6 +273,17 @@ let phase_totals () =
 
 let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
 
+let json_of_gc (d : gc_delta) : Json.t =
+  Json.Obj
+    [
+      ("minor_words", Json.Int d.minor_words);
+      ("promoted_words", Json.Int d.promoted_words);
+      ("major_words", Json.Int d.major_words);
+      ("minor_collections", Json.Int d.minor_collections);
+      ("major_collections", Json.Int d.major_collections);
+      ("heap_words", Json.Int d.heap_words);
+    ]
+
 let json_of_event ~base e : Json.t =
   let fields =
     [
@@ -137,6 +299,11 @@ let json_of_event ~base e : Json.t =
     match e.phase with
     | Instant -> fields @ [ ("s", Json.String "t") ]
     | Begin | End -> fields
+  in
+  let fields =
+    match e.gc with
+    | Some d -> fields @ [ ("args", json_of_gc d) ]
+    | None -> fields
   in
   Json.Obj fields
 

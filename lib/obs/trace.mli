@@ -7,6 +7,18 @@
     so the hot path is one enable-flag check plus an unsynchronised
     array write — no cross-domain contention.
 
+    Each span additionally captures a {!Gc.quick_stat} delta (minor /
+    promoted / major words, collection counts, end-of-span heap size):
+    the delta rides the End event into the Chrome-trace [args] and feeds
+    the [obs.gc.*] metrics family — word and collection counters are
+    charged by outermost spans only (nested spans overlap their parents)
+    while the [obs.gc.max_heap_words] high-water gauge is raised on
+    every span end.
+
+    Spans also maintain a per-domain stack of active span names that the
+    sampling profiler ({!Profile}) observes from its ticker domain; the
+    stack is kept whenever tracing {e or} sampling is enabled.
+
     Flushing merges all buffers (call it after the worker domains have
     been joined) and writes either
 
@@ -14,10 +26,22 @@
       Perfetto or [chrome://tracing], one track per domain — or
     - JSONL, one event object per line.
 
-    When tracing is disabled (the default), {!span} runs its thunk
-    directly: the no-op path is a single [Atomic.get]. *)
+    When tracing and sampling are both disabled (the default), {!span}
+    runs its thunk directly: the no-op path is two [Atomic.get]s. *)
 
 type phase = Begin | End | Instant
+
+(** GC movement across one span ([Gc.quick_stat] at begin vs end; word
+    counts are per-domain, matching the span's owner).  [heap_words] is
+    the absolute major-heap size at span end, not a delta. *)
+type gc_delta = {
+  minor_words : int;
+  promoted_words : int;
+  major_words : int;
+  minor_collections : int;
+  major_collections : int;
+  heap_words : int;
+}
 
 type event = {
   name : string;
@@ -25,10 +49,18 @@ type event = {
   phase : phase;
   ts_ns : int;  (** monotonic, absolute nanoseconds *)
   dom : int;  (** recording domain id *)
+  gc : gc_delta option;  (** [End] events of spans, when tracing *)
 }
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
+
+(** [set_sampling b] keeps the per-domain span stacks alive for the
+    profiler even when event recording is off.  {!Profile.start} flips
+    this; spans pay one extra array write each way while it is set. *)
+val set_sampling : bool -> unit
+
+val sampling : unit -> bool
 
 (** [reset ()] drops every buffered event. *)
 val reset : unit -> unit
@@ -39,6 +71,18 @@ val span : ?cat:string -> string -> (unit -> 'a) -> 'a
 
 (** [instant ?cat name] records a point event. *)
 val instant : ?cat:string -> string -> unit
+
+(** [interval ?cat name ~start_ns ~stop_ns] records a back-dated
+    Begin/End pair with caller-supplied timestamps, attributed to the
+    calling domain — for work whose extent is only known after the fact
+    (e.g. a parallel worker's busy window). *)
+val interval : ?cat:string -> string -> start_ns:int -> stop_ns:int -> unit
+
+(** [live_stacks ()] snapshots every domain's active span stack,
+    outermost first, skipping empty ones.  Reads race with the owning
+    domains by design (the profiler samples); the push publish order
+    keeps each snapshot prefix-consistent. *)
+val live_stacks : unit -> (int * string list) list
 
 (** [events ()] merges all domain buffers, sorted by timestamp. *)
 val events : unit -> event list
@@ -51,7 +95,8 @@ val phase_totals : unit -> (string * float) list
 
 (** [to_chrome_json ()] renders the merged events in Chrome
     [trace_event] format (timestamps rebased to the earliest event, in
-    microseconds; [tid] is the domain id). *)
+    microseconds; [tid] is the domain id; span End events carry the GC
+    delta under [args]). *)
 val to_chrome_json : unit -> Json.t
 
 val write_chrome : string -> unit

@@ -12,37 +12,116 @@ let default_chunk = 64
 let effective_chunk ~chunk ~jobs n =
   max 1 (min chunk ((n + (4 * jobs) - 1) / (4 * jobs)))
 
+(* Utilization monitor.  The observability layer (which sits above this
+   library, so it cannot be called directly from here) installs a
+   callback; each participating domain then times its chunk loops and
+   reports once after its last grab.  With no monitor installed the
+   fork/join takes the exact untimed path - no clock reads at all. *)
+
+type worker_stats = {
+  worker : int;
+  dom : int;
+  start_ns : int;
+  stop_ns : int;
+  busy_ns : int;
+  grabs : int;
+  items : int;
+}
+
+let monitor_ref : (worker_stats -> unit) option Atomic.t = Atomic.make None
+
+let set_monitor m = Atomic.set monitor_ref m
+let monitor () = Atomic.get monitor_ref
+
+let now_ns () = Int64.to_int (Clock.now_ns ())
+
 let iter_range_local ?(chunk = default_chunk) ~jobs ~local ?(finish = ignore)
     n f =
   if chunk < 1 then invalid_arg "Parallel.iter_range_local: chunk < 1";
   let jobs = max 1 (min jobs n) in
+  let mon = monitor () in
   if jobs <= 1 then begin
     let st = local () in
-    for i = 0 to n - 1 do
-      f st i
-    done;
+    (match mon with
+    | None ->
+      for i = 0 to n - 1 do
+        f st i
+      done
+    | Some report ->
+      let start_ns = now_ns () in
+      for i = 0 to n - 1 do
+        f st i
+      done;
+      let stop_ns = now_ns () in
+      report
+        {
+          worker = 0;
+          dom = (Domain.self () :> int);
+          start_ns;
+          stop_ns;
+          busy_ns = stop_ns - start_ns;
+          grabs = (if n > 0 then 1 else 0);
+          items = n;
+        });
     finish st
   end
   else begin
     let chunk = effective_chunk ~chunk ~jobs n in
     let cursor = Atomic.make 0 in
-    let worker () =
+    let worker w () =
       let st = local () in
-      let rec loop () =
-        let start = Atomic.fetch_and_add cursor chunk in
-        if start < n then begin
-          let stop = min n (start + chunk) - 1 in
-          for i = start to stop do
-            f st i
-          done;
-          loop ()
-        end
-      in
-      loop ();
+      (match mon with
+      | None ->
+        let rec loop () =
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start < n then begin
+            let stop = min n (start + chunk) - 1 in
+            for i = start to stop do
+              f st i
+            done;
+            loop ()
+          end
+        in
+        loop ()
+      | Some report ->
+        (* Busy time is accumulated per chunk, so the clock is read twice
+           per [chunk] indices - the gap between chunks (the idle share)
+           is the cursor contention plus scheduler delay this monitor
+           exists to expose. *)
+        let start_ns = now_ns () in
+        let busy = ref 0 and grabs = ref 0 and items = ref 0 in
+        let rec loop () =
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start < n then begin
+            let stop = min n (start + chunk) - 1 in
+            incr grabs;
+            items := !items + (stop - start + 1);
+            let t0 = now_ns () in
+            for i = start to stop do
+              f st i
+            done;
+            busy := !busy + (now_ns () - t0);
+            loop ()
+          end
+        in
+        loop ();
+        let stop_ns = now_ns () in
+        report
+          {
+            worker = w;
+            dom = (Domain.self () :> int);
+            start_ns;
+            stop_ns;
+            busy_ns = !busy;
+            grabs = !grabs;
+            items = !items;
+          });
       finish st
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains =
+      List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1) ()))
+    in
+    worker 0 ();
     List.iter Domain.join domains
   end
 

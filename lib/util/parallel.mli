@@ -11,6 +11,33 @@
     touched rarely, small enough to balance uneven per-index costs. *)
 val default_chunk : int
 
+(** Per-worker utilization record, reported once per participating domain
+    after its last grab (sequential degradation reports a single worker 0).
+    [busy_ns] is the time spent inside [f], accumulated per chunk;
+    [stop_ns - start_ns - busy_ns] is the idle share (cursor contention,
+    scheduler delay, uneven tails).  [grabs] counts cursor grabs,
+    [items] the indices this worker processed. *)
+type worker_stats = {
+  worker : int;  (** 0 = the calling domain, 1.. = spawned workers *)
+  dom : int;  (** [Domain.self] of the worker *)
+  start_ns : int;
+  stop_ns : int;
+  busy_ns : int;
+  grabs : int;
+  items : int;
+}
+
+(** [set_monitor (Some report)] makes every subsequent range iteration
+    time its workers and call [report] once per worker, from that
+    worker's own domain.  [set_monitor None] (the default) restores the
+    untimed path — no clock reads.  The callback must be domain-safe.
+    The observability layer installs its metrics/trace bridge here
+    ([Stc_obs.Parmon.install]). *)
+val set_monitor : (worker_stats -> unit) option -> unit
+
+(** [monitor ()] is the currently installed callback. *)
+val monitor : unit -> (worker_stats -> unit) option
+
 (** [iter_range ~jobs n f] runs [f i] for every [i] in [0..n-1] on up to
     [jobs] domains (including the calling one).  [jobs <= 1] or [n <= 1]
     degrades to a plain sequential loop with no domain spawns.

@@ -1,4 +1,7 @@
 module Suite = Stc_benchmarks.Suite
+module Schema = Stc_benchmarks.Schema
+module Diff = Stc_benchmarks.Diff
+module Json = Stc_obs.Json
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
 module Reach = Stc_fsm.Reach
@@ -69,6 +72,137 @@ let test_nontrivial_flags () =
   check_bool "nontrivial set" true
     (nontrivial = [ "bbara"; "dk16"; "dk27"; "dk512"; "shiftreg"; "tav"; "tbk" ])
 
+(* ------------------------------------------------------------------ *)
+(* Versioned bench schema + regression diff                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_rows walls =
+  List.mapi
+    (fun i w ->
+      Json.Obj
+        [
+          ("name", Json.String (Printf.sprintf "row%d" i));
+          ("wall_s", Json.Float w);
+          ("nodes", Json.Int (100 * (i + 1)));
+        ])
+    walls
+
+let test_schema_wrap_and_validate () =
+  let doc = Schema.wrap ~bench:"t" ~jobs:3 (sample_rows [ 1.0; 2.0 ]) in
+  (match Schema.validate doc with
+  | Ok bench -> Alcotest.(check string) "bench name" "t" bench
+  | Error errs -> Alcotest.failf "valid doc rejected: %s" (String.concat "; " errs));
+  List.iter
+    (fun k ->
+      check_bool (k ^ " present") true (Json.member k doc <> None))
+    Schema.required_keys;
+  check_bool "version stamped" true
+    (Json.member "schema_version" doc = Some (Json.Int Schema.schema_version));
+  check_bool "jobs stamped" true (Json.member "jobs" doc = Some (Json.Int 3));
+  (* git_rev resolves this repository's HEAD without running git. *)
+  match Json.member "git_rev" doc with
+  | Some (Json.String rev) ->
+    check_bool "git_rev is a commit or unknown" true
+      (rev = "unknown" || String.length rev = 40)
+  | _ -> Alcotest.fail "git_rev missing"
+
+let test_schema_timestamp_env () =
+  let var = "BENCH_TIMESTAMP" in
+  Unix.putenv var "1234567";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv var "")
+    (fun () -> check_int "env override wins" 1234567 (Schema.timestamp ()))
+
+let test_schema_rejects_violations () =
+  let errors_of doc =
+    match Schema.validate doc with Ok _ -> [] | Error errs -> errs
+  in
+  let base = Schema.wrap ~bench:"t" ~jobs:1 (sample_rows [ 1.0 ]) in
+  check_bool "missing header key" true
+    (errors_of
+       (match base with
+       | Json.Obj fields ->
+         Json.Obj (List.filter (fun (k, _) -> k <> "host") fields)
+       | _ -> assert false)
+    <> []);
+  check_bool "unknown version" true
+    (errors_of
+       (match base with
+       | Json.Obj fields ->
+         Json.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "schema_version" then (k, Json.Int 999) else (k, v))
+              fields)
+       | _ -> assert false)
+    <> []);
+  (* Rows must agree on their key set, or per-row diffs are meaningless. *)
+  let inconsistent =
+    Schema.wrap ~bench:"t" ~jobs:1
+      [
+        Json.Obj [ ("name", Json.String "a"); ("wall_s", Json.Float 1.0) ];
+        Json.Obj [ ("name", Json.String "b"); ("other", Json.Int 1) ];
+      ]
+  in
+  check_bool "inconsistent row keys" true (errors_of inconsistent <> [])
+
+let test_diff_self_compare_clean () =
+  let doc = Schema.wrap ~bench:"t" ~jobs:1 (sample_rows [ 1.0; 0.5; 2.0 ]) in
+  match Diff.compare_docs ~old_doc:doc ~new_doc:doc () with
+  | Error msg -> Alcotest.failf "self compare errored: %s" msg
+  | Ok r ->
+    check_int "no regressions" 0 r.Diff.regressions;
+    check_int "no improvements" 0 r.Diff.improvements;
+    check_int "three wall metrics judged" 3 (List.length r.Diff.verdicts)
+
+let test_diff_flags_slowdown () =
+  let old_doc = Schema.wrap ~bench:"t" ~jobs:1 (sample_rows [ 1.0; 0.5 ]) in
+  let new_doc = Schema.wrap ~bench:"t" ~jobs:1 (sample_rows [ 3.0; 0.5 ]) in
+  match Diff.compare_docs ~old_doc ~new_doc () with
+  | Error msg -> Alcotest.failf "compare errored: %s" msg
+  | Ok r ->
+    check_int "one regression" 1 r.Diff.regressions;
+    let v = List.find (fun v -> v.Diff.regressed) r.Diff.verdicts in
+    Alcotest.(check string) "right row" "row0" v.Diff.key;
+    check_bool "ratio recorded" true (abs_float (v.Diff.ratio -. 3.0) < 1e-9);
+    (* Rendering mentions it and the summary counts it. *)
+    let contains_sub s sub =
+      let ls = String.length sub and l = String.length s in
+      let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "rendered" true (contains_sub (Diff.render r) "REGRESSION")
+
+let test_diff_noise_floors () =
+  (* 3x on a nanosecond metric is noise until it also clears the
+     absolute floor; 1ns -> 3ns must stay quiet, 100ns -> 300ns must
+     not. *)
+  let mk ns =
+    Schema.wrap ~bench:"t" ~jobs:1
+      [
+        Json.Obj
+          [ ("kernel", Json.String "k"); ("n", Json.Int 8);
+            ("old_ns_per_op", Json.Float ns) ];
+      ]
+  in
+  (match Diff.compare_docs ~old_doc:(mk 1.0) ~new_doc:(mk 3.0) () with
+  | Ok r -> check_int "tiny absolute change ignored" 0 r.Diff.regressions
+  | Error msg -> Alcotest.failf "compare errored: %s" msg);
+  match Diff.compare_docs ~old_doc:(mk 100.0) ~new_doc:(mk 300.0) () with
+  | Ok r ->
+    check_int "large absolute change flagged" 1 r.Diff.regressions;
+    let v = List.hd r.Diff.verdicts in
+    Alcotest.(check string) "kernel row key" "k[n=8]" v.Diff.key
+  | Error msg -> Alcotest.failf "compare errored: %s" msg
+
+let test_diff_rejects_mismatched_bench () =
+  let a = Schema.wrap ~bench:"a" ~jobs:1 (sample_rows [ 1.0 ]) in
+  let b = Schema.wrap ~bench:"b" ~jobs:1 (sample_rows [ 1.0 ]) in
+  check_bool "bench mismatch is an error" true
+    (match Diff.compare_docs ~old_doc:a ~new_doc:b () with
+    | Error _ -> true
+    | Ok _ -> false)
+
 (* Table 1 reproduction: the solver finds exactly the expected row. *)
 let solve_and_check (spec : Suite.spec) () =
   let m = Suite.machine spec in
@@ -108,6 +242,23 @@ let () =
           Alcotest.test_case "machines deterministic" `Quick test_machines_deterministic;
           Alcotest.test_case "kiss roundtrip" `Quick test_kiss_roundtrip;
           Alcotest.test_case "nontrivial flags" `Quick test_nontrivial_flags;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "wrap + validate" `Quick
+            test_schema_wrap_and_validate;
+          Alcotest.test_case "timestamp env" `Quick test_schema_timestamp_env;
+          Alcotest.test_case "rejects violations" `Quick
+            test_schema_rejects_violations;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "self compare clean" `Quick
+            test_diff_self_compare_clean;
+          Alcotest.test_case "flags slowdown" `Quick test_diff_flags_slowdown;
+          Alcotest.test_case "noise floors" `Quick test_diff_noise_floors;
+          Alcotest.test_case "mismatched bench" `Quick
+            test_diff_rejects_mismatched_bench;
         ] );
       ("table1", table1_cases);
     ]

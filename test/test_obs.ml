@@ -1,6 +1,8 @@
 module Json = Stc_obs.Json
 module Metrics = Stc_obs.Metrics
 module Trace = Stc_obs.Trace
+module Profile = Stc_obs.Profile
+module Progress = Stc_obs.Progress
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -223,6 +225,312 @@ let test_trace_multidomain_events () =
   in
   check_bool "sorted by ts" true (monotone events)
 
+let test_trace_gc_args () =
+  with_obs @@ fun () ->
+  Trace.span "alloc" (fun () ->
+      ignore (Sys.opaque_identity (Array.make 100_000 0.0)));
+  let ends =
+    List.filter (fun e -> e.Trace.phase = Trace.End) (Trace.events ())
+  in
+  check_int "one end event" 1 (List.length ends);
+  (match (List.hd ends).Trace.gc with
+  | None -> Alcotest.fail "End event carries no gc delta"
+  | Some d ->
+    check_bool "allocation observed" true
+      (d.Trace.minor_words + d.Trace.major_words > 0);
+    check_bool "heap gauge positive" true (d.Trace.heap_words > 0));
+  (* The delta also feeds the obs.gc.* family: words land in counters,
+     the end-of-span heap in a high-water gauge. *)
+  let counter name =
+    match Metrics.find name with Some (Metrics.Counter n) -> n | _ -> -1
+  in
+  check_bool "obs.gc.minor_words counted" true
+    (counter "obs.gc.minor_words" > 0);
+  (match Metrics.find "obs.gc.max_heap_words" with
+  | Some (Metrics.Gauge g) -> check_bool "heap gauge raised" true (g > 0)
+  | _ -> Alcotest.fail "obs.gc.max_heap_words missing");
+  (* Chrome serialisation exposes the delta as args on the End event. *)
+  match Json.member "traceEvents" (Trace.to_chrome_json ()) with
+  | Some (Json.List evs) ->
+    check_bool "args on an End event" true
+      (List.exists
+         (fun e ->
+           Json.member "ph" e = Some (Json.String "E")
+           && match Json.member "args" e with
+              | Some (Json.Obj fields) -> List.mem_assoc "minor_words" fields
+              | _ -> false)
+         evs)
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let test_trace_gc_outermost_only () =
+  with_obs @@ fun () ->
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () ->
+          (* Small boxed allocations: these land on the minor heap (a
+             large array would go straight to the major heap and leave
+             the minor delta at zero). *)
+          for i = 1 to 10_000 do
+            ignore (Sys.opaque_identity (ref i))
+          done));
+  let counter name =
+    match Metrics.find name with Some (Metrics.Counter n) -> n | _ -> 0
+  in
+  let total = counter "obs.gc.minor_words" in
+  (* The inner span's words are inside the outer delta too; charging both
+     would double-count, so only the outermost span feeds the counter. *)
+  let ends =
+    List.filter_map
+      (fun e -> if e.Trace.phase = Trace.End then e.Trace.gc else None)
+      (Trace.events ())
+  in
+  check_int "two deltas recorded" 2 (List.length ends);
+  let sum =
+    List.fold_left (fun acc d -> acc + d.Trace.minor_words) 0 ends
+  in
+  check_bool "counter below the double-counted sum" true (total < sum);
+  let outer_delta =
+    List.fold_left (fun acc d -> max acc d.Trace.minor_words) 0 ends
+  in
+  check_int "counter equals the outermost delta" outer_delta total
+
+let test_trace_live_stacks () =
+  with_obs @@ fun () ->
+  let observed = ref [] in
+  Trace.span "outer" (fun () ->
+      Trace.span "inner" (fun () -> observed := Trace.live_stacks ()));
+  (match List.assoc_opt (Domain.self () :> int) !observed with
+  | Some stack -> Alcotest.(check (list string)) "nested stack, outermost first"
+      [ "outer"; "inner" ] stack
+  | None -> Alcotest.fail "own domain missing from live_stacks");
+  check_bool "stack popped after spans" true
+    (List.assoc_opt (Domain.self () :> int) (Trace.live_stacks ()) = None)
+
+(* S3: the JSONL sink must never interleave or truncate lines, however
+   many domains emitted spans concurrently — every line a complete event
+   object, event counts exact, names intact (quotes, newlines, ';'). *)
+let test_trace_jsonl_multidomain_integrity () =
+  with_obs @@ fun () ->
+  let domains = 4 and spans_per_domain = 500 in
+  let nasty = [| "plain"; "has \"quotes\""; "new\nline"; "semi;colon \t" |] in
+  let worker k () =
+    for i = 1 to spans_per_domain do
+      Trace.span ~cat:"stress" nasty.((k + i) mod Array.length nasty)
+        (fun () -> ())
+    done
+  in
+  let spawned = List.init domains (fun k -> Domain.spawn (worker k)) in
+  worker domains ();
+  List.iter Domain.join spawned;
+  let path = Filename.temp_file "stc_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.write path;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check_int "one line per event"
+        ((domains + 1) * spans_per_domain * 2)
+        (List.length lines);
+      let names = Hashtbl.create 16 in
+      List.iter
+        (fun line ->
+          match Json.parse line with
+          | Error msg -> Alcotest.failf "unparseable line %S: %s" line msg
+          | Ok e -> (
+            match Json.member "name" e with
+            | Some (Json.String n) ->
+              Hashtbl.replace names n
+                (1 + Option.value ~default:0 (Hashtbl.find_opt names n))
+            | _ -> Alcotest.fail "line without a name"))
+        lines;
+      Array.iter
+        (fun n ->
+          check_bool (Printf.sprintf "name %S survived" n) true
+            (Hashtbl.mem names n))
+        nasty)
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_smoke () =
+  check_bool "not running" false (Profile.running ());
+  Profile.start ~hz:500 ();
+  check_bool "running" true (Profile.running ());
+  check_bool "sampling flag set" true (Trace.sampling ());
+  (* Busy-loop inside spans long enough for the ticker to catch us. *)
+  let t0 = Unix.gettimeofday () in
+  Trace.span "prof_outer" (fun () ->
+      Trace.span "prof_inner" (fun () ->
+          while Unix.gettimeofday () -. t0 < 0.1 do
+            ignore (Sys.opaque_identity (List.init 50 Fun.id))
+          done));
+  let r = Profile.stop () in
+  check_bool "stopped" false (Profile.running ());
+  check_bool "sampling flag cleared" false (Trace.sampling ());
+  check_int "hz recorded" 500 r.Profile.hz;
+  check_bool "took samples" true (r.Profile.samples > 0);
+  check_bool "counts sum to samples" true
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 r.Profile.folded
+    = r.Profile.samples);
+  check_bool "inner stack observed" true
+    (List.exists
+       (fun (stack, _) -> stack = [ "prof_outer"; "prof_inner" ])
+       r.Profile.folded);
+  (* self/total: the leaf gets the self samples; the root's total covers
+     every sample (all stacks here are rooted at prof_outer). *)
+  let st = Profile.self_total r in
+  (match List.find_opt (fun (n, _, _) -> n = "prof_outer") st with
+  | Some (_, _, total) -> check_int "root total = samples" r.Profile.samples total
+  | None -> Alcotest.fail "prof_outer missing from self_total");
+  (* And the folded file round-trips through the writer. *)
+  let text = Profile.to_folded_string r in
+  match Profile.parse_folded text with
+  | Ok r' -> check_bool "file roundtrip" true (r' = r)
+  | Error msg -> Alcotest.failf "parse_folded failed: %s" msg
+
+let test_profile_double_start_rejected () =
+  Profile.start ();
+  let rejected =
+    match Profile.start () with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  ignore (Profile.stop ());
+  check_bool "second start rejected" true rejected
+
+(* S4: QCheck properties for the folded-stack encoder. *)
+let frame_gen =
+  QCheck.Gen.(
+    string_size ~gen:(map Char.chr (int_range 1 126)) (int_range 1 12))
+
+let arbitrary_frame =
+  QCheck.make ~print:(Printf.sprintf "%S") frame_gen
+
+let qcheck_escape_roundtrip =
+  QCheck.Test.make ~name:"escape_frame roundtrips any name" ~count:500
+    arbitrary_frame (fun s ->
+      let e = Profile.escape_frame s in
+      (* The escaped form must be safe to embed in a folded line. *)
+      String.for_all
+        (fun c -> not (List.mem c [ ';'; ' '; '\t'; '\n'; '\r' ]))
+        e
+      && Profile.unescape_frame e = s)
+
+let arbitrary_report =
+  let open QCheck in
+  let stack_gen =
+    Gen.(list_size (int_range 1 4) frame_gen)
+  in
+  let folded_gen =
+    Gen.(
+      list_size (int_range 1 8) (pair stack_gen (int_range 1 1000))
+      |> map (fun entries ->
+             (* Distinct stacks only: parse maps key -> count. *)
+             let seen = Hashtbl.create 8 in
+             List.filter
+               (fun (stack, _) ->
+                 if Hashtbl.mem seen stack then false
+                 else begin
+                   Hashtbl.add seen stack ();
+                   true
+                 end)
+               entries))
+  in
+  let report_gen =
+    Gen.(
+      map2
+        (fun folded (hz, ticks) ->
+          let samples =
+            List.fold_left (fun acc (_, c) -> acc + c) 0 folded
+          in
+          {
+            Profile.hz;
+            samples;
+            ticks = samples + ticks;
+            wall_s = float_of_int samples /. float_of_int hz;
+            folded;
+          })
+        folded_gen
+        (pair (int_range 1 1000) (int_range 0 50)))
+  in
+  make
+    ~print:(fun r -> Profile.to_folded_string r)
+    report_gen
+
+let qcheck_folded_roundtrip =
+  QCheck.Test.make ~name:"folded file roundtrips exactly" ~count:200
+    arbitrary_report (fun r ->
+      match Profile.parse_folded (Profile.to_folded_string r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let qcheck_folded_counts_sum =
+  QCheck.Test.make ~name:"parsed counts sum to the header's samples"
+    ~count:200 arbitrary_report (fun r ->
+      match Profile.parse_folded (Profile.to_folded_string r) with
+      | Ok r' ->
+        List.fold_left (fun acc (_, c) -> acc + c) 0 r'.Profile.folded
+        = r'.Profile.samples
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Progress styles                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_progress_output f =
+  let path = Filename.temp_file "stc_progress" ".txt" in
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try close_out out with Sys_error _ -> ());
+      Sys.remove path)
+    (fun () ->
+      Progress.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Progress.set_enabled false)
+        (fun () ->
+          f out;
+          close_out out;
+          let ic = open_in path in
+          let text =
+            really_input_string ic (in_channel_length ic)
+          in
+          close_in ic;
+          text))
+
+let test_progress_plain_on_files () =
+  let text =
+    with_progress_output (fun out ->
+        let p =
+          Progress.create ~interval:0.0 ~out ~label:"t"
+            ~render:(fun () -> "state A") ()
+        in
+        check_bool "files auto-detect Plain" true (Progress.style p = Progress.Plain);
+        Progress.tick p;
+        Progress.force p)
+  in
+  check_bool "no carriage returns" true (not (String.contains text '\r'));
+  check_bool "line-per-update" true (String.contains text '\n')
+
+let test_progress_ansi_override () =
+  let text =
+    with_progress_output (fun out ->
+        let p =
+          Progress.create ~interval:0.0 ~out ~style:Progress.Ansi ~label:"t"
+            ~render:(fun () -> "state B") ()
+        in
+        Progress.tick p;
+        Progress.force p)
+  in
+  check_bool "redraws with \\r" true (String.contains text '\r')
+
 let () =
   Alcotest.run "obs"
     [
@@ -255,5 +563,25 @@ let () =
           Alcotest.test_case "chrome json" `Quick
             test_trace_chrome_json_wellformed;
           Alcotest.test_case "multi-domain" `Quick test_trace_multidomain_events;
+          Alcotest.test_case "gc args" `Quick test_trace_gc_args;
+          Alcotest.test_case "gc outermost only" `Quick
+            test_trace_gc_outermost_only;
+          Alcotest.test_case "live stacks" `Quick test_trace_live_stacks;
+          Alcotest.test_case "jsonl multi-domain integrity" `Quick
+            test_trace_jsonl_multidomain_integrity;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "smoke" `Quick test_profile_smoke;
+          Alcotest.test_case "double start rejected" `Quick
+            test_profile_double_start_rejected;
+          QCheck_alcotest.to_alcotest qcheck_escape_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_folded_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_folded_counts_sum;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "plain on files" `Quick test_progress_plain_on_files;
+          Alcotest.test_case "ansi override" `Quick test_progress_ansi_override;
         ] );
     ]

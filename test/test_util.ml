@@ -150,6 +150,47 @@ let test_parallel_local_state () =
         (Atomic.get workers >= 1 && Atomic.get workers <= jobs))
     [ 1; 2; 4 ]
 
+(* The monitor hook: one report per worker, busy time inside the wall,
+   grab and item counts consistent with the range - and uninstalling
+   restores the unobserved path. *)
+let test_parallel_monitor_stats () =
+  let stats = ref [] in
+  let stats_mutex = Mutex.create () in
+  Parallel.set_monitor
+    (Some
+       (fun s ->
+         Mutex.protect stats_mutex (fun () -> stats := s :: !stats)));
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_monitor None)
+    (fun () ->
+      let n = 1000 and jobs = 4 and chunk = 64 in
+      let visited = Atomic.make 0 in
+      Parallel.iter_range ~chunk ~jobs n (fun _ -> Atomic.incr visited);
+      check_int "range covered" n (Atomic.get visited);
+      let reports = !stats in
+      check_bool "one report per worker" true
+        (List.length reports >= 1 && List.length reports <= jobs);
+      let workers =
+        List.sort_uniq compare
+          (List.map (fun s -> s.Parallel.worker) reports)
+      in
+      check_int "worker ids distinct" (List.length reports)
+        (List.length workers);
+      check_int "items sum to the range" n
+        (List.fold_left (fun acc s -> acc + s.Parallel.items) 0 reports);
+      List.iter
+        (fun s ->
+          check_bool "busy within wall" true
+            (s.Parallel.busy_ns >= 0
+            && s.Parallel.busy_ns <= s.Parallel.stop_ns - s.Parallel.start_ns);
+          check_bool "grabs cover items" true
+            (s.Parallel.grabs >= (s.Parallel.items + chunk - 1) / chunk))
+        reports);
+  (* With the monitor cleared nothing reports. *)
+  stats := [];
+  Parallel.iter_range ~jobs:2 100 ignore;
+  check_int "no reports after uninstall" 0 (List.length !stats)
+
 (* ------------------------------------------------------------------ *)
 (* Union_find                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -219,6 +260,7 @@ let () =
             test_parallel_map_deterministic;
           Alcotest.test_case "iter_range_local per-worker state" `Quick
             test_parallel_local_state;
+          Alcotest.test_case "monitor stats" `Quick test_parallel_monitor_stats;
         ] );
       ( "union_find",
         [

@@ -1,0 +1,70 @@
+(* bench_diff OLD NEW [--rel R] [--abs-s S] [--abs-ns NS] [--verbose]
+
+   Compares two versioned BENCH_*.json files (see Stc_benchmarks.Schema)
+   with noise-aware thresholds (Stc_benchmarks.Diff) and exits
+
+     0 - no regression (improvements and stable drift are fine),
+     1 - at least one time metric regressed past the thresholds,
+     2 - usage / parse / schema errors.
+
+   check.sh gates on this: `bench core-quick` twice must diff clean, and
+   any PR that slows a recorded wall past the thresholds fails CI when
+   its BENCH file is regenerated. *)
+
+module Json = Stc_obs.Json
+module Diff = Stc_benchmarks.Diff
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff OLD.json NEW.json [--rel FRACTION] [--abs-s SECONDS] \
+     [--abs-ns NANOSECONDS] [--verbose]";
+  exit 2
+
+let () =
+  let files = ref [] in
+  let opts = ref Diff.default_options in
+  let verbose = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--verbose" :: rest ->
+      verbose := true;
+      parse rest
+    | flag :: value :: rest
+      when flag = "--rel" || flag = "--abs-s" || flag = "--abs-ns" -> (
+      match float_of_string_opt value with
+      | None -> usage ()
+      | Some v ->
+        (match flag with
+        | "--rel" -> opts := { !opts with Diff.rel = v }
+        | "--abs-s" -> opts := { !opts with Diff.abs_s = v }
+        | _ -> opts := { !opts with Diff.abs_ns = v });
+        parse rest)
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ old_path; new_path ] -> (
+    let load path =
+      match Json.parse_file path with
+      | Ok doc -> doc
+      | Error msg ->
+        Printf.eprintf "bench_diff: %s: %s\n" path msg;
+        exit 2
+    in
+    let old_doc = load old_path and new_doc = load new_path in
+    match Diff.compare_docs ~opts:!opts ~old_doc ~new_doc () with
+    | Error msg ->
+      Printf.eprintf "bench_diff: %s\n" msg;
+      exit 2
+    | Ok r ->
+      print_string (Diff.render ~verbose:!verbose r);
+      if r.Diff.regressions > 0 then begin
+        Printf.printf "bench_diff: %s -> %s: %d regression(s)\n" old_path
+          new_path r.Diff.regressions;
+        exit 1
+      end
+      else Printf.printf "bench_diff: %s -> %s: no regressions\n" old_path new_path)
+  | _ -> usage ()

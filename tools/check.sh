@@ -27,8 +27,8 @@ else
   dune exec bench/main.exe -- faultsim-quick
 fi
 
-echo "== BENCH_faultsim.json must parse and carry the bench keys =="
-dune exec tools/json_lint.exe -- BENCH_faultsim.json bench rows
+echo "== BENCH_faultsim.json must pass the versioned bench schema =="
+dune exec tools/json_lint.exe -- --bench BENCH_faultsim.json
 
 echo "== minimize smoke (packed engine must match the naive reference) =="
 if command -v timeout >/dev/null 2>&1; then
@@ -37,8 +37,8 @@ else
   dune exec bench/main.exe -- minimize-quick
 fi
 
-echo "== BENCH_minimize.json must parse and carry the bench keys =="
-dune exec tools/json_lint.exe -- BENCH_minimize.json bench rows
+echo "== BENCH_minimize.json must pass the versioned bench schema =="
+dune exec tools/json_lint.exe -- --bench BENCH_minimize.json
 
 echo "== core kernel smoke (packed bit engine must match the references) =="
 if command -v timeout >/dev/null 2>&1; then
@@ -47,17 +47,31 @@ else
   dune exec bench/main.exe -- core-quick
 fi
 
-echo "== BENCH_core.json must parse and carry the bench keys =="
-dune exec tools/json_lint.exe -- BENCH_core.json bench rows
+echo "== every BENCH file must pass the versioned bench schema =="
+dune exec tools/json_lint.exe -- --bench \
+  BENCH_solver.json BENCH_faultsim.json BENCH_minimize.json BENCH_core.json
 
-echo "== traced smoke (trace + metrics files must parse as JSON) =="
+echo "== traced smoke (trace + metrics + profile files must validate) =="
 obs_dir=$(mktemp -d)
 trap 'rm -rf "$obs_dir"' EXIT
 dune exec bin/ostr.exe -- solve tbk \
-  --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.json"
+  --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.json" \
+  --profile "$obs_dir/prof.folded"
 dune exec tools/json_lint.exe -- "$obs_dir/trace.json" \
   traceEvents displayTimeUnit
 dune exec tools/json_lint.exe -- "$obs_dir/metrics.json" metrics
+dune exec tools/json_lint.exe -- --folded "$obs_dir/prof.folded"
+
+echo "== bench-diff noise gate (same config twice must not regress) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- core-quick "$obs_dir/bq_a.json"
+  timeout 300 dune exec bench/main.exe -- core-quick "$obs_dir/bq_b.json"
+else
+  dune exec bench/main.exe -- core-quick "$obs_dir/bq_a.json"
+  dune exec bench/main.exe -- core-quick "$obs_dir/bq_b.json"
+fi
+dune exec tools/json_lint.exe -- --bench "$obs_dir/bq_a.json" "$obs_dir/bq_b.json"
+dune exec tools/bench_diff.exe -- "$obs_dir/bq_a.json" "$obs_dir/bq_b.json"
 
 echo "== static lint gate (benchmark suite, --werror) =="
 # Expected-clean set: each of these machines must lint with zero errors AND

@@ -1,27 +1,90 @@
-(* Tiny JSON validator for CI: parses FILE and checks that each KEY named
-   on the command line is present at the top level.  Exits nonzero (with a
-   message on stderr) on a parse failure or a missing key, so check.sh can
-   gate on trace/metrics files actually being well-formed. *)
+(* Tiny validator for CI artifacts.  Three modes:
+
+     json_lint FILE [KEY ...]      parse FILE, require each KEY at top level
+     json_lint --bench FILE...     validate versioned bench files against
+                                   Stc_benchmarks.Schema (header keys,
+                                   schema version, per-row key consistency)
+     json_lint --folded FILE...    validate profiler folded-stack output
+                                   (header magic + JSON header, line format,
+                                   counts summing to the header's samples)
+
+   Exits nonzero with a message on stderr on any violation, so check.sh
+   can gate on the observability artifacts actually being well-formed. *)
+
+module Json = Stc_obs.Json
+
+let failed = ref false
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "json_lint: %s\n" s;
+      failed := true)
+    fmt
+
+(* --- classic mode: top-level key presence --------------------------- *)
+
+let lint_keys path keys =
+  match Json.parse_file path with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok doc ->
+    let missing = List.filter (fun k -> Json.member k doc = None) keys in
+    if missing <> [] then
+      List.iter (fun k -> fail "%s: missing key %S" path k) missing
+    else
+      Printf.printf "json_lint: %s ok (%d keys checked)\n" path
+        (List.length keys)
+
+(* --- bench mode: versioned schema ----------------------------------- *)
+
+let lint_bench path =
+  match Json.parse_file path with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok doc -> (
+    match Stc_benchmarks.Schema.validate doc with
+    | Ok bench ->
+      let rows =
+        match Json.member "rows" doc with
+        | Some (Json.List rows) -> List.length rows
+        | _ -> 0
+      in
+      Printf.printf "json_lint: %s ok (bench %S, %d rows)\n" path bench rows
+    | Error errs -> List.iter (fun e -> fail "%s: %s" path e) errs)
+
+(* --- folded mode: profiler output ----------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+
+let lint_folded path =
+  match Result.bind (read_file path) Stc_obs.Profile.parse_folded with
+  | Error msg -> fail "%s: %s" path msg
+  | Ok report ->
+    let total =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 report.Stc_obs.Profile.folded
+    in
+    if total <> report.Stc_obs.Profile.samples then
+      fail "%s: folded counts sum to %d but header says %d samples" path total
+        report.Stc_obs.Profile.samples
+    else
+      Printf.printf "json_lint: %s ok (%d samples @ %d Hz, %d stacks)\n" path
+        report.Stc_obs.Profile.samples report.Stc_obs.Profile.hz
+        (List.length report.Stc_obs.Profile.folded)
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: path :: keys ->
-    (match Stc_obs.Json.parse_file path with
-    | Error msg ->
-      Printf.eprintf "json_lint: %s: %s\n" path msg;
-      exit 1
-    | Ok doc ->
-      let missing =
-        List.filter (fun k -> Stc_obs.Json.member k doc = None) keys
-      in
-      if missing <> [] then begin
-        List.iter
-          (fun k -> Printf.eprintf "json_lint: %s: missing key %S\n" path k)
-          missing;
-        exit 1
-      end;
-      Printf.printf "json_lint: %s ok (%d keys checked)\n" path
-        (List.length keys))
+  (match Array.to_list Sys.argv with
+  | _ :: "--bench" :: (_ :: _ as files) -> List.iter lint_bench files
+  | _ :: "--folded" :: (_ :: _ as files) -> List.iter lint_folded files
+  | _ :: path :: keys when path <> "--bench" && path <> "--folded" ->
+    lint_keys path keys
   | _ ->
-    prerr_endline "usage: json_lint FILE [KEY ...]";
-    exit 2
+    prerr_endline
+      "usage: json_lint FILE [KEY ...] | json_lint --bench FILE... | \
+       json_lint --folded FILE...";
+    exit 2);
+  if !failed then exit 1
