@@ -31,7 +31,14 @@
      (word SWAR ops, bitvec algebra, packed partition ops) timed against
      the retained element-wise references, with per-row equality checks.
    - `core-quick`: packed-vs-reference equivalence only, no timing
-     loops, no file written - the CI gate. *)
+     loops, no file written - the CI gate.
+   - `verify [OUT]`: write BENCH_verify.json (default OUT) - per-machine
+     SAT verification: CEC + pipeline-proof certificate counts, the
+     untestable-fault census with jobs-1-vs-N agreement, raw vs
+     redundancy-adjusted fig. 4 coverage, and CDCL solver counters;
+     nonzero exit on any proof error or jobs disagreement.
+   - `verify-quick [OUT]`: the same checks on two small machines with
+     short sessions - the CI gate (writes OUT when given). *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -1134,6 +1141,170 @@ let run_benchmarks () =
             [ name; time; Printf.sprintf "%.3f" r2 ])
           rows))
 
+(* ------------------------------------------------------------------ *)
+(* SAT verification: CEC + pipeline proofs + untestable-fault proofs   *)
+(* ------------------------------------------------------------------ *)
+
+module Context = Stc_analysis.Context
+module Verify = Stc_analysis.Verify
+module Diagnostic = Stc_analysis.Diagnostic
+module Prove = Stc_sat.Prove
+
+type verify_row = {
+  vr_name : string;
+  vr_gates : int;
+  vr_errors : int;  (* CEC + net-prove errors: must be 0 *)
+  vr_certs : int;  (* CEC003/005/007 + NET011 certificates *)
+  vr_verify_wall : float;
+  vr_raw_faults : int;
+  vr_classes : int;
+  vr_redundant : int;
+  vr_unobservable : int;
+  vr_red_wall : float;
+  vr_jobs_agree : bool;  (* jobs=1 and jobs=N redundant lists identical *)
+  vr_raw_cov : float;
+  vr_adj_cov : float;
+  vr_decisions : int;
+  vr_conflicts : int;
+  vr_propagations : int;
+  vr_solves : int;
+}
+
+let vr_observed_union (b : Arch.built) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, obs) -> Array.iter (fun g -> Hashtbl.replace tbl g ()) obs)
+    b.Arch.sessions;
+  Array.of_list
+    (List.sort compare (Hashtbl.fold (fun g () acc -> g :: acc) tbl []))
+
+let vr_cert_codes = [ "CEC003"; "CEC005"; "CEC007"; "NET011" ]
+
+let verify_row ~cycles name =
+  let machine =
+    match Experiments.machine_named name with
+    | Some m -> m
+    | None -> invalid_arg name
+  in
+  let read c = Metrics.counter_value (Metrics.counter c) in
+  let d0 = read "sat.decisions"
+  and c0 = read "sat.conflicts"
+  and p0 = read "sat.propagations"
+  and s0 = read "sat.solves" in
+  let ctx = Context.of_machine machine in
+  let diags, verify_wall =
+    timed (fun () -> Verify.run ~select:[ "cec"; "net-prove" ] ctx)
+  in
+  let built = Arch.pipeline_of_machine ~cycles machine in
+  let observed = vr_observed_union built in
+  let v1, red_wall =
+    timed (fun () -> Prove.redundant ~jobs:1 ~observed built.Arch.netlist)
+  in
+  let vn = Prove.redundant ~jobs:par_jobs ~observed built.Arch.netlist in
+  let report = Arch.grade ~jobs:1 ~need_cycles:false built in
+  let adj = Session.adjusted report ~redundant:v1.Prove.redundant in
+  {
+    vr_name = name;
+    vr_gates = Stc_netlist.Netlist.num_gates built.Arch.netlist;
+    vr_errors = Diagnostic.count Diagnostic.Error diags;
+    vr_certs =
+      List.length
+        (List.filter (fun d -> List.mem d.Diagnostic.code vr_cert_codes) diags);
+    vr_verify_wall = verify_wall;
+    vr_raw_faults = v1.Prove.total_faults;
+    vr_classes = v1.Prove.total_classes;
+    vr_redundant = List.length v1.Prove.redundant;
+    vr_unobservable = v1.Prove.unobservable_classes;
+    vr_red_wall = red_wall;
+    vr_jobs_agree = v1.Prove.redundant = vn.Prove.redundant;
+    vr_raw_cov = report.Session.coverage;
+    vr_adj_cov = adj.Session.coverage;
+    vr_decisions = read "sat.decisions" - d0;
+    vr_conflicts = read "sat.conflicts" - c0;
+    vr_propagations = read "sat.propagations" - p0;
+    vr_solves = read "sat.solves" - s0;
+  }
+
+let json_of_verify_row r =
+  Json.Obj
+    [
+      ("name", Json.String r.vr_name);
+      ("gates", Json.Int r.vr_gates);
+      ( "proofs",
+        Json.Obj
+          [
+            ("errors", Json.Int r.vr_errors);
+            ("certificates", Json.Int r.vr_certs);
+            ("wall_s", Json.Float r.vr_verify_wall);
+          ] );
+      ( "redundant",
+        Json.Obj
+          [
+            ("raw_faults", Json.Int r.vr_raw_faults);
+            ("classes", Json.Int r.vr_classes);
+            ("untestable", Json.Int r.vr_redundant);
+            ("unobservable", Json.Int r.vr_unobservable);
+            ("wall_s", Json.Float r.vr_red_wall);
+            ("jobs_agree", Json.Bool r.vr_jobs_agree);
+          ] );
+      ( "coverage",
+        Json.Obj
+          [
+            ("raw", Json.Float r.vr_raw_cov);
+            ("adjusted", Json.Float r.vr_adj_cov);
+          ] );
+      ( "sat",
+        Json.Obj
+          [
+            ("decisions", Json.Int r.vr_decisions);
+            ("conflicts", Json.Int r.vr_conflicts);
+            ("propagations", Json.Int r.vr_propagations);
+            ("solves", Json.Int r.vr_solves);
+          ] );
+    ]
+
+let print_verify_row r =
+  Printf.printf
+    "%-10s %4d gates: %d errors, %d certs (%.2fs); %d/%d faults untestable \
+     (%.2fs, jobs %s); coverage %.1f%% raw -> %.1f%% adjusted; %d solves, \
+     %d conflicts\n"
+    r.vr_name r.vr_gates r.vr_errors r.vr_certs r.vr_verify_wall
+    r.vr_redundant r.vr_raw_faults r.vr_red_wall
+    (if r.vr_jobs_agree then "agree" else "DISAGREE")
+    (100.0 *. r.vr_raw_cov) (100.0 *. r.vr_adj_cov) r.vr_solves
+    r.vr_conflicts
+
+let verify_row_ok r = r.vr_errors = 0 && r.vr_jobs_agree
+
+let run_verify_rows ~cycles ~out names =
+  (* SAT counters live in the metrics registry; enable it so the rows can
+     report per-machine decision/conflict/propagation deltas.  Graders are
+     called with ~need_cycles:false explicitly, so enabling metrics does
+     not change any verdict. *)
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let rows = List.map (verify_row ~cycles) names in
+  List.iter print_verify_row rows;
+  let failures = List.length (List.filter (fun r -> not (verify_row_ok r)) rows) in
+  (match out with
+  | Some path when failures = 0 ->
+    Json.write path
+      (Schema.wrap ~bench:"verify" ~jobs:par_jobs
+         ~extra:[ ("cycles", Json.Int cycles) ]
+         (List.map json_of_verify_row rows));
+    Printf.printf "wrote %s\n" path
+  | _ -> ());
+  if failures = 0 then Printf.printf "verify: all proofs hold\n";
+  exit failures
+
+let verify_machines = [ "fig5"; "shiftreg"; "dk27"; "tav"; "mc" ]
+
+let run_verify ?(out = "BENCH_verify.json") () =
+  run_verify_rows ~cycles:1024 ~out:(Some out) verify_machines
+
+let run_verify_quick ?out () =
+  run_verify_rows ~cycles:256 ~out [ "fig5"; "dk27" ]
+
 let () =
   (* `--profile FILE` anywhere on the line samples the whole run and
      writes folded stacks at exit - modes terminate via [exit], so the
@@ -1169,6 +1340,10 @@ let () =
   | [ "core" ] -> run_core ()
   | [ "core-quick" ] -> run_core_quick ()
   | [ "core-quick"; out ] -> run_core_quick ~out ()
+  | [ "verify" ] -> run_verify ()
+  | [ "verify"; out ] -> run_verify ~out ()
+  | [ "verify-quick" ] -> run_verify_quick ()
+  | [ "verify-quick"; out ] -> run_verify_quick ~out ()
   | [ "micro" ] -> run_benchmarks ()
   | [ "tables" ] -> print_tables ()
   | [] | [ "all" ] ->
@@ -1178,6 +1353,6 @@ let () =
     prerr_endline
       ("bench: unknown mode " ^ other
      ^ " (expected all, tables, micro, quick, json, faultsim, \
-        faultsim-quick, minimize, minimize-quick, core or core-quick \
-        [OUT]; any mode accepts --profile FILE)");
+        faultsim-quick, minimize, minimize-quick, core, core-quick, \
+        verify or verify-quick [OUT]; any mode accepts --profile FILE)");
     exit 2

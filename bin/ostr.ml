@@ -23,6 +23,8 @@ module Progress = Stc_obs.Progress
 module Profile = Stc_obs.Profile
 module Json = Stc_obs.Json
 module Lint = Stc_analysis.Lint
+module Verify = Stc_analysis.Verify
+module Context = Stc_analysis.Context
 module Diagnostic = Stc_analysis.Diagnostic
 module Pass = Stc_analysis.Pass
 
@@ -473,7 +475,8 @@ let selftest_cmd =
 (* ------------------------------------------------------------------ *)
 
 let lint_cmd =
-  let run spec timeout werror json_out conventional list_passes obs =
+  let run spec timeout jobs werror json_out conventional list_passes obs =
+    let jobs = resolve_jobs jobs in
     if list_passes then
       List.iter
         (fun p -> Format.printf "%-12s %s@." p.Pass.name p.Pass.doc)
@@ -488,7 +491,7 @@ let lint_cmd =
           close_in ic;
           let _ctx, diags =
             with_obs obs @@ fun () ->
-            Lint.lint_kiss_text ~timeout ~conventional ~name text
+            Lint.lint_kiss_text ~timeout ~conventional ~jobs ~name text
           in
           (name, diags)
         end
@@ -497,7 +500,7 @@ let lint_cmd =
           | Some m ->
             let _ctx, diags =
               with_obs obs @@ fun () ->
-              Lint.lint_machine ~timeout ~conventional m
+              Lint.lint_machine ~timeout ~conventional ~jobs m
             in
             (m.Machine.name, diags)
           | None ->
@@ -552,8 +555,90 @@ let lint_cmd =
           synthesized netlists, and statically prove the fig. 4 \
           feedback-free pipeline property.")
     Term.(
-      const run $ machine $ timeout_arg $ werror $ json_out $ conventional
-      $ list_passes $ obs_term)
+      const run $ machine $ timeout_arg $ jobs_arg $ werror $ json_out
+      $ conventional $ list_passes $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* verify: SAT-backed formal verification                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let run spec timeout jobs werror json_out all_archs cec redundant prove obs =
+    let m = or_die (load_machine spec) in
+    let jobs = resolve_jobs jobs in
+    let select =
+      match
+        (if cec then [ "cec" ] else [])
+        @ (if prove then [ "net-prove" ] else [])
+        @ (if redundant then [ "sat-redundant" ] else [])
+      with
+      | [] -> None (* no mode flag: run the whole family *)
+      | chosen -> Some chosen
+    in
+    let diags =
+      with_obs obs @@ fun () ->
+      let ctx =
+        Context.of_machine ~timeout ~conventional:all_archs ~all_archs ~jobs m
+      in
+      Verify.run ?select ctx
+    in
+    Format.printf "%a" Diagnostic.pp_report diags;
+    Option.iter
+      (fun path ->
+        Json.write path
+          (Diagnostic.report_to_json ~subject:m.Machine.name diags);
+        Format.eprintf "wrote verify report %s@." path)
+      json_out;
+    if Diagnostic.fails ~werror diags then exit 1
+  in
+  let werror =
+    Arg.(value & flag
+         & info [ "werror" ] ~doc:"Exit nonzero on warnings, not just errors.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the sorted report as JSON to $(docv).")
+  in
+  let all_archs =
+    Arg.(value & flag
+         & info [ "all-archs" ]
+             ~doc:
+               "Also verify the fig. 1/2/3 structures (each must minimize \
+                the monolithic block C - slow on large machines).  Default: \
+                the fig. 4 pipeline only.")
+  in
+  let cec =
+    Arg.(value & flag
+         & info [ "cec" ]
+             ~doc:
+               "Equivalence checking only: minimized blocks vs their on/dc \
+                specification, packed vs naive minimizer, netlists vs the \
+                FSM tables.")
+  in
+  let redundant =
+    Arg.(value & flag
+         & info [ "redundant" ]
+             ~doc:
+               "Untestable-fault proofs only: per-fault good-vs-faulty \
+                miters, UNSAT = provably redundant.")
+  in
+  let prove =
+    Arg.(value & flag
+         & info [ "prove" ]
+             ~doc:
+               "Pipeline-property proofs only: SAT-backed register-feedback \
+                certificates (upgrades the structural NET010/NET011).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "SAT-backed formal verification: equivalence proofs (--cec), \
+          untestable-fault proofs (--redundant) and pipeline-property \
+          proofs (--prove); all three by default.")
+    Term.(
+      const run $ machine_arg $ timeout_arg $ jobs_arg $ werror $ json_out
+      $ all_archs $ cec $ redundant $ prove $ obs_term)
 
 let scoap_cmd =
   let run timeout names obs =
@@ -605,8 +690,8 @@ let () =
       [
         info_cmd; minimize_cmd; solve_cmd; realize_cmd; dot_cmd; table1_cmd;
         table2_cmd; area_cmd; faultcov_cmd; testlen_cmd; extensions_cmd;
-        decompose_cmd; aliasing_cmd; selftest_cmd; lint_cmd; scoap_cmd;
-        export_cmd;
+        decompose_cmd; aliasing_cmd; selftest_cmd; lint_cmd; verify_cmd;
+        scoap_cmd; export_cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -26,13 +26,15 @@ type t = {
   realization : Realization.t;
   blocks : block list;
   netlists : netlist_target list;
+  pass_jobs : int;
 }
 
 let block label on dc =
   let minimized, _report = Minimize.minimize ~dc on in
   { block_label = label; on; dc; minimized }
 
-let of_realization ?(conventional = false) (realization : Realization.t) =
+let of_realization ?(conventional = false) ?(all_archs = false) ?(jobs = 1)
+    (realization : Realization.t) =
   Trace.span ~cat:"lint" "lint.context" @@ fun () ->
   let machine = realization.Realization.spec in
   let p = Tables.pipeline realization in
@@ -55,13 +57,33 @@ let of_realization ?(conventional = false) (realization : Realization.t) =
        let fig1 = Arch.conventional machine in
        [ { net_label = "fig1"; netlist = fig1.Arch.netlist; feedback_free = false } ]
      else [])
+    @
+    (if all_archs then
+       (* one simulation cycle, as for fig. 4: only the structure is
+          analyzed, the session schedules are never replayed here *)
+       let fig2 = Arch.conventional_bist ~cycles:1 machine in
+       let fig3 = Arch.doubled ~cycles:1 machine in
+       [
+         { net_label = "fig2"; netlist = fig2.Arch.netlist; feedback_free = false };
+         { net_label = "fig3"; netlist = fig3.Arch.netlist; feedback_free = true };
+       ]
+     else [])
   in
-  { name = machine.Machine.name; machine; realization; blocks; netlists }
+  {
+    name = machine.Machine.name;
+    machine;
+    realization;
+    blocks;
+    netlists;
+    pass_jobs = max 1 jobs;
+  }
 
-let of_machine ?(timeout = 120.0) ?conventional machine =
-  (* jobs = 1: the sequential search is deterministic, so equally-optimal
-     partition pairs cannot race and flip downstream diagnostics. *)
+let of_machine ?(timeout = 120.0) ?conventional ?all_archs ?jobs machine =
+  (* solver jobs = 1: the sequential search is deterministic, so
+     equally-optimal partition pairs cannot race and flip downstream
+     diagnostics.  [jobs] only feeds [pass_jobs], whose consumers are
+     jobs-invariant. *)
   let outcome = Ostr.run ~timeout ~jobs:1 machine in
-  of_realization ?conventional outcome.Ostr.realization
+  of_realization ?conventional ?all_archs ?jobs outcome.Ostr.realization
 
 let subject ctx label = if label = "" then ctx.name else ctx.name ^ "/" ^ label

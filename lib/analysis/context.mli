@@ -24,7 +24,7 @@ type block = {
     realization); on netlists with [feedback_free = false] a detected
     register feedback path is reported as a note, not an error. *)
 type netlist_target = {
-  net_label : string;  (** ["fig4"], ["fig1"] *)
+  net_label : string;  (** ["fig4"], ["fig1"], ["fig2"], ["fig3"] *)
   netlist : Stc_netlist.Netlist.t;
   feedback_free : bool;
 }
@@ -35,21 +35,32 @@ type t = {
   realization : Stc_core.Realization.t;
   blocks : block list;
   netlists : netlist_target list;
+  pass_jobs : int;
+      (** domain budget for passes that parallelize internally (the
+          per-fault SAT proofs).  Every consumer is jobs-invariant, so
+          diagnostics stay deterministic. *)
 }
 
-(** [of_machine ?timeout ?conventional machine] synthesizes the
-    decomposed realization and packages every artifact.  [timeout]
-    (default 120 s) bounds the OSTR search.  [conventional] (default
-    [false]) additionally builds the fig. 1 structure for comparison -
-    expensive on large machines (the monolithic block C of [tbk] takes
-    minutes in the espresso loop), hence opt-in. *)
+(** [of_machine ?timeout ?conventional ?all_archs ?jobs machine]
+    synthesizes the decomposed realization and packages every artifact.
+    [timeout] (default 120 s) bounds the OSTR search.  [conventional]
+    (default [false]) additionally builds the fig. 1 structure for
+    comparison - expensive on large machines (the monolithic block C of
+    [tbk] takes minutes in the espresso loop), hence opt-in.
+    [all_archs] (default [false]) also instantiates the fig. 2 and
+    fig. 3 BIST structures, so the verification passes can certify all
+    four architectures.  [jobs] (default 1) is stored as [pass_jobs];
+    the OSTR search itself always runs sequentially for determinism. *)
 val of_machine :
-  ?timeout:float -> ?conventional:bool -> Stc_fsm.Machine.t -> t
+  ?timeout:float -> ?conventional:bool -> ?all_archs:bool -> ?jobs:int ->
+  Stc_fsm.Machine.t -> t
 
-(** [of_realization ?conventional realization] packages an existing
-    realization without re-running the solver (used by drivers that
-    already solved). *)
-val of_realization : ?conventional:bool -> Stc_core.Realization.t -> t
+(** [of_realization ?conventional ?all_archs ?jobs realization]
+    packages an existing realization without re-running the solver
+    (used by drivers that already solved). *)
+val of_realization :
+  ?conventional:bool -> ?all_archs:bool -> ?jobs:int ->
+  Stc_core.Realization.t -> t
 
 (** [subject ctx label] is the diagnostic subject ["name/label"] for a
     sub-artifact, or just [name] when [label] is empty. *)

@@ -42,9 +42,13 @@ let check_block ~subject ~on ~dc result =
     on.Cover.cubes;
   !diags
 
-let check_redundancy ~subject ?dc cover =
+let check_redundancy ~subject ?dc ?limit cover =
   let cubes = cover.Cover.cubes in
-  let n = Array.length cubes in
+  let n =
+    match limit with
+    | None -> Array.length cubes
+    | Some l -> min l (Array.length cubes)
+  in
   let diags = ref [] in
   for j = 0 to n - 1 do
     (* Duplicate / single-cube containment against earlier cubes.  Note
@@ -72,11 +76,14 @@ let check_redundancy ~subject ?dc cover =
         else scan (i + 1)
     in
     scan 0;
-    (* Redundancy against the rest of the cover (plus don't-cares). *)
+    (* Redundancy against the rest of the (budgeted) cover, plus
+       don't-cares. *)
     let rest =
       Cover.make ~num_vars:cover.Cover.num_vars
         ~num_outputs:cover.Cover.num_outputs
-        (List.filteri (fun i _ -> i <> j) (Array.to_list cubes))
+        (List.filteri
+           (fun i _ -> i <> j && i < n)
+           (Array.to_list cubes))
     in
     let rest = match dc with None -> rest | Some d -> Cover.union rest d in
     if Cover.size rest > 0 && Cover.covers_cube rest cubes.(j) then
@@ -112,13 +119,14 @@ let pass =
             let redundancy =
               let n = Cover.size minimized in
               if n > redundancy_limit then
-                [
-                  D.info ~code:"COV006" ~subject ~loc:"cover"
-                    (Printf.sprintf
-                       "redundancy analysis skipped: %d cubes exceed the \
-                        %d-cube budget (correctness checks still ran)"
-                       n redundancy_limit);
-                ]
+                D.info ~code:"COV006" ~subject ~loc:"cover"
+                  (Printf.sprintf
+                     "redundancy analysis truncated to the first %d of %d \
+                      cubes: %d cubes skipped (correctness checks still \
+                      cover the whole block)"
+                     redundancy_limit n (n - redundancy_limit))
+                :: check_redundancy ~subject ~dc ~limit:redundancy_limit
+                     minimized
               else check_redundancy ~subject ~dc minimized
             in
             check_block ~subject ~on ~dc minimized @ redundancy)

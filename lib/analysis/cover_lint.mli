@@ -12,12 +12,14 @@
       don't-care set already covers it);
     - [COV004] warning: cube contained in another single cube;
     - [COV005] warning: duplicate cube;
-    - [COV006] note: redundancy analysis (COV003-COV005, quadratic in
-      cubes) skipped because the cover exceeds {!redundancy_limit};
-      the COV001/COV002 correctness checks always run. *)
+    - [COV006] note: the redundancy analysis (COV003-COV005, quadratic
+      in cubes) was truncated to the first {!redundancy_limit} cubes;
+      the note names the number of cubes left unanalyzed, and the
+      COV001/COV002 correctness checks still cover the whole block. *)
 
-(** Cube-count budget above which the pass skips the quadratic
-    redundancy analysis (with a COV006 note). *)
+(** Cube-count budget past which the pass truncates the quadratic
+    redundancy analysis (with a COV006 note naming the skipped cube
+    count). *)
 val redundancy_limit : int
 
 (** The context pass: checks every synthesized block
@@ -33,8 +35,9 @@ val check_block :
   Stc_logic.Cover.t ->
   Diagnostic.t list
 
-(** [check_redundancy ~subject ?dc cover] reports COV003/COV004/COV005
-    on a standalone cover. *)
+(** [check_redundancy ~subject ?dc ?limit cover] reports
+    COV003/COV004/COV005 on a standalone cover; with [limit] only the
+    first [limit] cubes participate (the truncated budget mode). *)
 val check_redundancy :
-  subject:string -> ?dc:Stc_logic.Cover.t -> Stc_logic.Cover.t ->
-  Diagnostic.t list
+  subject:string -> ?dc:Stc_logic.Cover.t -> ?limit:int ->
+  Stc_logic.Cover.t -> Diagnostic.t list

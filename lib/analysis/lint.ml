@@ -5,13 +5,19 @@ let builtin = [ Fsm_lint.pass; Cover_lint.pass; Netgraph.pass; Scoap.pass ]
 
 let () = List.iter Pass.register builtin
 
-let run ctx = Pass.run_all ctx
+(* Only the lint builtins: the verification passes (Verify.builtin)
+   live in the same registry but are SAT-heavy and have their own
+   driver, so `ostr lint` output is unchanged by their registration. *)
+let names = List.map (fun p -> p.Pass.name) builtin
 
-let lint_machine ?timeout ?conventional machine =
+let run ?jobs ctx =
+  Pass.run_all ?jobs ~select:(fun p -> List.mem p.Pass.name names) ctx
+
+let lint_machine ?timeout ?conventional ?jobs machine =
   let ctx = Context.of_machine ?timeout ?conventional machine in
-  (ctx, run ctx)
+  (ctx, run ?jobs ctx)
 
-let lint_kiss_text ?timeout ?conventional ~name text =
+let lint_kiss_text ?timeout ?conventional ?jobs ~name text =
   let raw = Fsm_lint.lint_kiss ~subject:name text in
   match Kiss.parse ~name ~on_missing:`Self_loop text with
   | exception Kiss.Parse_error { Kiss.line; message } ->
@@ -22,5 +28,5 @@ let lint_kiss_text ?timeout ?conventional ~name text =
            (Printf.sprintf "unparseable KISS2: %s" message)
         :: raw) )
   | machine ->
-    let ctx, diags = lint_machine ?timeout ?conventional machine in
+    let ctx, diags = lint_machine ?timeout ?conventional ?jobs machine in
     (Some ctx, D.sort (raw @ diags))

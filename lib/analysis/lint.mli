@@ -1,31 +1,37 @@
 (** Front door of the static-analysis framework: registers the built-in
-    passes and runs them over a machine or a raw KISS2 file.
+    lint passes and runs them over a machine or a raw KISS2 file.
 
     Determinism contract: the solver inside {!Context.of_machine} runs
     sequentially, passes run in name order, and reports are sorted by
     {!Diagnostic.compare} - so for a given machine the text and JSON
     reports are byte-identical across runs and unaffected by any
-    [--jobs] setting elsewhere in the process. *)
+    [--jobs] setting anywhere in the process ([jobs] below only
+    schedules independent passes over domains; the merged report is
+    re-sorted). *)
 
-(** The built-in passes (fsm-lint, cover-lint, net-graph, scoap), in
-    registration order.  Loading this module registers them. *)
+(** The built-in lint passes (fsm-lint, cover-lint, net-graph, scoap),
+    in registration order.  Loading this module registers them.  The
+    SAT verification passes are a separate family ({!Verify.builtin})
+    and are {e not} run by {!run}. *)
 val builtin : Pass.t list
 
-(** [run ctx] runs every registered pass; sorted diagnostics. *)
-val run : Context.t -> Diagnostic.t list
+(** [run ?jobs ctx] runs the lint passes (exactly {!builtin}, whatever
+    else is registered); sorted diagnostics.  [jobs > 1] fans the
+    passes over domains. *)
+val run : ?jobs:int -> Context.t -> Diagnostic.t list
 
-(** [lint_machine ?timeout ?conventional machine] builds the context
-    (solving OSTR, minimizing the blocks, instantiating the fig. 4 -
-    and, with [conventional], fig. 1 - netlists) and runs every
-    pass. *)
+(** [lint_machine ?timeout ?conventional ?jobs machine] builds the
+    context (solving OSTR, minimizing the blocks, instantiating the
+    fig. 4 - and, with [conventional], fig. 1 - netlists) and runs
+    every lint pass. *)
 val lint_machine :
-  ?timeout:float -> ?conventional:bool -> Stc_fsm.Machine.t ->
+  ?timeout:float -> ?conventional:bool -> ?jobs:int -> Stc_fsm.Machine.t ->
   Context.t * Diagnostic.t list
 
-(** [lint_kiss_text ?timeout ?conventional ~name text] lints raw KISS2
-    text: the FSM005/FSM006 raw-table scan, plus the full machine
+(** [lint_kiss_text ?timeout ?conventional ?jobs ~name text] lints raw
+    KISS2 text: the FSM005/FSM006 raw-table scan, plus the full machine
     pipeline when the text parses (with unspecified entries completed
     as self-loops, mirroring the scanner's warnings). *)
 val lint_kiss_text :
-  ?timeout:float -> ?conventional:bool -> name:string -> string ->
-  Context.t option * Diagnostic.t list
+  ?timeout:float -> ?conventional:bool -> ?jobs:int -> name:string ->
+  string -> Context.t option * Diagnostic.t list

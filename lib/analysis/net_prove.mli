@@ -1,0 +1,36 @@
+(** SAT-backed pipeline-property proofs.
+
+    {!Netgraph.prove_pipeline} reasons structurally: a register is
+    flagged when its next-state fanin cone {e contains} one of its own
+    output nets.  This pass proves the functional property instead: a
+    register [R] feeds back iff its next state {e functionally depends}
+    on [R]'s own value — there exist two input assignments, equal
+    everywhere except on one of [R]'s bits, for which some next-state
+    bit differs.
+
+    The miter holds two copies of the netlist plus per-input
+    equality/inequality guard literals and a per-register selector
+    clause over the next-state XOR differences, so the whole pass is
+    one incremental solver with one [solve] call per
+    (register, register bit) — the assumption API's intended pattern.
+
+    Diagnostic codes (shared with the structural prover, upgraded):
+    - [NET010]: SAT-proven combinational feedback, with an input
+      witness (error iff the netlist must be feedback-free);
+    - [NET011] note: SAT certificate — no register feeds back
+      (emitted only on netlists that require the property);
+    - [NET012] note: a structural feedback path exists but is
+      functionally inert (the next state is independent of the
+      register's own value) — structurally flagged, SAT-exonerated. *)
+
+(** [check ~subject ~required net] proves the property for every
+    named register with a next-state net (generator-loaded registers
+    are skipped). *)
+val check :
+  subject:string -> required:bool -> Stc_netlist.Netlist.t ->
+  Diagnostic.t list
+
+(** The registered pass (name ["net-prove"]): {!check} over every
+    context netlist target, [required] from
+    {!Context.netlist_target.feedback_free}. *)
+val pass : Pass.t

@@ -22,22 +22,29 @@ let m_errors = lazy (Metrics.counter "lint.diagnostics.error")
 let m_warnings = lazy (Metrics.counter "lint.diagnostics.warning")
 let m_infos = lazy (Metrics.counter "lint.diagnostics.info")
 
-let run_all ?(select = fun _ -> true) ctx =
+let run_one ctx pass =
+  Trace.span ~cat:"lint" ("lint." ^ pass.name) @@ fun () ->
+  let found = pass.run ctx in
+  Metrics.incr (Lazy.force m_runs);
+  Metrics.add (Lazy.force m_errors) (Diagnostic.count Diagnostic.Error found);
+  Metrics.add (Lazy.force m_warnings)
+    (Diagnostic.count Diagnostic.Warning found);
+  Metrics.add (Lazy.force m_infos) (Diagnostic.count Diagnostic.Info found);
+  found
+
+let run_all ?(select = fun _ -> true) ?(jobs = 1) ctx =
+  let passes = List.filter select (all ()) in
   let diags =
-    List.concat_map
-      (fun pass ->
-        if not (select pass) then []
-        else
-          Trace.span ~cat:"lint" ("lint." ^ pass.name) @@ fun () ->
-          let found = pass.run ctx in
-          Metrics.incr (Lazy.force m_runs);
-          Metrics.add (Lazy.force m_errors)
-            (Diagnostic.count Diagnostic.Error found);
-          Metrics.add (Lazy.force m_warnings)
-            (Diagnostic.count Diagnostic.Warning found);
-          Metrics.add (Lazy.force m_infos)
-            (Diagnostic.count Diagnostic.Info found);
-          found)
-      (all ())
+    if jobs <= 1 then List.concat_map (run_one ctx) passes
+    else begin
+      (* passes are independent; fan them over the domain pool and
+         re-concatenate in name order, so the merged report is the
+         sequential one (Diagnostic.sort is a total order anyway) *)
+      let arr = Array.of_list passes in
+      Stc_util.Parallel.map_range ~jobs (Array.length arr)
+        (fun i -> run_one ctx arr.(i))
+        ~init:[]
+      |> Array.to_list |> List.concat
+    end
   in
   Diagnostic.sort diags

@@ -24,7 +24,10 @@ val find : string -> t option
 (** [all ()] lists registered passes sorted by name. *)
 val all : unit -> t list
 
-(** [run_all ?select ctx] runs the selected passes (default: all) in
-    name order and returns {!Diagnostic.sort} of their combined
-    output. *)
-val run_all : ?select:(t -> bool) -> Context.t -> Diagnostic.t list
+(** [run_all ?select ?jobs ctx] runs the selected passes (default: all)
+    in name order and returns {!Diagnostic.sort} of their combined
+    output.  With [jobs > 1] the passes fan out over that many domains
+    ({!Stc_util.Parallel.map_range}); results are merged in name order
+    before sorting, so the report is byte-identical to the sequential
+    run. *)
+val run_all : ?select:(t -> bool) -> ?jobs:int -> Context.t -> Diagnostic.t list

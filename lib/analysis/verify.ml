@@ -1,0 +1,15 @@
+let builtin = [ Cec.pass; Net_prove.pass; Sat_redundant.pass ]
+
+let () = List.iter Pass.register builtin
+
+let names = List.map (fun p -> p.Pass.name) builtin
+
+let select_name keep p = List.mem p.Pass.name keep
+
+let run ?(select = names) ctx =
+  let unknown = List.filter (fun n -> not (List.mem n names)) select in
+  (match unknown with
+  | [] -> ()
+  | n :: _ ->
+    invalid_arg (Printf.sprintf "Verify.run: unknown verification pass %S" n));
+  Pass.run_all ~jobs:1 ~select:(select_name select) ctx

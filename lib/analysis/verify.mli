@@ -1,0 +1,24 @@
+(** Front door of the SAT verification family: registers the three
+    proof passes and runs them over a {!Context.t}.
+
+    The family is disjoint from {!Lint.builtin}: [ostr lint] never runs
+    these (they are SAT-heavy and can take seconds per machine), and
+    [ostr verify] never runs the lint passes.  Both share the
+    {!Pass} registry, contexts and diagnostic plumbing.
+
+    Passes run sequentially in name order; parallelism lives {e inside}
+    the passes (the per-fault proofs fan over domains according to
+    [ctx.pass_jobs]), and every consumer is jobs-invariant, so reports
+    are byte-identical across [--jobs] settings. *)
+
+(** The verification passes (cec, net-prove, sat-redundant), in
+    registration order.  Loading this module registers them. *)
+val builtin : Pass.t list
+
+(** The pass names, for drivers that validate [--pass] selections. *)
+val names : string list
+
+(** [run ?select ctx] runs the selected verification passes (default
+    all three); sorted diagnostics.
+    @raise Invalid_argument if [select] names an unknown pass. *)
+val run : ?select:string list -> Context.t -> Diagnostic.t list

@@ -198,6 +198,16 @@ let run_sessions ?jobs ?naive ?need_cycles ~label netlist sessions =
     report ~label ~total ~detected ~undetected
   end
 
+let adjusted (r : report) ~redundant =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace tbl f ()) redundant;
+  let undetected =
+    List.filter (fun f -> not (Hashtbl.mem tbl f)) r.undetected
+  in
+  let excluded = List.length r.undetected - List.length undetected in
+  report ~label:r.label ~total:(r.total - excluded) ~detected:r.detected
+    ~undetected
+
 let fault_on (fault : Netlist.fault) tags =
   List.find_map
     (fun (name, gates) ->

@@ -69,6 +69,16 @@ val run_sessions :
     {!Netlist.word_bits} cycles.  Thin wrapper over {!Engine.pack}. *)
 val pack : stimuli -> int array list
 
+(** [adjusted report ~redundant] excludes proven-untestable faults from
+    the coverage denominator: every fault of [redundant] still sitting
+    in the undetected list is dropped from both the list and [total],
+    and [coverage] is recomputed as detected over the testable universe
+    - the honest correction the SAT prover
+    ({!Stc_sat.Prove.redundant}) enables.  Faults not present in the
+    undetected list (already detected, or from another netlist) are
+    ignored, so the adjustment can never inflate the numerator. *)
+val adjusted : report -> redundant:Netlist.fault list -> report
+
 (** [fault_on fault tags] finds the tag naming the fault's gate, if any;
     used to classify undetected faults (e.g. "feedback"). *)
 val fault_on : Netlist.fault -> (string * int list) list -> string option

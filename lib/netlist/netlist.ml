@@ -16,7 +16,12 @@ type t = {
   gates : gate array;
   inputs : int array;
   outputs : (string * int) array;
+  uid : int;
 }
+
+(* Every finished netlist gets a process-unique id: it keys the collapse
+   cache below (physical identity, not structure). *)
+let next_uid = Atomic.make 0
 
 let word_bits = 62
 
@@ -132,6 +137,7 @@ module Builder = struct
       gates = Array.sub b.gates 0 b.count;
       inputs = Array.of_list (List.rev b.input_ids);
       outputs = Array.of_list (List.rev b.output_list);
+      uid = Atomic.fetch_and_add next_uid 1;
     }
 end
 
@@ -325,7 +331,7 @@ type collapsed = {
   dominated_by : int array array;
 }
 
-let collapse ?protected (net : t) =
+let collapse_uncached ?protected (net : t) =
   let faults = Array.of_list (fault_sites net) in
   let nf = Array.length faults in
   let idx_of = Hashtbl.create (2 * nf) in
@@ -429,6 +435,43 @@ let collapse ?protected (net : t) =
     Array.map (fun ds -> Array.of_list (List.sort compare ds)) dom
   in
   { faults; class_of; classes; representatives; dominated_by }
+
+(* Collapsing is pure in (netlist identity, protected set) and costs a
+   union-find pass over the whole fault universe, yet the fault-test
+   session planner and the aliasing analyzer used to recompute it for
+   every session.  A small shared cache keyed by the netlist [uid] and
+   the normalized protected set memoizes it; entries are immutable after
+   construction, so sharing one [collapsed] across domains is safe.  The
+   cache is bounded: when it would exceed [collapse_cache_cap] keys it
+   is reset wholesale (netlists are short-lived in tests; a dropped
+   entry only costs a recompute). *)
+let collapse_cache : (int * int list, collapsed) Hashtbl.t = Hashtbl.create 32
+
+let collapse_mutex = Mutex.create ()
+
+let collapse_cache_cap = 64
+
+let collapse ?protected (net : t) =
+  let key =
+    let prot =
+      match protected with
+      | Some ps -> Array.to_list ps
+      | None -> Array.to_list (Array.map snd net.outputs)
+    in
+    (net.uid, List.sort_uniq compare prot)
+  in
+  Mutex.lock collapse_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock collapse_mutex)
+    (fun () ->
+      match Hashtbl.find_opt collapse_cache key with
+      | Some c -> c
+      | None ->
+        let c = collapse_uncached ?protected net in
+        if Hashtbl.length collapse_cache >= collapse_cache_cap then
+          Hashtbl.reset collapse_cache;
+        Hashtbl.add collapse_cache key c;
+        c)
 
 let pp ppf (net : t) =
   let open Format in

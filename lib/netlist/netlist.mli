@@ -26,6 +26,9 @@ type t = private {
   gates : gate array;
   inputs : int array;  (** indices of the [Input] gates, in creation order *)
   outputs : (string * int) array;
+  uid : int;
+      (** process-unique identity assigned by [Builder.finish]; keys the
+          {!collapse} cache *)
 }
 
 (** Number of independent pattern lanes per simulation word. *)
@@ -160,7 +163,13 @@ type collapsed = {
 (** [collapse ?protected net] collapses the fault list.  [protected]
     names the gates that may ever be observed directly (a session's
     observed nets); faults on protected gates are never folded onto
-    neighbours.  Default: the netlist's declared outputs. *)
+    neighbours.  Default: the netlist's declared outputs.
+
+    Results are memoized in a bounded process-wide cache keyed by
+    [(net.uid, sorted protected set)] — repeated calls for the same
+    machine (one per BIST session, one per aliasing measurement, one
+    per SAT proof pass) share a single computation.  The returned
+    arrays are shared: treat them as read-only. *)
 val collapse : ?protected:int array -> t -> collapsed
 
 val pp : Format.formatter -> t -> unit

@@ -165,13 +165,36 @@ let render_area entries =
 type coverage_entry = {
   name : string;
   fig2_coverage : float;
+  fig2_adjusted : float;
+  fig2_redundant : int;
   fig2_ff : int;
   fig2_escaped_feedback : int;
   fig3_coverage : float;
+  fig3_adjusted : float;
+  fig3_redundant : int;
   fig3_ff : int;
   fig4_coverage : float;
+  fig4_adjusted : float;
+  fig4_redundant : int;
   fig4_ff : int;
 }
+
+(* Union of the gates any session observes: the prover must consider a
+   fault testable if any session's observation points could see it. *)
+let observed_union (b : Arch.built) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, obs) -> Array.iter (fun g -> Hashtbl.replace tbl g ()) obs)
+    b.Arch.sessions;
+  Array.of_list
+    (List.sort compare (Hashtbl.fold (fun g () acc -> g :: acc) tbl []))
+
+let adjust ?jobs (b : Arch.built) (r : Session.report) =
+  let v =
+    Stc_sat.Prove.redundant ?jobs ~observed:(observed_union b) b.Arch.netlist
+  in
+  (Session.adjusted r ~redundant:v.Stc_sat.Prove.redundant,
+   List.length v.Stc_sat.Prove.redundant)
 
 let zoo_machines =
   [
@@ -210,6 +233,9 @@ let coverage ?cycles ?timeout ?jobs ?names () =
       let r2 = Arch.grade ?jobs fig2
       and r3 = Arch.grade ?jobs fig3
       and r4 = Arch.grade ?jobs fig4 in
+      let a2, red2 = adjust ?jobs fig2 r2
+      and a3, red3 = adjust ?jobs fig3 r3
+      and a4, red4 = adjust ?jobs fig4 r4 in
       let escaped =
         List.fold_left
           (fun acc (tag, n) ->
@@ -221,11 +247,17 @@ let coverage ?cycles ?timeout ?jobs ?names () =
       {
         name;
         fig2_coverage = r2.Session.coverage;
+        fig2_adjusted = a2.Session.coverage;
+        fig2_redundant = red2;
         fig2_ff = fig2.Arch.flipflops;
         fig2_escaped_feedback = escaped;
         fig3_coverage = r3.Session.coverage;
+        fig3_adjusted = a3.Session.coverage;
+        fig3_redundant = red3;
         fig3_ff = fig3.Arch.flipflops;
         fig4_coverage = r4.Session.coverage;
+        fig4_adjusted = a4.Session.coverage;
+        fig4_redundant = red4;
         fig4_ff = fig4.Arch.flipflops;
       })
     names
@@ -238,19 +270,26 @@ let render_coverage entries =
         [
           e.name;
           pct e.fig2_coverage;
+          pct e.fig2_adjusted;
+          string_of_int e.fig2_redundant;
           string_of_int e.fig2_ff;
           string_of_int e.fig2_escaped_feedback;
           pct e.fig3_coverage;
+          pct e.fig3_adjusted;
+          string_of_int e.fig3_redundant;
           string_of_int e.fig3_ff;
           pct e.fig4_coverage;
+          pct e.fig4_adjusted;
+          string_of_int e.fig4_redundant;
           string_of_int e.fig4_ff;
         ])
       entries
   in
   Table.render
     ~header:
-      [ "name"; "fig2 cov"; "ff"; "escaped fb"; "fig3 cov"; "ff";
-        "fig4 cov"; "ff" ]
+      [ "name"; "fig2 cov"; "adj"; "red"; "ff"; "escaped fb";
+        "fig3 cov"; "adj"; "red"; "ff";
+        "fig4 cov"; "adj"; "red"; "ff" ]
     rows
 
 type strategy_entry = {

@@ -60,14 +60,23 @@ val render_area : area_entry list -> string
     structure. *)
 type coverage_entry = {
   name : string;
-  fig2_coverage : float;
+  fig2_coverage : float;  (** raw: detected / all faults *)
+  fig2_adjusted : float;
+      (** detected / testable faults - SAT-proven untestable faults
+          ({!Stc_sat.Prove.redundant} over the union of session
+          observation points) are excluded from the denominator *)
+  fig2_redundant : int;  (** untestable raw faults excluded *)
   fig2_ff : int;
   fig2_escaped_feedback : int;
       (** undetected faults on the R-to-C feedback path of fig. 2 - the
           paper's drawback 3 *)
   fig3_coverage : float;
+  fig3_adjusted : float;
+  fig3_redundant : int;
   fig3_ff : int;
   fig4_coverage : float;
+  fig4_adjusted : float;
+  fig4_redundant : int;
   fig4_ff : int;
 }
 

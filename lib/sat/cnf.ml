@@ -1,0 +1,137 @@
+(* Tseitin encoders.  See cnf.mli for the conventions. *)
+
+module N = Stc_netlist.Netlist
+module Cover = Stc_logic.Cover
+module Cube = Stc_logic.Cube
+
+type lit = Solver.lit
+
+let clause s guard lits =
+  match guard with
+  | None -> Solver.add_clause s lits
+  | Some g -> Solver.add_clause s (Solver.negate g :: lits)
+
+let fresh s = Solver.pos (Solver.new_var s)
+
+let fresh_inputs s n = Array.init n (fun _ -> fresh s)
+
+let mk_and s ?guard lits =
+  match lits with
+  | [] -> Solver.true_lit s
+  | [ l ] -> l
+  | _ ->
+    let v = fresh s in
+    let nv = Solver.negate v in
+    List.iter (fun l -> clause s guard [ nv; l ]) lits;
+    clause s guard (v :: List.map Solver.negate lits);
+    v
+
+let mk_or s ?guard lits =
+  match lits with
+  | [] -> Solver.false_lit s
+  | [ l ] -> l
+  | _ ->
+    let v = fresh s in
+    let nv = Solver.negate v in
+    List.iter (fun l -> clause s guard [ Solver.negate l; v ]) lits;
+    clause s guard (nv :: lits);
+    v
+
+let mk_xor s ?guard a b =
+  let v = fresh s in
+  let nv = Solver.negate v in
+  let na = Solver.negate a and nb = Solver.negate b in
+  clause s guard [ nv; a; b ];
+  clause s guard [ nv; na; nb ];
+  clause s guard [ v; na; b ];
+  clause s guard [ v; a; nb ];
+  v
+
+(* sel = 0 -> v = a, sel = 1 -> v = b, plus the redundant
+   both-branches clauses for stronger propagation *)
+let mk_mux s ?guard sel a b =
+  let v = fresh s in
+  let nv = Solver.negate v in
+  let nsel = Solver.negate sel in
+  let na = Solver.negate a and nb = Solver.negate b in
+  clause s guard [ sel; na; v ];
+  clause s guard [ sel; a; nv ];
+  clause s guard [ nsel; nb; v ];
+  clause s guard [ nsel; b; nv ];
+  clause s guard [ na; nb; v ];
+  clause s guard [ a; b; nv ];
+  v
+
+let add_netlist s ?guard ?fault (net : N.t) ~inputs =
+  if Array.length inputs <> Array.length net.N.inputs then
+    invalid_arg "Cnf.add_netlist: inputs length mismatch";
+  let forced_output, fgate, fpin, fstuck =
+    match fault with
+    | None -> (-1, -1, -1, false)
+    | Some { N.gate; pin = None; stuck_at } -> (gate, -1, -1, stuck_at)
+    | Some { N.gate; pin = Some k; stuck_at } -> (-1, gate, k, stuck_at)
+  in
+  let const b = if b then Solver.true_lit s else Solver.false_lit s in
+  let lits = Array.make (N.num_gates net) (-1) in
+  let next_input = ref 0 in
+  Array.iteri
+    (fun idx gate ->
+      let read k x =
+        if idx = fgate && k = fpin then const fstuck else lits.(x)
+      in
+      let v =
+        if idx = forced_output then begin
+          (if match gate with N.Input _ -> true | _ -> false then
+             incr next_input);
+          const fstuck
+        end
+        else
+          match gate with
+          | N.Input _ ->
+            let l = inputs.(!next_input) in
+            incr next_input;
+            l
+          | N.Const b -> const b
+          | N.Buf x -> read 0 x
+          | N.Not x -> Solver.negate (read 0 x)
+          | N.And xs ->
+            mk_and s ?guard (List.mapi (fun k x -> read k x) (Array.to_list xs))
+          | N.Or xs ->
+            mk_or s ?guard (List.mapi (fun k x -> read k x) (Array.to_list xs))
+          | N.Xor xs ->
+            let acc = ref (read 0 xs.(0)) in
+            for k = 1 to Array.length xs - 1 do
+              acc := mk_xor s ?guard !acc (read k xs.(k))
+            done;
+            !acc
+          | N.Mux { sel; a; b } ->
+            mk_mux s ?guard (read 0 sel) (read 1 a) (read 2 b)
+      in
+      lits.(idx) <- v)
+    net.N.gates;
+  lits
+
+let outputs (net : N.t) lits =
+  Array.map (fun (_, g) -> lits.(g)) net.N.outputs
+
+let add_cover s ?guard (cover : Cover.t) ~inputs =
+  if Array.length inputs <> cover.Cover.num_vars then
+    invalid_arg "Cnf.add_cover: inputs length mismatch";
+  let cube_lit cube =
+    let conj = ref [] in
+    for v = cover.Cover.num_vars - 1 downto 0 do
+      match Cube.get cube v with
+      | Cube.Zero -> conj := Solver.negate inputs.(v) :: !conj
+      | Cube.One -> conj := inputs.(v) :: !conj
+      | Cube.Dc -> ()
+    done;
+    mk_and s ?guard !conj
+  in
+  let cube_lits = Array.map cube_lit cover.Cover.cubes in
+  Array.init cover.Cover.num_outputs (fun o ->
+      let terms = ref [] in
+      for i = Array.length cube_lits - 1 downto 0 do
+        if Cube.output_bit cover.Cover.cubes.(i) o then
+          terms := cube_lits.(i) :: !terms
+      done;
+      mk_or s ?guard !terms)

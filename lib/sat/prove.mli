@@ -1,0 +1,36 @@
+(** SAT-backed untestable-fault proofs.
+
+    For each collapsed fault class of a netlist, build the cone-limited
+    miter between the good circuit and the faulty circuit and ask for an
+    input assignment that makes any observed output differ.  UNSAT is a
+    {e proof} that no test pattern exists: the fault is untestable
+    (redundant), and excluding it from the coverage denominator is the
+    honest correction to the fig-5 numbers.
+
+    Incremental construction: each participating domain owns one solver
+    holding the good circuit once; every fault class then adds its
+    faulty cone {e guarded by a fresh activation literal}, solves under
+    the assumption of that literal, and retracts the cone with the unit
+    clause of its negation — the same activation-literal discipline a
+    future ATPG pass will use to enumerate test patterns. *)
+
+type netlist := Stc_netlist.Netlist.t
+
+type verdict = {
+  total_faults : int;  (** raw fault universe, [Netlist.fault_sites] *)
+  total_classes : int;  (** collapsed classes *)
+  redundant : Stc_netlist.Netlist.fault list;
+      (** untestable raw faults, in [fault_sites] order *)
+  redundant_classes : int;
+  unobservable_classes : int;
+      (** classes proven untestable structurally: no observed gate in
+          the fault cone (no SAT call needed) *)
+}
+
+(** [redundant ?jobs ?observed net] proves every collapsed fault class
+    testable or untestable.  [observed] is the set of gate indices ever
+    observed (default: the declared primary outputs); it is both the
+    collapse protection set and the miter's output set.  [jobs] domains
+    grade classes in parallel (verdicts are per-class pure, so the
+    result is independent of [jobs]). *)
+val redundant : ?jobs:int -> ?observed:int array -> netlist -> verdict

@@ -1,0 +1,586 @@
+(* MiniSat-style CDCL.  See solver.mli for the feature inventory.
+
+   Representation choices, tuned for the miter workload:
+   - literals are ints ([2v] / [2v+1]); all per-variable state lives in
+     flat arrays grown geometrically, so the propagation inner loop is
+     array indexing with no boxing;
+   - clauses are bare [int array]s in a growable store addressed by
+     index (reasons and watcher lists store indices, not pointers);
+   - the implied literal of a reason clause is kept at position 0, the
+     two watched literals at positions 0 and 1;
+   - no clause deletion: the instances here are small and short-lived
+     (one solver per verification session), so the learned store just
+     grows. *)
+
+let restart_base = 100
+
+type lit = int
+
+type result = Sat | Unsat
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+  solves : int;
+}
+
+(* Growable int vector (watcher lists, trail limits). *)
+type ivec = { mutable a : int array; mutable n : int }
+
+let ivec () = { a = [||]; n = 0 }
+
+let ipush v x =
+  if v.n = Array.length v.a then begin
+    let cap = max 4 (2 * v.n) in
+    let a = Array.make cap 0 in
+    Array.blit v.a 0 a 0 v.n;
+    v.a <- a
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
+
+type t = {
+  (* per-variable state, indexed by var *)
+  mutable values : int array;  (* 0 unassigned, 1 true, -1 false *)
+  mutable level : int array;
+  mutable reason : int array;  (* clause index, -1 for decisions *)
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;
+  mutable heap_pos : int array;  (* -1 when not in heap *)
+  mutable nvars : int;
+  (* per-literal watcher lists *)
+  mutable watches : ivec array;
+  (* clause store *)
+  mutable clauses : int array array;
+  mutable nclauses : int;
+  (* assignment trail *)
+  mutable trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  trail_lim : ivec;  (* trail_lim.n = current decision level *)
+  (* heap of unassigned candidate vars, ordered by activity *)
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable var_inc : float;
+  mutable ok : bool;  (* false once a top-level contradiction is found *)
+  mutable true_var : int;  (* -1 until allocated *)
+  mutable core : int list;  (* failed assumptions of the last Unsat *)
+  mutable n_decisions : int;
+  mutable n_conflicts : int;
+  mutable n_propagations : int;
+  mutable n_learned : int;
+  mutable n_restarts : int;
+  mutable n_solves : int;
+}
+
+let m_decisions = Stc_obs.Metrics.counter "sat.decisions"
+let m_conflicts = Stc_obs.Metrics.counter "sat.conflicts"
+let m_propagations = Stc_obs.Metrics.counter "sat.propagations"
+let m_solves = Stc_obs.Metrics.counter "sat.solves"
+
+let create () =
+  {
+    values = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    polarity = [||];
+    seen = [||];
+    heap_pos = [||];
+    nvars = 0;
+    watches = [||];
+    clauses = [||];
+    nclauses = 0;
+    trail = [||];
+    trail_len = 0;
+    qhead = 0;
+    trail_lim = ivec ();
+    heap = [||];
+    heap_len = 0;
+    var_inc = 1.0;
+    ok = true;
+    true_var = -1;
+    core = [];
+    n_decisions = 0;
+    n_conflicts = 0;
+    n_propagations = 0;
+    n_learned = 0;
+    n_restarts = 0;
+    n_solves = 0;
+  }
+
+let pos v = 2 * v
+let neg_of_var v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let num_vars s = s.nvars
+
+(* value of a literal: 0 unassigned, 1 true, -1 false *)
+let lit_value s l =
+  let v = s.values.(l lsr 1) in
+  if l land 1 = 0 then v else -v
+
+(* --- activity heap -------------------------------------------------- *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 in
+  if l < s.heap_len then begin
+    let r = l + 1 in
+    let c =
+      if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(l))
+      then r
+      else l
+    in
+    if s.activity.(s.heap.(c)) > s.activity.(s.heap.(i)) then begin
+      heap_swap s i c;
+      heap_down s c
+    end
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let last = s.heap.(s.heap_len) in
+    s.heap.(0) <- last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+(* --- variable allocation -------------------------------------------- *)
+
+let grow n a fill =
+  let cap = max n (max 16 (2 * Array.length a)) in
+  let b = Array.make cap fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let new_var s =
+  let v = s.nvars in
+  if v >= Array.length s.values then begin
+    let n = v + 1 in
+    s.values <- grow n s.values 0;
+    s.level <- grow n s.level 0;
+    s.reason <- grow n s.reason (-1);
+    s.activity <- (fun a -> Array.blit s.activity 0 a 0 (Array.length s.activity); a)
+        (Array.make (max n (max 16 (2 * Array.length s.activity))) 0.0);
+    s.polarity <- (fun a -> Array.blit s.polarity 0 a 0 (Array.length s.polarity); a)
+        (Array.make (max n (max 16 (2 * Array.length s.polarity))) false);
+    s.seen <- (fun a -> Array.blit s.seen 0 a 0 (Array.length s.seen); a)
+        (Array.make (max n (max 16 (2 * Array.length s.seen))) false);
+    s.heap_pos <- grow n s.heap_pos (-1);
+    s.heap <- grow n s.heap 0;
+    s.trail <- grow n s.trail 0;
+    let w = Array.init (max (2 * n) (max 32 (2 * Array.length s.watches)))
+        (fun i -> if i < Array.length s.watches then s.watches.(i) else ivec ())
+    in
+    s.watches <- w
+  end;
+  s.nvars <- v + 1;
+  s.values.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.activity.(v) <- 0.0;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- trail ----------------------------------------------------------- *)
+
+let decision_level s = s.trail_lim.n
+
+let enqueue s l reason =
+  let v = l lsr 1 in
+  s.values.(v) <- (if l land 1 = 0 then 1 else -1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let new_decision_level s = ipush s.trail_lim s.trail_len
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.a.(lvl) in
+    for i = s.trail_len - 1 downto bound do
+      let v = s.trail.(i) lsr 1 in
+      s.polarity.(v) <- s.values.(v) = 1;
+      s.values.(v) <- 0;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    s.trail_len <- bound;
+    s.qhead <- bound;
+    s.trail_lim.n <- lvl
+  end
+
+(* --- clauses --------------------------------------------------------- *)
+
+let store_clause s lits =
+  if s.nclauses = Array.length s.clauses then begin
+    let cap = max 16 (2 * s.nclauses) in
+    let a = Array.make cap [||] in
+    Array.blit s.clauses 0 a 0 s.nclauses;
+    s.clauses <- a
+  end;
+  s.clauses.(s.nclauses) <- lits;
+  let c = s.nclauses in
+  s.nclauses <- c + 1;
+  ipush s.watches.(lits.(0)) c;
+  ipush s.watches.(lits.(1)) c;
+  c
+
+(* Unit propagation.  Returns the conflicting clause index, or -1. *)
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < s.trail_len do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let np = p lxor 1 in
+    let ws = s.watches.(np) in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < ws.n do
+      let c = ws.a.(!i) in
+      incr i;
+      let lits = s.clauses.(c) in
+      (* ensure the falsified watch sits at position 1 *)
+      if lits.(0) = np then begin
+        lits.(0) <- lits.(1);
+        lits.(1) <- np
+      end;
+      let first = lits.(0) in
+      if lit_value s first = 1 then begin
+        (* satisfied: keep watching *)
+        ws.a.(!j) <- c;
+        incr j
+      end
+      else begin
+        (* look for a non-false replacement watch *)
+        let k = ref 2 in
+        let len = Array.length lits in
+        while !k < len && lit_value s lits.(!k) = -1 do incr k done;
+        if !k < len then begin
+          lits.(1) <- lits.(!k);
+          lits.(!k) <- np;
+          ipush s.watches.(lits.(1)) c
+          (* dropped from this list: do not bump j *)
+        end
+        else begin
+          ws.a.(!j) <- c;
+          incr j;
+          if lit_value s first = -1 then begin
+            (* conflict: restore the remaining watchers and stop *)
+            confl := c;
+            while !i < ws.n do
+              ws.a.(!j) <- ws.a.(!i);
+              incr j;
+              incr i
+            done;
+            s.qhead <- s.trail_len
+          end
+          else enqueue s first c
+        end
+      end
+    done;
+    ws.n <- !j
+  done;
+  !confl
+
+(* --- conflict analysis ----------------------------------------------- *)
+
+(* First-UIP resolution along the trail, then basic self-subsumption
+   minimization.  Returns the learned clause (asserting literal first)
+   and the backtrack level. *)
+let analyze s confl0 =
+  let learned = ref [] in
+  let nlearned = ref 0 in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref confl0 in
+  let index = ref (s.trail_len - 1) in
+  let cur = decision_level s in
+  let to_clear = ref [] in
+  let continue = ref true in
+  while !continue do
+    let lits = s.clauses.(!confl) in
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = q lsr 1 in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        bump s v;
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        if s.level.(v) >= cur then incr counter
+        else begin
+          learned := q :: !learned;
+          incr nlearned
+        end
+      end
+    done;
+    (* next trail literal to resolve on *)
+    while not s.seen.(s.trail.(!index) lsr 1) do decr index done;
+    p := s.trail.(!index);
+    decr index;
+    let v = !p lsr 1 in
+    s.seen.(v) <- false;
+    decr counter;
+    if !counter > 0 then confl := s.reason.(v) else continue := false
+  done;
+  (* basic minimization: drop literals whose reason is subsumed *)
+  let redundant q =
+    let v = q lsr 1 in
+    let r = s.reason.(v) in
+    r >= 0
+    &&
+    let lits = s.clauses.(r) in
+    let ok = ref true in
+    for k = 1 to Array.length lits - 1 do
+      let w = lits.(k) lsr 1 in
+      if (not s.seen.(w)) && s.level.(w) > 0 then ok := false
+    done;
+    !ok
+  in
+  let kept = List.filter (fun q -> not (redundant q)) !learned in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  let asserting = negate !p in
+  match kept with
+  | [] -> ([| asserting |], 0)
+  | _ ->
+    (* second watch: a literal of the highest remaining level *)
+    let best = ref (List.hd kept) in
+    List.iter
+      (fun q -> if s.level.(q lsr 1) > s.level.(!best lsr 1) then best := q)
+      kept;
+    let bt = s.level.(!best lsr 1) in
+    let arr =
+      Array.of_list (asserting :: !best :: List.filter (fun q -> q != !best) kept)
+    in
+    (arr, bt)
+
+(* Failed-assumption analysis: which assumptions imply the falsity of
+   assumption literal [a]?  (MiniSat's analyzeFinal.) *)
+let analyze_final s a =
+  let core = ref [ a ] in
+  if decision_level s > 0 then begin
+    let bottom = s.trail_lim.a.(0) in
+    s.seen.(a lsr 1) <- true;
+    for i = s.trail_len - 1 downto bottom do
+      let l = s.trail.(i) in
+      let v = l lsr 1 in
+      if s.seen.(v) then begin
+        (if s.reason.(v) < 0 then core := l :: !core
+         else
+           let lits = s.clauses.(s.reason.(v)) in
+           for k = 1 to Array.length lits - 1 do
+             let w = lits.(k) lsr 1 in
+             if s.level.(w) > 0 then s.seen.(w) <- true
+           done);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(a lsr 1) <- false
+  end;
+  !core
+
+(* --- adding clauses --------------------------------------------------- *)
+
+let add_clause s lits =
+  List.iter
+    (fun l ->
+      if l < 0 || l lsr 1 >= s.nvars then
+        invalid_arg "Solver.add_clause: literal out of range")
+    lits;
+  if s.ok then begin
+    cancel_until s 0;
+    (* simplify against the level-0 assignment *)
+    let lits = List.sort_uniq compare lits in
+    let taut =
+      List.exists (fun l -> List.mem (negate l) lits || lit_value s l = 1) lits
+    in
+    if not taut then begin
+      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l (-1);
+        if propagate s >= 0 then s.ok <- false
+      | _ :: _ :: _ -> ignore (store_clause s (Array.of_list lits))
+    end
+  end
+
+let true_lit s =
+  if s.true_var < 0 then begin
+    let v = new_var s in
+    s.true_var <- v;
+    add_clause s [ pos v ]
+  end;
+  pos s.true_var
+
+let false_lit s = negate (true_lit s)
+
+(* --- search ----------------------------------------------------------- *)
+
+let luby i =
+  (* the i-th term (1-based) of 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let record_learned s arr =
+  s.n_learned <- s.n_learned + 1;
+  if Array.length arr = 1 then enqueue s arr.(0) (-1)
+  else begin
+    let c = store_clause s arr in
+    enqueue s arr.(0) c
+  end
+
+let solve ?(assumptions = []) s =
+  s.n_solves <- s.n_solves + 1;
+  let d0 = s.n_decisions and c0 = s.n_conflicts and p0 = s.n_propagations in
+  s.core <- [];
+  let result =
+    if not s.ok then Unsat
+    else begin
+      List.iter
+        (fun l ->
+          if l < 0 || l lsr 1 >= s.nvars then
+            invalid_arg "Solver.solve: assumption out of range")
+        assumptions;
+      cancel_until s 0;
+      let assumps = Array.of_list assumptions in
+      let nassump = Array.length assumps in
+      let conflicts_here = ref 0 in
+      let restart_no = ref 0 in
+      let limit = ref (restart_base * luby 1) in
+      let answer = ref None in
+      (if propagate s >= 0 then begin
+         s.ok <- false;
+         answer := Some Unsat
+       end);
+      while !answer = None do
+        let confl = propagate s in
+        if confl >= 0 then begin
+          s.n_conflicts <- s.n_conflicts + 1;
+          incr conflicts_here;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            answer := Some Unsat
+          end
+          else begin
+            let arr, bt = analyze s confl in
+            cancel_until s bt;
+            record_learned s arr;
+            s.var_inc <- s.var_inc /. 0.95
+          end
+        end
+        else if decision_level s < nassump then begin
+          (* re-establish the next assumption *)
+          let a = assumps.(decision_level s) in
+          match lit_value s a with
+          | 1 -> new_decision_level s
+          | -1 ->
+            s.core <- analyze_final s a;
+            answer := Some Unsat
+          | _ ->
+            new_decision_level s;
+            enqueue s a (-1)
+        end
+        else if !conflicts_here >= !limit then begin
+          (* Luby restart *)
+          incr restart_no;
+          s.n_restarts <- s.n_restarts + 1;
+          conflicts_here := 0;
+          limit := restart_base * luby (!restart_no + 1);
+          cancel_until s 0
+        end
+        else begin
+          (* pick a branching variable *)
+          let v = ref (-1) in
+          while !v < 0 && s.heap_len > 0 do
+            let c = heap_pop s in
+            if s.values.(c) = 0 then v := c
+          done;
+          if !v < 0 then answer := Some Sat
+          else begin
+            s.n_decisions <- s.n_decisions + 1;
+            new_decision_level s;
+            enqueue s (if s.polarity.(!v) then pos !v else neg_of_var !v) (-1)
+          end
+        end
+      done;
+      (match !answer with Some r -> r | None -> assert false)
+    end
+  in
+  Stc_obs.Metrics.add m_decisions (s.n_decisions - d0);
+  Stc_obs.Metrics.add m_conflicts (s.n_conflicts - c0);
+  Stc_obs.Metrics.add m_propagations (s.n_propagations - p0);
+  Stc_obs.Metrics.incr m_solves;
+  result
+
+let value s l =
+  let v = s.values.(l lsr 1) in
+  if v = 0 then invalid_arg "Solver.value: unassigned literal";
+  if l land 1 = 0 then v = 1 else v = -1
+
+let unsat_core s = s.core
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    conflicts = s.n_conflicts;
+    propagations = s.n_propagations;
+    learned = s.n_learned;
+    restarts = s.n_restarts;
+    solves = s.n_solves;
+  }

@@ -1,0 +1,97 @@
+(** A small, dependency-free CDCL SAT solver.
+
+    The design is the classic MiniSat recipe, sized for the CNF
+    instances this repository produces (netlist miters with a few
+    thousand variables):
+
+    - {b two-watched literals} for unit propagation: each clause is
+      watched by its first two literals; a falsified watch triggers a
+      scan for a replacement, an implication, or a conflict;
+    - {b first-UIP clause learning} with self-subsumption minimization:
+      every conflict is resolved backwards along the trail until one
+      literal of the current decision level remains, and learned
+      literals whose reason is already subsumed are dropped;
+    - {b EVSIDS} variable scoring: a max-heap ordered by exponentially
+      decayed activity picks decision variables, with phase saving for
+      the polarity;
+    - {b Luby restarts} (unit {!restart_base} conflicts);
+    - {b incremental solving under assumptions}: assumptions are
+      enqueued as pseudo-decisions below all search decisions, clauses
+      may be added between [solve] calls, and a failed solve exposes the
+      subset of assumptions used in the refutation ({!unsat_core}) —
+      the activation-literal API the ATPG roadmap item builds on.
+
+    Literals are plain ints: variable [v] (from {!new_var}, [0]-based)
+    has positive literal [2 * v] and negative literal [2 * v + 1]
+    ({!pos}, {!neg_of_var}, {!negate}).  The solver is single-domain
+    mutable state; parallel users create one solver per domain.
+
+    When the {!Stc_obs.Metrics} registry is enabled, every [solve]
+    charges the [sat.decisions] / [sat.conflicts] / [sat.propagations] /
+    [sat.solves] counters with that call's work. *)
+
+type t
+
+(** Literals: [2 * var] (positive) or [2 * var + 1] (negated). *)
+type lit = int
+
+val create : unit -> t
+
+(** [new_var s] allocates a fresh variable and returns its index. *)
+val new_var : t -> int
+
+val num_vars : t -> int
+
+(** [pos v] / [neg_of_var v]: the two literals of variable [v]. *)
+val pos : int -> lit
+
+val neg_of_var : int -> lit
+
+val negate : lit -> lit
+
+val var_of : lit -> int
+
+(** [true_lit s] is a literal constrained true at level 0 (allocated on
+    first use); [false_lit s] is its negation. *)
+val true_lit : t -> lit
+
+val false_lit : t -> lit
+
+(** [add_clause s lits] adds a clause over existing variables.
+    Tautologies and clauses satisfied at level 0 are dropped; false
+    literals are removed.  An empty (or falsified unit) result makes
+    the instance contradictory: all subsequent solves answer [Unsat]
+    with an empty core.  Clauses may be added freely between [solve]
+    calls (the solver backtracks to level 0 first).
+    @raise Invalid_argument on a literal without a variable. *)
+val add_clause : t -> lit list -> unit
+
+type result = Sat | Unsat
+
+(** [solve ?assumptions s] decides satisfiability of the added clauses
+    under the given assumption literals (default none). *)
+val solve : ?assumptions:lit list -> t -> result
+
+(** After [solve] returned [Sat]: the model value of a literal.  Every
+    allocated variable is assigned in a model. *)
+val value : t -> lit -> bool
+
+(** After [solve] returned [Unsat]: the subset of the assumptions that
+    the refutation used (in no particular order).  Empty when the
+    clause set is contradictory without assumptions. *)
+val unsat_core : t -> lit list
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;  (** learned clauses currently in the store *)
+  restarts : int;
+  solves : int;
+}
+
+(** Cumulative counts since [create]. *)
+val stats : t -> stats
+
+(** Luby restart unit, in conflicts. *)
+val restart_base : int

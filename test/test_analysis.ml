@@ -297,13 +297,87 @@ let test_werror_gate () =
   check_bool "error always fails" true (D.fails ~werror:false [ e ])
 
 let test_pass_registry () =
+  (* Referencing Verify links it, which registers the SAT family. *)
+  check_int "verify family size" 3 (List.length Stc_analysis.Verify.builtin);
   let names =
     List.map (fun p -> p.Stc_analysis.Pass.name) (Stc_analysis.Pass.all ())
   in
+  check_int "all passes registered" 7 (List.length names);
   List.iter
     (fun n -> check_bool (n ^ " registered") true (List.mem n names))
-    [ "fsm-lint"; "cover-lint"; "net-graph"; "scoap" ];
-  check_bool "name-sorted" true (List.sort compare names = names)
+    [
+      "cec"; "cover-lint"; "fsm-lint"; "net-graph"; "net-prove";
+      "sat-redundant"; "scoap";
+    ];
+  check_bool "name-sorted" true (List.sort compare names = names);
+  (* The lint front door must ignore the verify family: its report on a
+     context never contains a verification code. *)
+  let ctx = Context.of_machine (Zoo.toggle ()) in
+  let lint = Stc_analysis.Lint.run ctx in
+  check_bool "lint excludes verify codes" false
+    (List.exists
+       (fun d ->
+         List.exists
+           (fun p -> String.length d.D.code >= 3 && String.sub d.D.code 0 3 = p)
+           [ "CEC"; "RED" ]
+         || d.D.code = "NET012")
+       lint)
+
+let test_verify_family () =
+  (* End-to-end: every proof must certify the toggle machine's pipeline
+     context, and parallel redundancy grading must not change the
+     report. *)
+  let ctx = Context.of_machine ~jobs:4 (Zoo.toggle ()) in
+  let diags = Stc_analysis.Verify.run ctx in
+  check_int "no errors" 0 (D.count D.Error diags);
+  check_bool "cec certificate present" true
+    (List.exists (fun d -> d.D.code = "CEC003") diags);
+  check_bool "netlist certificate present" true
+    (List.exists (fun d -> d.D.code = "CEC005") diags);
+  check_bool "naive agreement present" true
+    (List.exists (fun d -> d.D.code = "CEC007" || d.D.code = "CEC008") diags);
+  check_bool "pipeline certificate present" true
+    (List.exists (fun d -> d.D.code = "NET011") diags);
+  check_bool "redundancy summary present" true
+    (List.exists (fun d -> d.D.code = "RED002") diags);
+  let seq = Stc_analysis.Verify.run (Context.of_machine ~jobs:1 (Zoo.toggle ())) in
+  check_bool "jobs-invariant" true (seq = diags);
+  (match Stc_analysis.Verify.run ~select:[ "no-such-pass" ] ctx with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown pass name accepted");
+  let only_cec = Stc_analysis.Verify.run ~select:[ "cec" ] ctx in
+  check_bool "selection restricts" false
+    (List.exists (fun d -> d.D.code = "RED002") only_cec)
+
+let test_verify_catches_bad_cover () =
+  (* Seed a wrong minimized cover into a context block: CEC must refute
+     it with a witness instead of certifying. *)
+  let ctx = Context.of_machine (Zoo.toggle ()) in
+  let b = List.hd ctx.Context.blocks in
+  let wrong =
+    (* complement of a correct implementation: drops the on-set and
+       asserts the off-set wherever the dc-set allows *)
+    let n = b.Context.on.Cover.num_vars in
+    Cover.make ~num_vars:n ~num_outputs:b.Context.on.Cover.num_outputs
+      [ Cube.of_string (String.make n '-' ^ " " ^ String.make
+          b.Context.on.Cover.num_outputs '1') ]
+  in
+  let seeded = { b with Context.minimized = wrong } in
+  let diags = Stc_analysis.Cec.check_block ~subject:"seeded" seeded in
+  check_bool "off-set violation or dropped minterm reported" true
+    (List.exists (fun d -> d.D.code = "CEC001" || d.D.code = "CEC002") diags);
+  check_bool "witness included" true
+    (List.exists
+       (fun d ->
+         d.D.severity = D.Error
+         && (let msg = d.D.message in
+             let has sub =
+               let ls = String.length sub and lm = String.length msg in
+               let rec go i = i + ls <= lm && (String.sub msg i ls = sub || go (i + 1)) in
+               go 0
+             in
+             has "witness"))
+       diags)
 
 let test_scoap_summary_finite () =
   let ctx = Context.of_machine (Zoo.toggle ()) in
@@ -368,5 +442,12 @@ let () =
           Alcotest.test_case "werror gate" `Quick test_werror_gate;
           Alcotest.test_case "pass registry" `Quick test_pass_registry;
           Alcotest.test_case "scoap summary" `Quick test_scoap_summary_finite;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "family certifies toggle" `Quick
+            test_verify_family;
+          Alcotest.test_case "cec refutes a wrong cover" `Quick
+            test_verify_catches_bad_cover;
         ] );
     ]

@@ -47,9 +47,17 @@ else
   dune exec bench/main.exe -- core-quick
 fi
 
+echo "== SAT verify smoke (equivalence + redundancy proofs must hold) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- verify-quick
+else
+  dune exec bench/main.exe -- verify-quick
+fi
+
 echo "== every BENCH file must pass the versioned bench schema =="
 dune exec tools/json_lint.exe -- --bench \
-  BENCH_solver.json BENCH_faultsim.json BENCH_minimize.json BENCH_core.json
+  BENCH_solver.json BENCH_faultsim.json BENCH_minimize.json BENCH_core.json \
+  BENCH_verify.json
 
 echo "== traced smoke (trace + metrics + profile files must validate) =="
 obs_dir=$(mktemp -d)
@@ -72,6 +80,15 @@ else
 fi
 dune exec tools/json_lint.exe -- --bench "$obs_dir/bq_a.json" "$obs_dir/bq_b.json"
 dune exec tools/bench_diff.exe -- "$obs_dir/bq_a.json" "$obs_dir/bq_b.json"
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- verify-quick "$obs_dir/vq_a.json"
+  timeout 300 dune exec bench/main.exe -- verify-quick "$obs_dir/vq_b.json"
+else
+  dune exec bench/main.exe -- verify-quick "$obs_dir/vq_a.json"
+  dune exec bench/main.exe -- verify-quick "$obs_dir/vq_b.json"
+fi
+dune exec tools/json_lint.exe -- --bench "$obs_dir/vq_a.json" "$obs_dir/vq_b.json"
+dune exec tools/bench_diff.exe -- "$obs_dir/vq_a.json" "$obs_dir/vq_b.json"
 
 echo "== static lint gate (benchmark suite, --werror) =="
 # Expected-clean set: each of these machines must lint with zero errors AND
@@ -95,6 +112,15 @@ dune exec bin/ostr.exe -- lint fig5 > /dev/null
 echo "== lint JSON report must parse and carry the report keys =="
 dune exec bin/ostr.exe -- lint dk16 --json "$obs_dir/lint.json" > /dev/null
 dune exec tools/json_lint.exe -- "$obs_dir/lint.json" \
+  machine diagnostics summary
+
+echo "== verify gate (all zoo architectures must certify; report keys) =="
+for m in fig5 shiftreg4 toggle parity; do
+  echo "   verify --all-archs --werror $m"
+  dune exec bin/ostr.exe -- verify "$m" --all-archs --werror > /dev/null
+done
+dune exec bin/ostr.exe -- verify dk27 --json "$obs_dir/verify.json" > /dev/null
+dune exec tools/json_lint.exe -- "$obs_dir/verify.json" \
   machine diagnostics summary
 
 echo "check.sh: all gates passed"
