@@ -38,7 +38,16 @@
      redundancy-adjusted fig. 4 coverage, and CDCL solver counters;
      nonzero exit on any proof error or jobs disagreement.
    - `verify-quick [OUT]`: the same checks on two small machines with
-     short sessions - the CI gate (writes OUT when given). *)
+     short sessions - the CI gate (writes OUT when given).
+   - `anytime [OUT]`: write BENCH_anytime.json (default OUT) - the
+     stochastic anytime tier cross-checked against the exact optimum on
+     the full corpus (gap must be >= 0), plus the generated planted
+     family up to 5120 states with quality-vs-time trajectories and a
+     seeded jobs-1-vs-N determinism check; nonzero exit on any negative
+     gap, nondeterminism, trivial factorization or blown wall cap.
+   - `anytime-quick [OUT]`: the same checks on three small corpus
+     machines and a 96-state planted machine at tiny proposal budgets -
+     the CI gate (writes OUT when given). *)
 
 module Machine = Stc_fsm.Machine
 module Kiss = Stc_fsm.Kiss
@@ -47,6 +56,8 @@ module Suite = Stc_benchmarks.Suite
 module Partition = Stc_partition.Partition
 module Pair = Stc_partition.Pair
 module Solver = Stc_core.Solver
+module Anytime = Stc_core.Anytime
+module Generate = Stc_fsm.Generate
 module Realization = Stc_core.Realization
 module Tables = Stc_encoding.Tables
 module Minimize = Stc_logic.Minimize
@@ -1305,6 +1316,289 @@ let run_verify ?(out = "BENCH_verify.json") () =
 let run_verify_quick ?out () =
   run_verify_rows ~cycles:256 ~out [ "fig5"; "dk27" ]
 
+(* ------------------------------------------------------------------ *)
+(* Anytime: stochastic-tier cross-check and the scale frontier         *)
+(* ------------------------------------------------------------------ *)
+
+(* Quality-vs-time rows for the anytime tier (lib/core/anytime.ml), in
+   two families:
+
+   - corpus rows: the 13 suite machines, exact optimum vs the forced
+     stochastic tier at a capped proposal budget.  The gap
+     (stochastic - exact bits) must be >= 0 by optimality of the exact
+     tier; a negative gap is a bug and fails the mode.
+   - generated rows: the planted:<n>x4 family (lib/fsm/generate.ml),
+     beyond the exact tier's reach.  The flagship >= 1000-state row must
+     finish under the 60 s budget with a nontrivial factorization.
+
+   Where [deterministic] is reported, the same seed was re-run and run
+   again at jobs=par_jobs, and cost, factor partitions and RNG-stream
+   fingerprint were required to be identical (the jobs-invariance
+   contract of Anytime).  The configs below stop on deterministic
+   counters; the wall budget is a safety cap sized not to fire. *)
+
+type anytime_row = {
+  an_name : string;
+  an_states : int;
+  an_jobs : int;
+  an_tier : string;
+  an_bits : int;
+  an_s1 : int;
+  an_s2 : int;
+  an_trivial_bits : int;
+  an_exact_bits : int option;  (* exact optimum - corpus rows only *)
+  an_wall : float;
+  an_evals : int;
+  an_feasible : int;
+  an_rounds : int;
+  an_sa_accepted : int;
+  an_timed_out : bool;
+  an_fingerprint : int;
+  an_deterministic : bool option;  (* None = identity not re-checked *)
+  an_trajectory : Anytime.frontier_point list;
+  an_ok : bool;
+}
+
+let anytime_identical (a : Anytime.result) (b : Anytime.result) =
+  Solver.compare_cost a.Anytime.best.Solver.cost b.Anytime.best.Solver.cost = 0
+  && a.Anytime.stats.Anytime.rng_fingerprint
+     = b.Anytime.stats.Anytime.rng_fingerprint
+  && Partition.compare a.Anytime.best.Solver.pi b.Anytime.best.Solver.pi = 0
+  && Partition.compare a.Anytime.best.Solver.rho b.Anytime.best.Solver.rho = 0
+
+let anytime_row_of_result ~name ~jobs ~exact_bits ~deterministic ~wall machine
+    (r : Anytime.result) =
+  let s = r.Anytime.stats in
+  let best = r.Anytime.best in
+  let bits = best.Solver.cost.Solver.bits in
+  let gap_ok = match exact_bits with Some e -> bits >= e | None -> true in
+  {
+    an_name = name;
+    an_states = machine.Machine.num_states;
+    an_jobs = jobs;
+    an_tier = Format.asprintf "%a" Anytime.pp_tier s.Anytime.tier;
+    an_bits = bits;
+    an_s1 = Partition.num_classes best.Solver.pi;
+    an_s2 = Partition.num_classes best.Solver.rho;
+    an_trivial_bits = 2 * Machine.bits_for machine.Machine.num_states;
+    an_exact_bits = exact_bits;
+    an_wall = wall;
+    an_evals = s.Anytime.evals;
+    an_feasible = s.Anytime.feasible;
+    an_rounds = s.Anytime.rounds;
+    an_sa_accepted = s.Anytime.sa_accepted;
+    an_timed_out = s.Anytime.timed_out;
+    an_fingerprint = s.Anytime.rng_fingerprint;
+    an_deterministic = deterministic;
+    an_trajectory = s.Anytime.trajectory;
+    an_ok =
+      gap_ok
+      && (not s.Anytime.timed_out)
+      && match deterministic with Some d -> d | None -> true;
+  }
+
+(* Forced stochastic tier on a suite machine, cross-checked against the
+   exact optimum.  Identity is always re-checked on corpus rows (they
+   are small). *)
+let anytime_corpus_row ~config (spec : Suite.spec) =
+  let machine = Suite.machine spec in
+  let exact = Solver.solve ~timeout:120.0 machine in
+  let r1, wall = timed (fun () -> Anytime.search ~config machine) in
+  let r2 = Anytime.search ~config machine in
+  let rn =
+    Anytime.search ~config:{ config with Anytime.jobs = par_jobs } machine
+  in
+  let deterministic = anytime_identical r1 r2 && anytime_identical r1 rn in
+  anytime_row_of_result ~name:spec.Suite.name ~jobs:config.Anytime.jobs
+    ~exact_bits:(Some exact.Solver.best.Solver.cost.Solver.bits)
+    ~deterministic:(Some deterministic) ~wall machine r1
+
+(* Full anytime driver on a generated machine; must beat the trivial
+   doubled realization and stay under the wall cap. *)
+let anytime_generated_row ~spec ~config ~check_identity () =
+  let machine =
+    match Generate.of_spec spec with
+    | Some m -> m
+    | None -> failwith ("bench: bad generator spec " ^ spec)
+  in
+  let r1, wall = timed (fun () -> Anytime.solve ~config machine) in
+  let deterministic =
+    if check_identity then begin
+      let r2 = Anytime.solve ~config machine in
+      let rn =
+        Anytime.solve ~config:{ config with Anytime.jobs = par_jobs } machine
+      in
+      Some (anytime_identical r1 r2 && anytime_identical r1 rn)
+    end
+    else None
+  in
+  let name =
+    if config.Anytime.jobs = 1 then spec
+    else Printf.sprintf "%s#j%d" spec config.Anytime.jobs
+  in
+  let row =
+    anytime_row_of_result ~name ~jobs:config.Anytime.jobs ~exact_bits:None
+      ~deterministic ~wall machine r1
+  in
+  {
+    row with
+    an_ok =
+      row.an_ok && wall < 60.0 && not (Solver.is_trivial machine r1.Anytime.best);
+  }
+
+let print_anytime_row r =
+  Printf.printf
+    "%-22s %5d st j%d %-22s bits %2d (%d,%d; trivial %2d)%s wall %6.2fs \
+     evals %5d feas %4d rounds %3d%s fp %016x%s\n%!"
+    r.an_name r.an_states r.an_jobs r.an_tier r.an_bits r.an_s1 r.an_s2
+    r.an_trivial_bits
+    (match r.an_exact_bits with
+    | Some e -> Printf.sprintf " exact %d gap %+d" e (r.an_bits - e)
+    | None -> "")
+    r.an_wall r.an_evals r.an_feasible r.an_rounds
+    (match r.an_deterministic with
+    | Some true -> " deterministic"
+    | Some false -> " NONDETERMINISTIC"
+    | None -> "")
+    r.an_fingerprint
+    (if r.an_ok then "" else "  FAIL")
+
+let json_of_anytime_row r =
+  let base =
+    [
+      ("name", Json.String r.an_name);
+      ("states", Json.Int r.an_states);
+      ("jobs", Json.Int r.an_jobs);
+      ("tier", Json.String r.an_tier);
+      ("bits", Json.Int r.an_bits);
+      ("s1", Json.Int r.an_s1);
+      ("s2", Json.Int r.an_s2);
+      ("trivial_bits", Json.Int r.an_trivial_bits);
+      ("wall_s", Json.Float r.an_wall);
+      ("evals", Json.Int r.an_evals);
+      ("feasible", Json.Int r.an_feasible);
+      ("rounds", Json.Int r.an_rounds);
+      ("sa_accepted", Json.Int r.an_sa_accepted);
+      ("timed_out", Json.Bool r.an_timed_out);
+      ("rng_fingerprint", Json.String (Printf.sprintf "%016x" r.an_fingerprint));
+    ]
+  (* null, not absent, where a check did not run - the schema keeps row
+     keys uniform *)
+  and exact =
+    match r.an_exact_bits with
+    | Some e ->
+      [ ("exact_bits", Json.Int e); ("gap_bits", Json.Int (r.an_bits - e)) ]
+    | None -> [ ("exact_bits", Json.Null); ("gap_bits", Json.Null) ]
+  and det =
+    [
+      ( "deterministic",
+        match r.an_deterministic with
+        | Some d -> Json.Bool d
+        | None -> Json.Null );
+    ]
+  and traj =
+    (* inside a List, so bench_diff skips these elapsed_s leaves - the
+       trajectory is data for EXPERIMENTS.md plots, not a gated metric *)
+    [
+      ( "trajectory",
+        Json.List
+          (List.map
+             (fun (p : Anytime.frontier_point) ->
+               Json.Obj
+                 [
+                   ("round", Json.Int p.Anytime.round);
+                   ("evals", Json.Int p.Anytime.evals);
+                   ("elapsed_s", Json.Float p.Anytime.elapsed);
+                   ("bits", Json.Int p.Anytime.cost.Solver.bits);
+                 ])
+             r.an_trajectory) );
+    ]
+  in
+  Json.Obj (base @ exact @ det @ traj)
+
+let finish_anytime ~out rows =
+  List.iter print_anytime_row rows;
+  let failures = List.length (List.filter (fun r -> not r.an_ok) rows) in
+  (match out with
+  | Some path when failures = 0 ->
+    Json.write path
+      (Schema.wrap ~bench:"anytime" ~jobs:par_jobs
+         ~extra:
+           [
+             ( "recommended_domains",
+               Json.Int (Domain.recommended_domain_count ()) );
+           ]
+         (List.map json_of_anytime_row rows));
+    Printf.printf "wrote %s\n" path
+  | _ -> ());
+  if failures = 0 then Printf.printf "anytime: all rows ok\n";
+  exit failures
+
+let anytime_corpus_config =
+  { Anytime.default_config with Anytime.max_evals = 6000; jobs = 1 }
+
+let run_anytime ?(out = "BENCH_anytime.json") () =
+  let corpus =
+    List.map (anytime_corpus_row ~config:anytime_corpus_config) Suite.all
+  in
+  let gen ?(check_identity = false) ?(jobs = 1) ~max_evals spec =
+    anytime_generated_row ~spec
+      ~config:
+        {
+          Anytime.default_config with
+          Anytime.max_evals;
+          jobs;
+          budget = 60.0;
+        }
+      ~check_identity ()
+  in
+  let generated =
+    [ gen ~check_identity:true ~max_evals:4000 "planted:1024x4@1" ]
+    @ (if par_jobs > 1 then
+         [ gen ~jobs:par_jobs ~max_evals:4000 "planted:1024x4@1" ]
+       else [])
+    @ [
+        (* proposal budgets shrink with size: a proposal costs roughly
+           O(states * classes / 64), so these keep each row well under
+           the 60 s wall cap (which must not fire - it is the one
+           nondeterministic stop) *)
+        gen ~max_evals:2000 "planted:2048x4@1";
+        gen ~max_evals:1000 "planted:5120x4@1";
+      ]
+  in
+  finish_anytime ~out:(Some out) (corpus @ generated)
+
+(* The CI gate: three small corpus machines plus a small planted
+   machine, tiny proposal budgets, forced past the exact tier.  Writes
+   the schema'd row file when OUT is given so check.sh can run it twice
+   and bench_diff the walls. *)
+let anytime_quick_config =
+  {
+    Anytime.default_config with
+    Anytime.beam_width = 4;
+    moves_per_candidate = 12;
+    max_rounds = 40;
+    max_evals = 800;
+    patience = 8;
+    sa_chains = 2;
+    sa_steps = 100;
+    jobs = 1;
+  }
+
+let run_anytime_quick ?out () =
+  let corpus =
+    List.filter_map Suite.find [ "dk27"; "tav"; "mc" ]
+    |> List.map (anytime_corpus_row ~config:anytime_quick_config)
+  in
+  let generated =
+    [
+      anytime_generated_row ~spec:"planted:96x4@1"
+        ~config:{ anytime_quick_config with Anytime.exact_max_states = 64 }
+        ~check_identity:true ();
+    ]
+  in
+  finish_anytime ~out (corpus @ generated)
+
 let () =
   (* `--profile FILE` anywhere on the line samples the whole run and
      writes folded stacks at exit - modes terminate via [exit], so the
@@ -1344,6 +1638,10 @@ let () =
   | [ "verify"; out ] -> run_verify ~out ()
   | [ "verify-quick" ] -> run_verify_quick ()
   | [ "verify-quick"; out ] -> run_verify_quick ~out ()
+  | [ "anytime" ] -> run_anytime ()
+  | [ "anytime"; out ] -> run_anytime ~out ()
+  | [ "anytime-quick" ] -> run_anytime_quick ()
+  | [ "anytime-quick"; out ] -> run_anytime_quick ~out ()
   | [ "micro" ] -> run_benchmarks ()
   | [ "tables" ] -> print_tables ()
   | [] | [ "all" ] ->
@@ -1354,5 +1652,6 @@ let () =
       ("bench: unknown mode " ^ other
      ^ " (expected all, tables, micro, quick, json, faultsim, \
         faultsim-quick, minimize, minimize-quick, core, core-quick, \
-        verify or verify-quick [OUT]; any mode accepts --profile FILE)");
+        verify, verify-quick, anytime or anytime-quick [OUT]; any mode \
+        accepts --profile FILE)");
     exit 2

@@ -8,6 +8,7 @@ module Equiv = Stc_fsm.Equiv
 module Dot = Stc_fsm.Dot
 module Ostr_core = Stc_core.Ostr
 module Solver = Stc_core.Solver
+module Anytime = Stc_core.Anytime
 module Realization = Stc_core.Realization
 module Partition = Stc_partition.Partition
 module Tables = Stc_encoding.Tables
@@ -39,11 +40,16 @@ let load_machine spec =
   else
     match Experiments.machine_named spec with
     | Some m -> Ok m
-    | None ->
-      Error
-        (Printf.sprintf
-           "%S is neither a file nor a known machine (benchmarks: %s)" spec
-           (String.concat ", " Suite.names))
+    | None -> (
+      match Stc_fsm.Generate.of_spec spec with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (Printf.sprintf
+             "%S is neither a file, a known machine (benchmarks: %s), nor a \
+              generator spec (random:<n>x<k>[@seed], planted:<n>x<k>[@seed])"
+             spec
+             (String.concat ", " Suite.names)))
 
 let machine_arg =
   let doc =
@@ -201,27 +207,185 @@ let minimize_cmd =
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Shared by [ostr anytime] and [ostr solve --anytime]. *)
+let print_anytime_result (m : Machine.t) verbose (r : Anytime.result) =
+  let open Anytime in
+  let best = r.best in
+  Format.printf "tier: %a@." pp_tier r.stats.tier;
+  Option.iter
+    (fun (e : Solver.stats) ->
+      Format.printf "exact tier: %d nodes investigated in %.2f s%s@."
+        e.Solver.investigated e.Solver.elapsed
+        (if e.Solver.timed_out then " (budget hit, handed off)" else ""))
+    r.stats.exact;
+  (match r.stats.tier with
+  | Exact -> ()
+  | Stochastic _ ->
+    Format.printf
+      "stochastic tier: %d rounds, %d evals (%d feasible), %d SA acceptances, \
+       rng fingerprint %016x@."
+      r.stats.rounds r.stats.evals r.stats.feasible r.stats.sa_accepted
+      r.stats.rng_fingerprint;
+    List.iter
+      (fun p ->
+        Format.printf "  round %-4d evals %-7d %6.2f s  %d bits@." p.round
+          p.evals p.elapsed p.cost.Solver.bits)
+      r.stats.trajectory);
+  Format.printf
+    "best: %d bits (factors %d x %d states; conventional doubling needs %d \
+     bits)@."
+    best.Solver.cost.Solver.bits
+    (Partition.num_classes best.Solver.pi)
+    (Partition.num_classes best.Solver.rho)
+    (2 * Machine.bits_for m.Machine.num_states);
+  Format.printf "elapsed: %.2f s%s@." r.stats.elapsed
+    (if r.stats.timed_out then " (wall budget hit)" else "");
+  if verbose || m.Machine.num_states <= 64 then begin
+    Format.printf "pi  (S1): %s@." (Partition.to_string best.Solver.pi);
+    Format.printf "rho (S2): %s@." (Partition.to_string best.Solver.rho)
+  end
+
 let solve_cmd =
-  let run spec timeout jobs verbose obs =
+  let run spec timeout jobs anytime verbose obs =
     let m = or_die (load_machine spec) in
     with_obs obs @@ fun () ->
-    let outcome = Ostr_core.run ~timeout ~jobs:(resolve_jobs jobs) m in
-    Format.printf "%a@." Ostr_core.pp_summary outcome;
-    Format.printf "pi  (S1): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.pi);
-    Format.printf "rho (S2): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.rho);
-    if verbose then begin
-      Format.printf "%a@." Realization.pp_factors outcome.Ostr_core.realization;
-      Format.printf "product machine:@.%a@." Machine.pp
-        outcome.Ostr_core.realization.Realization.product
+    if anytime then
+      let config =
+        { Anytime.default_config with budget = timeout;
+          jobs = resolve_jobs jobs }
+      in
+      print_anytime_result m verbose (Anytime.solve ~config m)
+    else begin
+      let outcome = Ostr_core.run ~timeout ~jobs:(resolve_jobs jobs) m in
+      Format.printf "%a@." Ostr_core.pp_summary outcome;
+      Format.printf "pi  (S1): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.pi);
+      Format.printf "rho (S2): %s@." (Partition.to_string outcome.Ostr_core.solution.Solver.rho);
+      if verbose then begin
+        Format.printf "%a@." Realization.pp_factors outcome.Ostr_core.realization;
+        Format.printf "product machine:@.%a@." Machine.pp
+          outcome.Ostr_core.realization.Realization.product
+      end
     end
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print the factor tables.")
   in
+  let anytime =
+    Arg.(
+      value & flag
+      & info [ "anytime" ]
+          ~doc:
+            "Use the anytime driver: exact search under a budget, stochastic \
+             tier on hand-off (see the $(b,anytime) command).")
+  in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve problem OSTR: find the optimal self-testable realization.")
-    Term.(const run $ machine_arg $ timeout_arg $ jobs_arg $ verbose $ obs_term)
+    Term.(
+      const run $ machine_arg $ timeout_arg $ jobs_arg $ anytime $ verbose
+      $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* anytime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let anytime_cmd =
+  let run spec budget seed jobs evals beam moves sa_steps force verbose obs =
+    let m = or_die (load_machine spec) in
+    with_obs obs @@ fun () ->
+    let config =
+      {
+        Anytime.default_config with
+        seed;
+        budget;
+        jobs = resolve_jobs jobs;
+        max_evals = evals;
+        beam_width = beam;
+        moves_per_candidate = moves;
+        sa_steps;
+      }
+    in
+    print_anytime_result m verbose (Anytime.solve ~config ~force m)
+  in
+  let budget =
+    Arg.(
+      value & opt float 60.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget: the exact tier gets half, the stochastic \
+             tier the rest.  Deterministic eval/round caps are the primary \
+             stops; the budget is a safety net.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Master RNG seed.  Equal seeds give bit-identical results at any \
+             $(b,--jobs) value.")
+  in
+  let evals =
+    Arg.(
+      value
+      & opt int Anytime.default_config.Anytime.max_evals
+      & info [ "evals" ] ~docv:"N"
+          ~doc:"Total proposal budget (beam + annealing).")
+  in
+  let beam =
+    Arg.(
+      value
+      & opt int Anytime.default_config.Anytime.beam_width
+      & info [ "beam" ] ~docv:"N" ~doc:"Beam width (survivors per round).")
+  in
+  let moves =
+    Arg.(
+      value
+      & opt int Anytime.default_config.Anytime.moves_per_candidate
+      & info [ "moves" ] ~docv:"N"
+          ~doc:"Proposals per beam survivor per round.")
+  in
+  let sa_steps =
+    Arg.(
+      value
+      & opt int Anytime.default_config.Anytime.sa_steps
+      & info [ "sa-steps" ] ~docv:"N"
+          ~doc:"Metropolis steps per annealing chain.")
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force-stochastic" ]
+          ~doc:"Skip the exact tier even when the machine is small.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print the factor partitions even for large machines.")
+  in
+  Cmd.v
+    (Cmd.info "anytime"
+       ~doc:
+         "Anytime OSTR search: exact DFS under a budget, then seeded beam \
+          search + simulated annealing over partition pairs.  Scales to \
+          10^3-10^4-state machines (try planted:1024x4@1)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the exact Mm-lattice search under a node/wall budget and \
+              hands off to a stochastic tier when the budget fires (or \
+              immediately, for machines whose basis would be too large to \
+              build).  The stochastic tier is a seeded beam search over \
+              partition-pair merges/splits closed to symmetric pairs, with \
+              the fused meet-subseteq admissibility kernel as the \
+              feasibility gate, followed by simulated-annealing polish.  \
+              Results are reproducible: equal seeds give bit-identical \
+              output at any --jobs value.";
+         ])
+    Term.(
+      const run $ machine_arg $ budget $ seed $ jobs_arg $ evals $ beam
+      $ moves $ sa_steps $ force $ verbose $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* realize                                                             *)
@@ -688,7 +852,7 @@ let () =
     Cmd.group
       (Cmd.info "ostr" ~version:"1.0.0" ~doc)
       [
-        info_cmd; minimize_cmd; solve_cmd; realize_cmd; dot_cmd; table1_cmd;
+        info_cmd; minimize_cmd; solve_cmd; anytime_cmd; realize_cmd; dot_cmd; table1_cmd;
         table2_cmd; area_cmd; faultcov_cmd; testlen_cmd; extensions_cmd;
         decompose_cmd; aliasing_cmd; selftest_cmd; lint_cmd; verify_cmd;
         scoap_cmd; export_cmd;

@@ -16,6 +16,17 @@ let m_pruned = Metrics.counter "solver.pruned"
 let m_solutions = Metrics.counter "solver.solutions"
 let m_memo_hits = Metrics.counter "solver.memo_hits"
 let g_best_bits = Metrics.gauge "solver.best_bits"
+let g_effective_jobs = Metrics.gauge "solver.effective_jobs"
+
+(* Minimum top-level branches per requested domain before the fan-out
+   pays for itself.  BENCH_solver.json showed every corpus machine slower
+   at jobs=2 than sequential on a box where [recommended_domain_count]
+   is 1 (dk16: 0.59 s seq vs 0.66 s par): spawn/join overhead plus
+   duplicated transposition work swamp a basis of a few hundred
+   branches.  Below the threshold — or whenever the hardware offers a
+   single core — the solver silently degrades to the sequential fast
+   path, which also restores run-to-run deterministic stats. *)
+let par_basis_threshold = 64
 
 type cost = { bits : int; imbalance : float; factor_states : int }
 
@@ -131,9 +142,9 @@ let pool_add w sol =
   end
 
 let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
-    ?(jobs = 1) (machine : Machine.t) =
+    ?(jobs = 1) ?(sequential_fallback = true) (machine : Machine.t) =
   Trace.span ~cat:"solver" "solve" @@ fun () ->
-  let jobs = max 1 jobs in
+  let requested_jobs = max 1 jobs in
   let next = machine.next in
   let n = machine.num_states in
   let equiv = equivalence_partition machine in
@@ -142,6 +153,15 @@ let solve ?(timeout = infinity) ?(prune = true) ?(max_nodes = max_int)
         Array.of_list (Pair.basis ~next))
   in
   let num_basis = Array.length basis in
+  let jobs =
+    if
+      requested_jobs > 1 && sequential_fallback
+      && (Domain.recommended_domain_count () <= 1
+         || num_basis < par_basis_threshold * requested_jobs)
+    then 1
+    else requested_jobs
+  in
+  Metrics.set_gauge g_effective_jobs jobs;
   let start = Clock.now () in
   (* Shared between domains: the incumbent best (pruning bound for the
      recording path), the global node budget, and the cancellation flag

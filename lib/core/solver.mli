@@ -76,6 +76,13 @@ type result = { best : solution; stats : stats }
       deterministic, while parallel runs may investigate a few nodes more
       or fewer depending on how branches land on domains (each domain
       dedupes against its own transposition table).
+    - [sequential_fallback] (default [true]): degrade [jobs > 1] to the
+      sequential fast path when the hardware reports a single
+      recommended domain or the basis offers fewer than ~64 top-level
+      branches per requested domain — measured configurations where the
+      fan-out is slower than sequential search.  The effective fan-out
+      is published on the [solver.effective_jobs] gauge.  Pass [false]
+      to force the parallel machinery regardless (tests do).
 
     The search always returns at least the trivial solution found at the
     tree root, so [best] is total.  Every returned solution is validated:
@@ -85,6 +92,7 @@ val solve :
   ?prune:bool ->
   ?max_nodes:int ->
   ?jobs:int ->
+  ?sequential_fallback:bool ->
   Stc_fsm.Machine.t ->
   result
 

@@ -63,10 +63,18 @@ let repair_reachability ~rng ~num_inputs next start =
   done
 
 let random ~rng ~name ~num_states ~num_inputs ~num_outputs
-    ?(ensure_reduced = true) ?(max_attempts = 500) () =
+    ?(ensure_reduced = true) ?(max_attempts = 500) ?(completeness = 1.0) () =
+  if completeness < 0.0 || completeness > 1.0 then
+    invalid_arg "Generate.random: completeness must be in [0, 1]";
   let next =
-    Array.init num_states (fun _ ->
-        Array.init num_inputs (fun _ -> Rng.int rng num_states))
+    Array.init num_states (fun s ->
+        Array.init num_inputs (fun _ ->
+            (* Sparse machines: transitions outside the drawn fraction
+               self-loop, the FSM analogue of an unspecified entry in a
+               flow table.  Reachability repair below rewires as needed. *)
+            if completeness >= 1.0 || Rng.float rng < completeness then
+              Rng.int rng num_states
+            else s))
   in
   repair_reachability ~rng ~num_inputs next 0;
   let draw_outputs () =
@@ -98,7 +106,8 @@ let block_dynamics ~rng ~num_blocks ~num_inputs =
   sigma
 
 let block_product ~rng ~name ~blocks ~num_inputs ~num_outputs
-    ?(distinct_signatures = true) ?(max_attempts = 2000) () =
+    ?(distinct_signatures = true) ?(require_connected = true)
+    ?(max_attempts = 2000) () =
   if blocks = [] then invalid_arg "Generate.block_product: no blocks";
   List.iter
     (fun (r, c) ->
@@ -194,7 +203,10 @@ let block_product ~rng ~name ~blocks ~num_inputs ~num_outputs
         ~input_names:(binary_input_names num_inputs)
         ~output_names:(binary_output_names num_outputs) ()
     in
-    if Reach.is_connected machine && Equiv.is_reduced machine then Some machine
+    if
+      ((not require_connected) || Reach.is_connected machine)
+      && Equiv.is_reduced machine
+    then Some machine
     else None
     end
   in
@@ -223,3 +235,151 @@ let shuffled ~rng info =
     rho_classes.(perm.(s)) <- info.rho_classes.(s)
   done;
   { info with machine = Machine.relabel_states info.machine perm; pi_classes; rho_classes }
+
+(* Restrict a generated machine to its reachable component.  The planted
+   pair restricts along: any state word from a reachable state stays in
+   the component, so the restricted class maps still form a symmetric
+   pair with identity meet, and distinguishability (hence reducedness)
+   is preserved. *)
+let restrict_reachable info =
+  let m = info.machine in
+  let n = m.Machine.num_states in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  seen.(m.Machine.reset) <- true;
+  Queue.add m.Machine.reset queue;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    order := s :: !order;
+    incr count;
+    Array.iter
+      (fun s' ->
+        if not seen.(s') then begin
+          seen.(s') <- true;
+          Queue.add s' queue
+        end)
+      m.Machine.next.(s)
+  done;
+  if !count = n then info
+  else begin
+    let keep = Array.of_list (List.rev !order) in
+    let new_id = Array.make n (-1) in
+    Array.iteri (fun j s -> new_id.(s) <- j) keep;
+    let n' = Array.length keep in
+    let next = Array.map (fun s -> Array.map (fun t -> new_id.(t)) m.Machine.next.(s)) keep in
+    let output = Array.map (fun s -> Array.copy m.Machine.output.(s)) keep in
+    let machine =
+      Machine.make ~name:m.Machine.name ~num_states:n'
+        ~num_inputs:m.Machine.num_inputs ~num_outputs:m.Machine.num_outputs
+        ~next ~output
+        ~reset:new_id.(m.Machine.reset)
+        ~input_names:m.Machine.input_names
+        ~output_names:m.Machine.output_names ()
+    in
+    let pi_classes = Array.map (fun s -> info.pi_classes.(s)) keep in
+    let rho_classes = Array.map (fun s -> info.rho_classes.(s)) keep in
+    let distinct a =
+      let t = Hashtbl.create 16 in
+      Array.iter (fun c -> Hashtbl.replace t c ()) a;
+      Hashtbl.length t
+    in
+    {
+      machine;
+      pi_classes;
+      rho_classes;
+      num_pi = distinct pi_classes;
+      num_rho = distinct rho_classes;
+    }
+  end
+
+(* Scalable planted family: tile square blocks until the requested state
+   count.  The block edge grows with the machine so the distinct-
+   signature rejection stays viable — 8 rows drawn from c^k possibilities
+   per block must be pairwise distinct, and c = 8 with k >= 3 keeps the
+   per-block collision probability low enough that a few attempts
+   suffice even at 10^4 states.
+
+   At low fan-out the full product is essentially never connected (an
+   (a, b) pair needs a matching prefix to be hit), so instead of
+   rejection-sampling on connectivity the generator overshoots the state
+   count and restricts to the reachable component, growing the overshoot
+   until the component is big enough. *)
+let planted ~rng ~name ~num_states ~num_inputs ?(num_outputs = 4) ()
+    : product_info =
+  if num_states < 8 then invalid_arg "Generate.planted: need >= 8 states";
+  let edge = if num_states >= 512 then 8 else if num_states >= 64 then 4 else 2 in
+  let area = edge * edge in
+  let rec attempt target =
+    let num_blocks = max 2 ((target + area - 1) / area) in
+    let blocks = List.init num_blocks (fun _ -> (edge, edge)) in
+    let info =
+      block_product ~rng ~name ~blocks ~num_inputs ~num_outputs
+        ~require_connected:false ()
+    in
+    let info = restrict_reachable info in
+    if
+      info.machine.Machine.num_states >= num_states
+      || target >= 4 * num_states
+    then info
+    else attempt (target + max area (num_states / 4))
+  in
+  attempt (num_states + (num_states / 4))
+
+(* Spec grammar for CLI and bench drivers:
+     random:<states>x<inputs>[@seed][,<completeness>]
+     planted:<states>x<inputs>[@seed]
+   e.g. "planted:1024x4@7", "random:5000x2,0.8".  Inputs must be a power
+   of two (binary input names); outputs are fixed at 4 symbols. *)
+let of_spec spec =
+  let parse_tail tail =
+    (* <states>x<inputs>[@seed][,<completeness>] *)
+    let tail, completeness =
+      match String.index_opt tail ',' with
+      | None -> (tail, 1.0)
+      | Some i ->
+        ( String.sub tail 0 i,
+          float_of_string
+            (String.sub tail (i + 1) (String.length tail - i - 1)) )
+    in
+    let tail, seed =
+      match String.index_opt tail '@' with
+      | None -> (tail, 1)
+      | Some i ->
+        ( String.sub tail 0 i,
+          int_of_string (String.sub tail (i + 1) (String.length tail - i - 1))
+        )
+    in
+    match String.index_opt tail 'x' with
+    | None -> None
+    | Some i ->
+      let states = int_of_string (String.sub tail 0 i) in
+      let inputs =
+        int_of_string (String.sub tail (i + 1) (String.length tail - i - 1))
+      in
+      if states <= 0 || inputs <= 0 || inputs land (inputs - 1) <> 0 then None
+      else Some (states, inputs, seed, completeness)
+  in
+  match String.index_opt spec ':' with
+  | None -> None
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match (kind, parse_tail tail) with
+    | exception (Failure _ | Invalid_argument _) -> None
+    | "random", Some (num_states, num_inputs, seed, completeness) ->
+      let rng = Rng.create seed in
+      Some
+        (random ~rng ~name:(String.map (fun c -> if c = ':' then '_' else c) spec)
+           ~num_states ~num_inputs ~num_outputs:4 ~ensure_reduced:false
+           ~completeness ())
+    | "planted", Some (num_states, num_inputs, seed, _) ->
+      let rng = Rng.create seed in
+      let info =
+        planted ~rng
+          ~name:(String.map (fun c -> if c = ':' then '_' else c) spec)
+          ~num_states ~num_inputs ()
+      in
+      Some (shuffled ~rng info).machine
+    | _ -> None)

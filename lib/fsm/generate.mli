@@ -23,7 +23,12 @@ type product_info = {
     [ensure_reduced] (default [true]) output rows are re-drawn until no two
     states are equivalent; machines with [num_outputs ** num_inputs <
     num_states] cannot be reduced this way and raise [Invalid_argument]
-    after [max_attempts]. *)
+    after [max_attempts].
+
+    [completeness] (default [1.0]) is the fraction of transitions drawn
+    uniformly; the rest self-loop before the reachability repair, modelling
+    sparsely specified flow tables.  [num_inputs] is the fan-out knob:
+    every state has exactly that many outgoing edges. *)
 val random :
   rng:Stc_util.Rng.t ->
   name:string ->
@@ -32,6 +37,7 @@ val random :
   num_outputs:int ->
   ?ensure_reduced:bool ->
   ?max_attempts:int ->
+  ?completeness:float ->
   unit ->
   Machine.t
 
@@ -55,6 +61,10 @@ val random :
     guarantees the OSTR search recovers factors at least as good as the
     planted ones.
 
+    [require_connected] (default [true]) may be dropped by callers that
+    restrict to the reachable component themselves (see {!planted}) —
+    at low fan-out the full product is essentially never connected.
+
     @raise Invalid_argument if constraints cannot be met in
     [max_attempts]. *)
 val block_product :
@@ -64,6 +74,7 @@ val block_product :
   num_inputs:int ->
   num_outputs:int ->
   ?distinct_signatures:bool ->
+  ?require_connected:bool ->
   ?max_attempts:int ->
   unit ->
   product_info
@@ -72,6 +83,33 @@ val block_product :
     by applying a uniform state permutation; the class maps are permuted
     along. *)
 val shuffled : rng:Stc_util.Rng.t -> product_info -> product_info
+
+(** [planted ~rng ~name ~num_states ~num_inputs ()] is the scalable
+    planted family behind the anytime benchmarks: {!block_product} over
+    identical square blocks whose edge grows with [num_states] (2, 4 or
+    8), overshooting the tile count and restricting to the reachable
+    component until [machine.num_states >= num_states] (best effort: the
+    overshoot is capped at 4x).  The restricted planted pair is still a
+    symmetric pair with identity meet, and the machine stays reduced. *)
+val planted :
+  rng:Stc_util.Rng.t ->
+  name:string ->
+  num_states:int ->
+  num_inputs:int ->
+  ?num_outputs:int ->
+  unit ->
+  product_info
+
+(** [of_spec s] builds a machine from a compact generator spec, used by
+    the CLI and bench drivers to name synthetic workloads:
+
+    - ["random:<states>x<inputs>\[@seed\]\[,<completeness>\]"] — {!random}
+      (without the reducedness retry loop);
+    - ["planted:<states>x<inputs>\[@seed\]"] — {!planted}, state-shuffled.
+
+    Inputs must be a power of two; outputs are fixed at 4 symbols; [seed]
+    defaults to 1.  Returns [None] when [s] does not parse. *)
+val of_spec : string -> Machine.t option
 
 (** [binary_output_names n] returns [n] distinct binary strings of width
     [ceil(log2 n)] (width 1 for [n = 1]), as used by all generators so the

@@ -207,6 +207,47 @@ let pair_relation ~n s t =
   canonicalize cls
 
 (* ------------------------------------------------------------------ *)
+(* Move kernels                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One-step lattice moves for the stochastic search: direct class-map
+   surgery plus one canonicalization pass, cheaper than composing
+   [join p (pair_relation s t)] (which interns an intermediate basis
+   partition and runs the general join). *)
+
+let merge_classes p c d =
+  if c < 0 || c >= p.count || d < 0 || d >= p.count then
+    invalid_arg "Partition.merge_classes: class out of range";
+  if c = d then p
+  else begin
+    let lo = min c d and hi = max c d in
+    let cls = Array.init p.n (fun s ->
+        let x = Array.unsafe_get p.cls s in
+        if x = hi then lo else x)
+    in
+    canonicalize_small cls p.n
+  end
+
+let split_singleton p s =
+  if s < 0 || s >= p.n then
+    invalid_arg "Partition.split_singleton: out of range";
+  (* A singleton block cannot be refined further. *)
+  let c = p.cls.(s) in
+  let base = c * p.wpr in
+  let pop = ref 0 in
+  for wi = 0 to p.wpr - 1 do
+    pop := !pop + Word.popcount (Array.unsafe_get p.rows (base + wi))
+  done;
+  if !pop <= 1 then p
+  else begin
+    (* [count] is a fresh id; count < n here since block [c] has >= 2
+       members, so the fast canonicalizer applies. *)
+    let cls = Array.copy p.cls in
+    cls.(s) <- p.count;
+    canonicalize_small cls p.n
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Row iteration                                                       *)
 (* ------------------------------------------------------------------ *)
 

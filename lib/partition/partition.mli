@@ -67,6 +67,18 @@ val blocks : t -> int list list
     identity except that [s] and [t] are identified. *)
 val pair_relation : n:int -> int -> int -> t
 
+(** [merge_classes p c d] coarsens [p] by one step: blocks [c] and [d]
+    (class ids in [\[0, num_classes p)]) become one block.  Equivalent to
+    [join p (pair_relation s t)] for representatives [s], [t] of the two
+    blocks, but via direct class-map surgery — the move kernel of the
+    stochastic search.  [merge_classes p c c = p]. *)
+val merge_classes : t -> int -> int -> t
+
+(** [split_singleton p s] refines [p] by one step: element [s] leaves its
+    block and becomes a singleton.  Returns [p] itself when [s] already is
+    one.  The downward move kernel of the stochastic search. *)
+val split_singleton : t -> int -> t
+
 (** [meet p q] is the coarsest common refinement - the intersection of the
     relations. *)
 val meet : t -> t -> t

@@ -20,6 +20,17 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+(* Derived streams must not advance the parent: anytime search hands
+   stream [i] to task [i] regardless of which domain runs it, so the
+   stream is a pure function of (parent state, index).  Mixing twice
+   decorrelates adjacent indices the same way [split] decorrelates
+   sequential draws. *)
+let substream t i =
+  let z = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix (mix z) }
+
+let fingerprint t = Int64.to_int (mix t.state) land max_int
+
 (* Rejection sampling over 62-bit draws: [v mod bound] alone is biased
    towards small residues whenever [bound] does not divide 2^62, so draws
    at or above the largest exact multiple of [bound] are rejected and

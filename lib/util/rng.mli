@@ -17,6 +17,19 @@ val copy : t -> t
     [t]. *)
 val split : t -> t
 
+(** [substream t i] derives the [i]-th of a family of statistically
+    independent generators from [t]'s current state {e without} advancing
+    [t].  Equal [(state, i)] pairs yield equal streams, which is what makes
+    work distributed over domains by task index reproducible at any job
+    count. *)
+val substream : t -> int -> t
+
+(** [fingerprint t] hashes the current stream state to a non-negative
+    [int].  Two generators agree on all future draws iff their fingerprints
+    were produced from equal states; used to pin per-task RNG stream state
+    in determinism tests. *)
+val fingerprint : t -> int
+
 (** [bits64 t] returns the next raw 64-bit value. *)
 val bits64 : t -> int64
 

@@ -181,7 +181,10 @@ let test_solver_parallel_matches_sequential () =
   List.iter
     (fun m ->
       let seq = Solver.solve ~jobs:1 m in
-      let par = Solver.solve ~jobs:4 m in
+      (* [sequential_fallback:false] keeps the domain fan-out under test
+         even on single-core hardware, where the default would (by
+         design) degrade jobs=4 to the sequential path. *)
+      let par = Solver.solve ~jobs:4 ~sequential_fallback:false m in
       check_int
         (m.Machine.name ^ ": parallel bits = sequential bits")
         seq.best.cost.bits par.best.cost.bits;

@@ -423,6 +423,68 @@ let test_generate_distinct_signatures_mm_clean () =
   check_bool "M(pi) = rho" true
     (Partition.equal (Pair.big_m ~next:m.Machine.next pi) rho)
 
+let test_generate_completeness =
+  QCheck.Test.make ~count:30
+    ~name:"sparse random machines stay connected, completeness validated"
+    QCheck.(pair (int_bound 1000) (int_range 4 16))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let m =
+        Generate.random ~rng ~name:"r" ~num_states:n ~num_inputs:4
+          ~num_outputs:4 ~ensure_reduced:false ~completeness:0.3 ()
+      in
+      m.Machine.num_states = n && Reach.is_connected m)
+
+let test_generate_completeness_rejects_bad () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "completeness out of range"
+    (Invalid_argument "Generate.random: completeness must be in [0, 1]")
+    (fun () ->
+      ignore
+        (Generate.random ~rng ~name:"r" ~num_states:4 ~num_inputs:2
+           ~num_outputs:4 ~completeness:1.5 ()))
+
+let test_generate_planted () =
+  let rng = Rng.create 5 in
+  let info =
+    Generate.planted ~rng ~name:"planted" ~num_states:200 ~num_inputs:4 ()
+  in
+  let m = info.Generate.machine in
+  let pi = Partition.of_class_map info.Generate.pi_classes in
+  let rho = Partition.of_class_map info.Generate.rho_classes in
+  check_bool "reaches the requested size" true (m.Machine.num_states >= 200);
+  check_bool "connected" true (Reach.is_connected m);
+  check_bool "reduced" true (Equiv.is_reduced m);
+  check_bool "planted pair still symmetric after restriction" true
+    (Pair.is_symmetric_pair ~next:m.Machine.next pi rho);
+  check_bool "identity meet" true (Partition.is_identity (Partition.meet pi rho));
+  check_int "class counts match" (Partition.num_classes pi)
+    info.Generate.num_pi;
+  check_int "class counts match (rho)" (Partition.num_classes rho)
+    info.Generate.num_rho
+
+let test_generate_of_spec () =
+  (match Generate.of_spec "planted:96x4@2" with
+  | None -> Alcotest.fail "planted spec should parse"
+  | Some m ->
+    check_bool "planted size" true (m.Machine.num_states >= 96);
+    check_int "planted inputs" 4 m.Machine.num_inputs;
+    (* same spec, same machine - seeds pin the generator *)
+    (match Generate.of_spec "planted:96x4@2" with
+    | Some m' -> check_bool "reproducible" true (Machine.equal_behaviour m m')
+    | None -> Alcotest.fail "reparse failed"));
+  (match Generate.of_spec "random:32x4@7,0.5" with
+  | None -> Alcotest.fail "random spec should parse"
+  | Some m ->
+    check_int "random size" 32 m.Machine.num_states;
+    check_bool "random connected" true (Reach.is_connected m));
+  List.iter
+    (fun s ->
+      match Generate.of_spec s with
+      | None -> ()
+      | Some _ -> Alcotest.fail ("spec should not parse: " ^ s))
+    [ "planted:96"; "planted:ax4"; "weird:1x2"; "dk16"; "random:4x3" ]
+
 let test_binary_output_names () =
   let names = Generate.binary_output_names 5 in
   check_int "five names" 5 (Array.length names);
@@ -519,6 +581,11 @@ let () =
           Alcotest.test_case "shuffled preserves" `Quick test_generate_shuffled_preserves;
           Alcotest.test_case "distinct signatures are Mm-clean" `Quick
             test_generate_distinct_signatures_mm_clean;
+          qcheck test_generate_completeness;
+          Alcotest.test_case "completeness validated" `Quick
+            test_generate_completeness_rejects_bad;
+          Alcotest.test_case "planted family" `Quick test_generate_planted;
+          Alcotest.test_case "of_spec" `Quick test_generate_of_spec;
           Alcotest.test_case "binary output names" `Quick test_binary_output_names;
         ] );
       ( "dot",

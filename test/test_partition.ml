@@ -535,6 +535,72 @@ let test_iter_coarse_members_spec =
       in
       List.rev !got = expected)
 
+(* ------------------------------------------------------------------ *)
+(* Move kernels (anytime stochastic search)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_merge_classes_examples () =
+  let p = Partition.of_blocks ~n:5 [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ] in
+  let q = Partition.merge_classes p 0 2 in
+  check_bool "blocks merged" true (Partition.same q 0 3 && Partition.same q 1 4);
+  check_bool "other block kept" false (Partition.same q 0 2);
+  check_int "one fewer class" (Partition.num_classes p - 1)
+    (Partition.num_classes q);
+  check_bool "self-merge is a no-op" true (Partition.merge_classes p 1 1 == p);
+  Alcotest.check_raises "class out of range"
+    (Invalid_argument "Partition.merge_classes: class out of range") (fun () ->
+      ignore (Partition.merge_classes p 0 3))
+
+let test_merge_classes_is_join =
+  QCheck.Test.make ~count:300
+    ~name:"merge_classes = join with pair_relation of representatives"
+    QCheck.(pair (int_bound 100000) (int_range 2 80))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = random_partition rng n in
+      let k = Partition.num_classes p in
+      let c = Rng.int rng k and d = Rng.int rng k in
+      let reps = Partition.representatives p in
+      let got = Partition.merge_classes p c d in
+      let expected =
+        Partition.join p (Partition.pair_relation ~n reps.(c) reps.(d))
+      in
+      Partition.equal got expected)
+
+let test_split_singleton_examples () =
+  let p = Partition.of_blocks ~n:4 [ [ 0; 1; 2 ]; [ 3 ] ] in
+  let q = Partition.split_singleton p 1 in
+  check_bool "element left its block" false
+    (Partition.same q 0 1 || Partition.same q 1 2);
+  check_bool "rest of the block kept" true (Partition.same q 0 2);
+  check_int "one more class" (Partition.num_classes p + 1)
+    (Partition.num_classes q);
+  check_bool "splitting a singleton is a no-op" true
+    (Partition.split_singleton p 3 == p);
+  (* merging the singleton back undoes the split *)
+  let back =
+    Partition.merge_classes q (Partition.class_of q 1) (Partition.class_of q 0)
+  in
+  check_bool "merge round-trip" true (Partition.equal back p)
+
+let test_split_singleton_spec =
+  QCheck.Test.make ~count:300
+    ~name:"split_singleton = class-map surgery, refines its input"
+    QCheck.(pair (int_bound 100000) (int_range 2 80))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = random_partition rng n in
+      let s = Rng.int rng n in
+      let q = Partition.split_singleton p s in
+      let expected =
+        Partition.of_class_map
+          (Array.init n (fun t ->
+               if t = s then n else Partition.class_of p t))
+      in
+      Partition.equal q expected
+      && Partition.subseteq q p
+      && List.length (Partition.members q (Partition.class_of q s)) = 1)
+
 let test_blocks_members_multiword =
   QCheck.Test.make ~count:200 ~name:"blocks/members/representatives agree (multi-word)"
     QCheck.(pair (int_bound 100000) (int_range 60 150))
@@ -609,6 +675,15 @@ let () =
           qcheck test_hash_stable_under_relabeling;
           qcheck test_iter_coarse_members_spec;
           qcheck test_blocks_members_multiword;
+        ] );
+      ( "move_kernels",
+        [
+          Alcotest.test_case "merge_classes examples" `Quick
+            test_merge_classes_examples;
+          qcheck test_merge_classes_is_join;
+          Alcotest.test_case "split_singleton examples" `Quick
+            test_split_singleton_examples;
+          qcheck test_split_singleton_spec;
         ] );
       ( "hashcons",
         [

@@ -70,6 +70,37 @@ let test_rng_split_diverges () =
   done;
   check_bool "split streams differ" true (!same <= 1)
 
+let test_rng_substream_pure () =
+  let root = Rng.create 11 in
+  let before = Rng.fingerprint root in
+  let a = Rng.substream root 0 in
+  let _ = Rng.bits64 a in
+  check_bool "substream leaves parent untouched" true
+    (Rng.fingerprint root = before);
+  (* same index twice = same stream; deterministic across calls *)
+  let b = Rng.substream root 0 and b' = Rng.substream root 0 in
+  for _ = 1 to 32 do
+    check_bool "same index, same stream" true (Rng.bits64 b = Rng.bits64 b')
+  done
+
+let test_rng_substream_diverges () =
+  let root = Rng.create 11 in
+  let a = Rng.substream root 0 and b = Rng.substream root 1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "adjacent indices diverge" true (!same <= 1)
+
+let test_rng_fingerprint () =
+  let a = Rng.create 3 and b = Rng.create 3 and c = Rng.create 4 in
+  check_bool "equal state, equal fingerprint" true
+    (Rng.fingerprint a = Rng.fingerprint b);
+  check_bool "nonnegative" true (Rng.fingerprint a >= 0 && Rng.fingerprint c >= 0);
+  let _ = Rng.bits64 a in
+  check_bool "advancing changes the fingerprint" true
+    (Rng.fingerprint a <> Rng.fingerprint b)
+
 let test_rng_permutation () =
   let rng = Rng.create 13 in
   for n = 1 to 20 do
@@ -245,6 +276,10 @@ let () =
           Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
           Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
           Alcotest.test_case "split diverges" `Quick test_rng_split_diverges;
+          Alcotest.test_case "substream pure" `Quick test_rng_substream_pure;
+          Alcotest.test_case "substream diverges" `Quick
+            test_rng_substream_diverges;
+          Alcotest.test_case "fingerprint" `Quick test_rng_fingerprint;
           Alcotest.test_case "permutation" `Quick test_rng_permutation;
           Alcotest.test_case "shuffle preserves multiset" `Quick
             test_rng_shuffle_preserves_multiset;

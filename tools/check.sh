@@ -54,10 +54,17 @@ else
   dune exec bench/main.exe -- verify-quick
 fi
 
+echo "== anytime smoke (stochastic tier: gap >= 0, seeded determinism) =="
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- anytime-quick
+else
+  dune exec bench/main.exe -- anytime-quick
+fi
+
 echo "== every BENCH file must pass the versioned bench schema =="
 dune exec tools/json_lint.exe -- --bench \
   BENCH_solver.json BENCH_faultsim.json BENCH_minimize.json BENCH_core.json \
-  BENCH_verify.json
+  BENCH_verify.json BENCH_anytime.json
 
 echo "== traced smoke (trace + metrics + profile files must validate) =="
 obs_dir=$(mktemp -d)
@@ -89,6 +96,15 @@ else
 fi
 dune exec tools/json_lint.exe -- --bench "$obs_dir/vq_a.json" "$obs_dir/vq_b.json"
 dune exec tools/bench_diff.exe -- "$obs_dir/vq_a.json" "$obs_dir/vq_b.json"
+if command -v timeout >/dev/null 2>&1; then
+  timeout 300 dune exec bench/main.exe -- anytime-quick "$obs_dir/aq_a.json"
+  timeout 300 dune exec bench/main.exe -- anytime-quick "$obs_dir/aq_b.json"
+else
+  dune exec bench/main.exe -- anytime-quick "$obs_dir/aq_a.json"
+  dune exec bench/main.exe -- anytime-quick "$obs_dir/aq_b.json"
+fi
+dune exec tools/json_lint.exe -- --bench "$obs_dir/aq_a.json" "$obs_dir/aq_b.json"
+dune exec tools/bench_diff.exe -- "$obs_dir/aq_a.json" "$obs_dir/aq_b.json"
 
 echo "== static lint gate (benchmark suite, --werror) =="
 # Expected-clean set: each of these machines must lint with zero errors AND
