@@ -1355,6 +1355,12 @@ type anytime_row = {
   an_timed_out : bool;
   an_fingerprint : int;
   an_deterministic : bool option;  (* None = identity not re-checked *)
+  an_incr_identical : bool option;
+      (* incremental run = full-recompute oracle rerun; None = oracle
+         not re-run (the largest rows, where the full closure is the
+         cost being benchmarked away) *)
+  an_ns_per_eval : float;  (* wall / evals - the per-proposal cost *)
+  an_full_ns_per_eval : float option;  (* same, for the oracle rerun *)
   an_trajectory : Anytime.frontier_point list;
   an_ok : bool;
 }
@@ -1366,8 +1372,11 @@ let anytime_identical (a : Anytime.result) (b : Anytime.result) =
   && Partition.compare a.Anytime.best.Solver.pi b.Anytime.best.Solver.pi = 0
   && Partition.compare a.Anytime.best.Solver.rho b.Anytime.best.Solver.rho = 0
 
-let anytime_row_of_result ~name ~jobs ~exact_bits ~deterministic ~wall machine
-    (r : Anytime.result) =
+let ns_per_eval ~wall ~evals =
+  if evals = 0 then 0.0 else wall *. 1e9 /. float_of_int evals
+
+let anytime_row_of_result ~name ~jobs ~exact_bits ~deterministic
+    ~incr_identical ~full_wall ~wall machine (r : Anytime.result) =
   let s = r.Anytime.stats in
   let best = r.Anytime.best in
   let bits = best.Solver.cost.Solver.bits in
@@ -1390,16 +1399,22 @@ let anytime_row_of_result ~name ~jobs ~exact_bits ~deterministic ~wall machine
     an_timed_out = s.Anytime.timed_out;
     an_fingerprint = s.Anytime.rng_fingerprint;
     an_deterministic = deterministic;
+    an_incr_identical = incr_identical;
+    an_ns_per_eval = ns_per_eval ~wall ~evals:s.Anytime.evals;
+    an_full_ns_per_eval =
+      Option.map (fun w -> ns_per_eval ~wall:w ~evals:s.Anytime.evals) full_wall;
     an_trajectory = s.Anytime.trajectory;
     an_ok =
       gap_ok
       && (not s.Anytime.timed_out)
-      && match deterministic with Some d -> d | None -> true;
+      && (match deterministic with Some d -> d | None -> true)
+      && match incr_identical with Some d -> d | None -> true;
   }
 
 (* Forced stochastic tier on a suite machine, cross-checked against the
    exact optimum.  Identity is always re-checked on corpus rows (they
-   are small). *)
+   are small), as is equivalence against the full-recompute closure
+   oracle ([incremental = false]). *)
 let anytime_corpus_row ~config (spec : Suite.spec) =
   let machine = Suite.machine spec in
   let exact = Solver.solve ~timeout:120.0 machine in
@@ -1408,14 +1423,25 @@ let anytime_corpus_row ~config (spec : Suite.spec) =
   let rn =
     Anytime.search ~config:{ config with Anytime.jobs = par_jobs } machine
   in
+  let rfull, full_wall =
+    timed (fun () ->
+        Anytime.search ~config:{ config with Anytime.incremental = false }
+          machine)
+  in
   let deterministic = anytime_identical r1 r2 && anytime_identical r1 rn in
   anytime_row_of_result ~name:spec.Suite.name ~jobs:config.Anytime.jobs
     ~exact_bits:(Some exact.Solver.best.Solver.cost.Solver.bits)
-    ~deterministic:(Some deterministic) ~wall machine r1
+    ~deterministic:(Some deterministic)
+    ~incr_identical:(Some (anytime_identical r1 rfull))
+    ~full_wall:(Some full_wall) ~wall machine r1
 
 (* Full anytime driver on a generated machine; must beat the trivial
-   doubled realization and stay under the wall cap. *)
-let anytime_generated_row ~spec ~config ~check_identity () =
+   doubled realization and stay under the wall cap.  [check_full] reruns
+   the row with the full-recompute oracle — affordable up to the ~6000
+   state rows; the 10^4+ frontier rows skip it (their oracle identity is
+   covered by the 5929-state row and the unit suite). *)
+let anytime_generated_row ~spec ~config ~check_identity
+    ?(check_full = false) () =
   let machine =
     match Generate.of_spec spec with
     | Some m -> m
@@ -1432,13 +1458,25 @@ let anytime_generated_row ~spec ~config ~check_identity () =
     end
     else None
   in
+  let incr_identical, full_wall =
+    if check_full then begin
+      let rfull, full_wall =
+        timed (fun () ->
+            Anytime.solve
+              ~config:{ config with Anytime.incremental = false }
+              machine)
+      in
+      (Some (anytime_identical r1 rfull), Some full_wall)
+    end
+    else (None, None)
+  in
   let name =
     if config.Anytime.jobs = 1 then spec
     else Printf.sprintf "%s#j%d" spec config.Anytime.jobs
   in
   let row =
     anytime_row_of_result ~name ~jobs:config.Anytime.jobs ~exact_bits:None
-      ~deterministic ~wall machine r1
+      ~deterministic ~incr_identical ~full_wall ~wall machine r1
   in
   {
     row with
@@ -1461,7 +1499,14 @@ let print_anytime_row r =
     | Some false -> " NONDETERMINISTIC"
     | None -> "")
     r.an_fingerprint
-    (if r.an_ok then "" else "  FAIL")
+    ((match (r.an_incr_identical, r.an_full_ns_per_eval) with
+     | Some true, Some full ->
+       Printf.sprintf " incr=full (%.2fx)"
+         (if r.an_ns_per_eval > 0.0 then full /. r.an_ns_per_eval else 0.0)
+     | Some true, None -> " incr=full"
+     | Some false, _ -> " INCR<>FULL"
+     | None, _ -> "")
+    ^ if r.an_ok then "" else "  FAIL")
 
 let json_of_anytime_row r =
   let base =
@@ -1494,6 +1539,18 @@ let json_of_anytime_row r =
       ( "deterministic",
         match r.an_deterministic with
         | Some d -> Json.Bool d
+        | None -> Json.Null );
+      ( "incr_identical",
+        match r.an_incr_identical with
+        | Some d -> Json.Bool d
+        | None -> Json.Null );
+      (* deliberately NOT *_ns / *ns_per_op: per-proposal costs are
+         context for EXPERIMENTS.md, not bench_diff-judged metrics (the
+         judged wall already covers the same measurement) *)
+      ("ns_per_eval", Json.Float r.an_ns_per_eval);
+      ( "full_ns_per_eval",
+        match r.an_full_ns_per_eval with
+        | Some v -> Json.Float v
         | None -> Json.Null );
     ]
   and traj =
@@ -1541,7 +1598,8 @@ let run_anytime ?(out = "BENCH_anytime.json") () =
   let corpus =
     List.map (anytime_corpus_row ~config:anytime_corpus_config) Suite.all
   in
-  let gen ?(check_identity = false) ?(jobs = 1) ~max_evals spec =
+  let gen ?(check_identity = false) ?(check_full = false) ?(jobs = 1)
+      ~max_evals spec =
     anytime_generated_row ~spec
       ~config:
         {
@@ -1550,20 +1608,27 @@ let run_anytime ?(out = "BENCH_anytime.json") () =
           jobs;
           budget = 60.0;
         }
-      ~check_identity ()
+      ~check_identity ~check_full ()
   in
   let generated =
-    [ gen ~check_identity:true ~max_evals:4000 "planted:1024x4@1" ]
+    [ gen ~check_identity:true ~check_full:true ~max_evals:4000
+        "planted:1024x4@1" ]
     @ (if par_jobs > 1 then
          [ gen ~jobs:par_jobs ~max_evals:4000 "planted:1024x4@1" ]
        else [])
     @ [
         (* proposal budgets shrink with size: a proposal costs roughly
-           O(states * classes / 64), so these keep each row well under
-           the 60 s wall cap (which must not fire - it is the one
-           nondeterministic stop) *)
-        gen ~max_evals:2000 "planted:2048x4@1";
-        gen ~max_evals:1000 "planted:5120x4@1";
+           O(states * classes / 64) for the full closure, so these keep
+           each row well under the 60 s wall cap (which must not fire -
+           it is the one nondeterministic stop).  The oracle rerun
+           ([check_full]) stops at the 5929-state row: its full-closure
+           wall is the old frontier, and the 10^4+ rows below exist
+           precisely because the delta engine no longer pays it. *)
+        gen ~check_full:true ~max_evals:2000 "planted:2048x4@1";
+        gen ~check_full:true ~max_evals:1000 "planted:5120x4@1";
+        (* the incremental-closure frontier: >= 10^4 states on 1 core *)
+        gen ~max_evals:1000 "planted:12288x4@1";
+        gen ~max_evals:600 "planted:16384x4@1";
       ]
   in
   finish_anytime ~out:(Some out) (corpus @ generated)
@@ -1594,7 +1659,7 @@ let run_anytime_quick ?out () =
     [
       anytime_generated_row ~spec:"planted:96x4@1"
         ~config:{ anytime_quick_config with Anytime.exact_max_states = 64 }
-        ~check_identity:true ();
+        ~check_identity:true ~check_full:true ();
     ]
   in
   finish_anytime ~out (corpus @ generated)

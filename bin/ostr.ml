@@ -290,7 +290,8 @@ let solve_cmd =
 (* ------------------------------------------------------------------ *)
 
 let anytime_cmd =
-  let run spec budget seed jobs evals beam moves sa_steps force verbose obs =
+  let run spec budget seed jobs evals beam moves split_ratio sa_steps force
+      full_eval verbose obs =
     let m = or_die (load_machine spec) in
     with_obs obs @@ fun () ->
     let config =
@@ -302,7 +303,9 @@ let anytime_cmd =
         max_evals = evals;
         beam_width = beam;
         moves_per_candidate = moves;
+        split_ratio;
         sa_steps;
+        incremental = not full_eval;
       }
     in
     print_anytime_result m verbose (Anytime.solve ~config ~force m)
@@ -344,12 +347,32 @@ let anytime_cmd =
       & info [ "moves" ] ~docv:"N"
           ~doc:"Proposals per beam survivor per round.")
   in
+  let split_ratio =
+    Arg.(
+      value
+      & opt int Anytime.default_config.Anytime.split_ratio
+      & info [ "split-ratio" ] ~docv:"N"
+          ~doc:
+            "1 in $(docv) proposals is a singleton split, the rest are block \
+             merges; 0 disables splits.  Changing it changes the consumed \
+             RNG streams (and so the fingerprint).")
+  in
   let sa_steps =
     Arg.(
       value
       & opt int Anytime.default_config.Anytime.sa_steps
       & info [ "sa-steps" ] ~docv:"N"
           ~doc:"Metropolis steps per annealing chain.")
+  in
+  let full_eval =
+    Arg.(
+      value & flag
+      & info [ "full-eval" ]
+          ~doc:
+            "Evaluate every proposal with the full-recompute closure instead \
+             of the incremental delta engine.  Results are bit-identical; \
+             this is the equivalence oracle and the slow baseline for \
+             benchmarks.")
   in
   let force =
     Arg.(
@@ -385,7 +408,8 @@ let anytime_cmd =
          ])
     Term.(
       const run $ machine_arg $ budget $ seed $ jobs_arg $ evals $ beam
-      $ moves $ sa_steps $ force $ verbose $ obs_term)
+      $ moves $ split_ratio $ sa_steps $ force $ full_eval $ verbose
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* realize                                                             *)

@@ -27,3 +27,24 @@ val ffs : int -> int
     [mask bits] is [-1] (all 63 value bits).
     @raise Invalid_argument outside that range. *)
 val mask : int -> int
+
+(** Two-word (126-bit) SWAR lane: fused kernels over adjacent words of a
+    packed row.  The partition row kernels ({!Stc_partition.Partition})
+    walk rows two words per iteration through this module, so the
+    unrolled loops have exactly one definition of each fused test. *)
+module Lane : sig
+  (** [bits] is [2 * Word.bits] (126). *)
+  val bits : int
+
+  (** [popcount2 lo hi] is [popcount lo + popcount hi]. *)
+  val popcount2 : int -> int -> int
+
+  (** [diffsub2 a b c d] is [(a land lnot b) lor (c land lnot d) <> 0]:
+      true when either word pair fails the subset test [a subseteq b] /
+      [c subseteq d]. *)
+  val diffsub2 : int -> int -> int -> int -> bool
+
+  (** [inter2 a b c d] is [(a land b) lor (c land d) <> 0]: true when
+      either word pair intersects. *)
+  val inter2 : int -> int -> int -> int -> bool
+end

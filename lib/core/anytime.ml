@@ -21,6 +21,10 @@ let m_evals = Metrics.counter "anytime.evals"
 let m_feasible = Metrics.counter "anytime.feasible"
 let m_rounds = Metrics.counter "anytime.rounds"
 let m_sa_accepted = Metrics.counter "anytime.sa_accepted"
+let m_closure_delta = Metrics.counter "anytime.closure_delta"
+let m_closure_full = Metrics.counter "anytime.closure_full"
+let m_closure_dirty = Metrics.counter "anytime.closure_dirty"
+let m_closure_tt_hits = Metrics.counter "anytime.closure_tt_hits"
 let g_best_bits = Metrics.gauge "anytime.best_bits"
 
 type engage_reason = Forced | Budget_exhausted | Too_large
@@ -31,6 +35,7 @@ type config = {
   seed : int;
   beam_width : int;
   moves_per_candidate : int;
+  split_ratio : int;
   max_rounds : int;
   max_evals : int;
   patience : int;
@@ -40,6 +45,7 @@ type config = {
   exact_max_states : int;
   budget : float;
   jobs : int;
+  incremental : bool;
 }
 
 let default_config =
@@ -47,6 +53,7 @@ let default_config =
     seed = 1;
     beam_width = 8;
     moves_per_candidate = 24;
+    split_ratio = 6;
     max_rounds = 256;
     max_evals = 20_000;
     patience = 16;
@@ -56,6 +63,7 @@ let default_config =
     exact_max_states = 300;
     budget = infinity;
     jobs = 1;
+    incremental = true;
   }
 
 type frontier_point = {
@@ -130,71 +138,170 @@ let rec polish ctx memo pi rho =
     else (pi, rho)
   end
 
-(* Upward move: merge two random blocks on one side, then close.  The
-   closure keeps the proposal a symmetric pair by construction, so the
-   only feasibility question left is the meet bound. *)
-let merge_move memo rng (parent : Solver.solution) =
-  let on_pi = Rng.bool rng in
-  let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
-  let k = Partition.num_classes side in
-  if k < 2 then None
+(* One-step move descriptor.  Generation — the only consumer of the RNG
+   — is separated from evaluation so a transposition-table hit can skip
+   the closure without perturbing the stream: the draw sequence is a
+   pure function of the parent, never of how (or whether) the proposal
+   gets evaluated. *)
+type move =
+  | Merge of { on_pi : bool; c : int; d : int }
+      (** merge blocks [c] and [d] of the chosen side *)
+  | Split of { on_pi : bool; s : int }
+      (** singleton-split element [s] out of its block *)
+
+(* Draw-for-draw the historical generator: split with probability
+   [1/split_ratio] (never when [split_ratio <= 0], and then without the
+   arm draw), otherwise merge.  Each arm consumes exactly the draws the
+   old materializing generator did; the old split-and-compare degenerate
+   test is the singleton test here. *)
+let gen_move ctx ~split_ratio rng (parent : Solver.solution) =
+  Trace.span ~cat:"anytime" "move_gen" @@ fun () ->
+  if split_ratio > 0 && Rng.int rng split_ratio = 0 then begin
+    (* Escape move: singleton-split one element on one side; evaluation
+       re-opens the other side with the matching extremal operator.
+       Deliberately a long jump — it abandons the untouched side — which
+       is what lets the beam leave a basin the merges cannot. *)
+    let on_pi = Rng.bool rng in
+    let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
+    if Partition.is_identity side then None
+    else begin
+      let s = Rng.int rng ctx.n in
+      if Partition.class_size side (Partition.class_of side s) = 1 then None
+      else Some (Split { on_pi; s })
+    end
+  end
   else begin
-    let c = Rng.int rng k in
-    let d =
-      let d = Rng.int rng (k - 1) in
-      if d >= c then d + 1 else d
-    in
+    (* Upward move: merge two random blocks on one side.  The closure
+       keeps the proposal a symmetric pair by construction, so the only
+       feasibility question left is the meet bound. *)
+    let on_pi = Rng.bool rng in
+    let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
+    let k = Partition.num_classes side in
+    if k < 2 then None
+    else begin
+      let c = Rng.int rng k in
+      let d =
+        let d = Rng.int rng (k - 1) in
+        if d >= c then d + 1 else d
+      in
+      Some (Merge { on_pi; c; d })
+    end
+  end
+
+(* Full-recompute closure: materialize the moved side and re-close from
+   scratch — exactly the historical evaluator, kept as the equivalence
+   oracle for the incremental engine.  Splits always come here: a split
+   refines the parent, so the parent's closure caches say nothing. *)
+let close_full memo (parent : Solver.solution) = function
+  | Merge { on_pi; c; d } ->
+    let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
     let side' = Partition.merge_classes side c d in
-    let pi0, rho0 =
-      if on_pi then (side', parent.Solver.rho) else (parent.Solver.pi, side')
-    in
-    Some (close_pair memo pi0 rho0)
-  end
-
-(* Escape move: singleton-split a random element on one side and re-open
-   the other side with the matching extremal operator (m below a split
-   pi, M above a split rho), then close.  Deliberately a long jump — it
-   abandons the untouched side — which is what lets the beam leave a
-   basin the merges cannot. *)
-let split_move ctx memo rng (parent : Solver.solution) =
-  let on_pi = Rng.bool rng in
-  let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
-  if Partition.is_identity side then None
-  else begin
-    let s = Rng.int rng ctx.n in
+    if on_pi then close_pair memo side' parent.Solver.rho
+    else close_pair memo parent.Solver.pi side'
+  | Split { on_pi; s } ->
+    let side = if on_pi then parent.Solver.pi else parent.Solver.rho in
     let side' = Partition.split_singleton side s in
-    if Partition.equal side' side then None
-    else if on_pi then Some (close_pair memo side' (Pair.Memo.m memo side'))
-    else Some (close_pair memo (Pair.Memo.big_m memo side') side')
+    if on_pi then close_pair memo side' (Pair.Memo.m memo side')
+    else close_pair memo (Pair.Memo.big_m memo side') side'
+
+(* Polish loop of the incremental path.  Every iterate coarsens the
+   closed proposal, which (for a merge move) coarsens the parent, so
+   each M-image may be derived from the parent's cached image by
+   grouping block representatives ({!Pair.Memo.big_m_from}) instead of
+   rescanning all states. *)
+let rec polish_inc ctx memo ~base_pi ~base_rho pi rho =
+  let pi' = Pair.Memo.big_m_from memo ~base:base_rho rho in
+  if (not (Partition.equal pi' pi)) && admissible ctx pi' rho then
+    polish_inc ctx memo ~base_pi ~base_rho pi' rho
+  else begin
+    let rho' = Pair.Memo.big_m_from memo ~base:base_pi pi in
+    if (not (Partition.equal rho' rho)) && admissible ctx pi rho' then
+      polish_inc ctx memo ~base_pi ~base_rho pi rho'
+    else (pi, rho)
   end
 
-(* Evaluate one proposal: generate + close, gate on the fused
-   [meet_subseteq] kernel, then polish and cost the survivors.  The three
+(* Per-domain proposal transposition table.  Beam siblings share a
+   parent and the move space is only quadratic in its class counts, so
+   a round of [beam * moves] draws repeats (parent, move) pairs often;
+   the table replays the cached evaluation result before any closure
+   work.  Invisible to the search semantics at any [jobs]: the cached
+   value is exactly what re-evaluation would produce, and generation
+   has already consumed the stream. *)
+module TT = Hashtbl.Make (struct
+  type t = Partition.t * Partition.t * move
+
+  let equal (p1, r1, m1) (p2, r2, m2) =
+    m1 = m2 && Partition.equal p1 p2 && Partition.equal r1 r2
+
+  let hash (p, r, m) = Hashtbl.hash (Partition.hash p, Partition.hash r, m)
+end)
+
+(* One domain's working state: the m/M memo plus the transposition
+   table, both keyed on hash-consed partitions local to that domain. *)
+type local = { memo : Pair.Memo.t; tt : Solver.solution option TT.t }
+
+let make_local ctx () =
+  { memo = Pair.Memo.create ~next:ctx.next; tt = TT.create 256 }
+
+(* Evaluate one proposal: generate, consult the table, then close
+   (delta worklist for merges, full recompute otherwise), gate on the
+   fused [meet_subseteq] kernel, and polish + cost the survivors.  The
    spans are the frames the profiler attributes anytime flamegraphs
    to. *)
-let eval_move ctx memo rng (parent : Solver.solution) =
+let eval_move ctx ~split_ratio ~incremental { memo; tt } rng
+    (parent : Solver.solution) =
   Metrics.incr m_evals;
-  let proposal =
-    Trace.span ~cat:"anytime" "move_gen" @@ fun () ->
-    if Rng.int rng 6 = 0 then split_move ctx memo rng parent
-    else merge_move memo rng parent
-  in
-  match proposal with
+  match gen_move ctx ~split_ratio rng parent with
   | None -> None
-  | Some (pi, rho) ->
-    let feasible =
-      Trace.span ~cat:"anytime" "feasibility_check" @@ fun () ->
-      Partition.meet_subseteq pi rho ctx.equiv
-    in
-    if not feasible then None
-    else begin
-      Metrics.incr m_feasible;
+  | Some mv -> (
+    let key = (parent.Solver.pi, parent.Solver.rho, mv) in
+    match TT.find_opt tt key with
+    | Some r ->
+      Metrics.incr m_closure_tt_hits;
+      r
+    | None ->
+      let delta = incremental && match mv with Merge _ -> true | Split _ -> false in
       let pi, rho =
-        Trace.span ~cat:"anytime" "polish" @@ fun () -> polish ctx memo pi rho
+        if delta then
+          Trace.span ~cat:"anytime" "closure_delta" @@ fun () ->
+          match mv with
+          | Split _ -> assert false
+          | Merge { on_pi; c; d } ->
+            Metrics.incr m_closure_delta;
+            let pi, rho, dirty =
+              Pair.close_merge ~next:ctx.next ~pi:parent.Solver.pi
+                ~rho:parent.Solver.rho ~on_pi c d
+            in
+            Metrics.add m_closure_dirty dirty;
+            (pi, rho)
+        else
+          Trace.span ~cat:"anytime" "closure_full" @@ fun () ->
+          begin
+            Metrics.incr m_closure_full;
+            close_full memo parent mv
+          end
       in
-      let cost = Solver.cost_of ctx.machine ~pi ~rho in
-      Some { Solver.pi; rho; cost }
-    end
+      let r =
+        let feasible =
+          Trace.span ~cat:"anytime" "feasibility_check" @@ fun () ->
+          Partition.meet_subseteq pi rho ctx.equiv
+        in
+        if not feasible then None
+        else begin
+          Metrics.incr m_feasible;
+          let pi, rho =
+            Trace.span ~cat:"anytime" "polish" @@ fun () ->
+            if delta then
+              polish_inc ctx memo ~base_pi:parent.Solver.pi
+                ~base_rho:parent.Solver.rho pi rho
+            else polish ctx memo pi rho
+          in
+          let cost = Solver.cost_of ctx.machine ~pi ~rho in
+          Some { Solver.pi; rho; cost }
+        end
+      in
+      TT.add tt key r;
+      r)
 
 (* Total deterministic order on candidates: lexicographic cost, then
    structural partition order — domain-independent, so selection and
@@ -289,12 +396,13 @@ let run_stochastic ~reason ~config ~seeds machine =
       let fps = Array.make ntasks 0 in
       let base = !evals in
       Trace.span ~cat:"anytime" "beam_round" (fun () ->
-          Parallel.iter_range_local ~jobs
-            ~local:(fun () -> Pair.Memo.create ~next:ctx.next)
-            ntasks
-            (fun memo i ->
+          Parallel.iter_range_local ~jobs ~local:(make_local ctx) ntasks
+            (fun local i ->
               let rng = Rng.substream root_rng (base + i) in
-              results.(i) <- eval_move ctx memo rng beam_arr.(i / moves);
+              results.(i) <-
+                eval_move ctx ~split_ratio:config.split_ratio
+                  ~incremental:config.incremental local rng
+                  beam_arr.(i / moves);
               fps.(i) <- Rng.fingerprint rng));
       evals := !evals + ntasks;
       Array.iter (fun v -> fingerprint := !fingerprint lxor v) fps;
@@ -329,10 +437,8 @@ let run_stochastic ~reason ~config ~seeds machine =
   if sa_steps > 0 && not (over_budget ()) then begin
     let sa_base = !evals in
     Trace.span ~cat:"anytime" "sa" (fun () ->
-        Parallel.iter_range_local ~jobs
-          ~local:(fun () -> Pair.Memo.create ~next:ctx.next)
-          chains
-          (fun memo c ->
+        Parallel.iter_range_local ~jobs ~local:(make_local ctx) chains
+          (fun local c ->
             let rng = Rng.substream root_rng (sa_base + c) in
             let current = ref best in
             let chain_best = ref best in
@@ -345,7 +451,10 @@ let run_stochastic ~reason ~config ~seeds machine =
                 *. ((t1 /. t0)
                    ** (float_of_int k /. float_of_int (max 1 (sa_steps - 1))))
               in
-              match eval_move ctx memo rng !current with
+              match
+                eval_move ctx ~split_ratio:config.split_ratio
+                  ~incremental:config.incremental local rng !current
+              with
               | None -> ()
               | Some cand ->
                 incr chain_feasible;

@@ -41,6 +41,10 @@ type config = {
   seed : int;  (** master seed; everything derives from it *)
   beam_width : int;  (** survivors per generation *)
   moves_per_candidate : int;  (** proposals per survivor per round *)
+  split_ratio : int;
+      (** 1-in-[split_ratio] proposals are singleton splits, the rest
+          block merges; [<= 0] disables splits entirely (changing this
+          changes the consumed RNG streams, hence the fingerprint) *)
   max_rounds : int;  (** beam generations cap *)
   max_evals : int;  (** total proposal cap (beam + annealing) *)
   patience : int;  (** stop after this many non-improving rounds *)
@@ -52,6 +56,13 @@ type config = {
   budget : float;  (** wall-clock safety cap, seconds; [infinity] means
                        the deterministic counters are the only stops *)
   jobs : int;  (** domains to fan proposal evaluation over *)
+  incremental : bool;
+      (** evaluate merge proposals with the delta closure engine
+          ({!Stc_partition.Pair.close_merge} seeded by the parent's
+          already-closed pair, M-images derived per class); [false]
+          forces the full-recompute oracle path.  Results are
+          bit-identical either way — the switch exists for equivalence
+          gates and benchmarking *)
 }
 
 val default_config : config

@@ -82,6 +82,161 @@ let big_m ~next rho =
 let is_mm_pair ~next pi rho =
   Partition.equal (big_m ~next rho) pi && Partition.equal (m ~next pi) rho
 
+(* ------------------------------------------------------------------ *)
+(* Incremental closure                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [close_merge] computes the least symmetric pair above
+   [(merge_classes pi c d, rho)] (or the rho-side merge) given that
+   [(pi, rho)] is already a closed symmetric pair - the delta engine of
+   the anytime tier.  Where the from-scratch fixpoint re-derives whole
+   m-images and whole-partition joins per iteration (O(n * k) each), the
+   delta path observes that every constraint of the parent is preserved
+   by coarsening, so only the newly merged groups can force anything:
+
+   - a union-find per side, over the parent's class ids, holds the
+     evolving coarsening;
+   - each union of two groups enqueues one propagation task carrying a
+     representative state of either group (within a group, all members'
+     images are pairwise united on the other side by induction, so one
+     state per group is enough);
+   - a task replays the pair constraint for its two states: for every
+     input, the image classes must be united on the other side -
+     O(k) finds per union event, and the total number of union events is
+     bounded by the class counts, not by [n].
+
+   Materialization goes through [Partition.coarsen_with], which unions
+   only the dirty packed rows.  The result is the same least fixpoint
+   [close_pair] reaches (both compute the least coarsening pair closed
+   under the pair constraints above the same seed), hence bit-identical
+   partitions.
+
+   Returns [(pi', rho', dirty)], [dirty] being the number of group
+   merges propagated across both sides (0 forces [pi' == pi] and
+   [rho' == rho] up to the initial move).  Precondition: [(pi, rho)] is
+   a symmetric pair ([is_symmetric_pair ~next pi rho]); violating it
+   silently under-closes. *)
+let close_merge ~next ~pi ~rho ~on_pi c d =
+  let n, k = dims next in
+  if Partition.size pi <> n || Partition.size rho <> n then
+    invalid_arg "Pair.close_merge: size mismatch";
+  let kp = Partition.num_classes pi and kr = Partition.num_classes rho in
+  if on_pi && (c < 0 || c >= kp || d < 0 || d >= kp) then
+    invalid_arg "Pair.close_merge: class out of range";
+  if (not on_pi) && (c < 0 || c >= kr || d < 0 || d >= kr) then
+    invalid_arg "Pair.close_merge: class out of range";
+  (* Smallest member state per class, one backward pass per side. *)
+  let pi_rep = Array.make kp 0 and rho_rep = Array.make kr 0 in
+  for s = n - 1 downto 0 do
+    Array.unsafe_set pi_rep (Partition.class_of pi s) s;
+    Array.unsafe_set rho_rep (Partition.class_of rho s) s
+  done;
+  let pi_parent = Array.init kp (fun i -> i) in
+  let rho_parent = Array.init kr (fun i -> i) in
+  let rec find parent x =
+    let px = Array.unsafe_get parent x in
+    if px = x then x
+    else begin
+      let gx = Array.unsafe_get parent px in
+      Array.unsafe_set parent x gx;
+      find parent gx
+    end
+  in
+  let queue = Queue.create () in
+  let dirty = ref 0 in
+  let union ~pi_side a b =
+    let parent, rep =
+      if pi_side then (pi_parent, pi_rep) else (rho_parent, rho_rep)
+    in
+    let ra = find parent a and rb = find parent b in
+    if ra <> rb then begin
+      incr dirty;
+      let lo = min ra rb and hi = max ra rb in
+      Array.unsafe_set parent hi lo;
+      Queue.add (pi_side, Array.unsafe_get rep ra, Array.unsafe_get rep rb)
+        queue
+    end
+  in
+  union ~pi_side:on_pi c d;
+  while not (Queue.is_empty queue) do
+    let pi_side, sa, sb = Queue.take queue in
+    let na = next.(sa) and nb = next.(sb) in
+    (* A merge on one side forces the images together on the other:
+       (pi, rho) and (rho, pi) must both stay pairs. *)
+    if pi_side then
+      for i = 0 to k - 1 do
+        union ~pi_side:false
+          (Partition.class_of rho (Array.unsafe_get na i))
+          (Partition.class_of rho (Array.unsafe_get nb i))
+      done
+    else
+      for i = 0 to k - 1 do
+        union ~pi_side:true
+          (Partition.class_of pi (Array.unsafe_get na i))
+          (Partition.class_of pi (Array.unsafe_get nb i))
+      done
+  done;
+  let pi' = Partition.coarsen_with pi (fun x -> find pi_parent x) in
+  let rho' = Partition.coarsen_with rho (fun x -> find rho_parent x) in
+  (pi', rho', !dirty)
+
+(* [big_m rho] derived from [bm = big_m base] for a refinement
+   [base subseteq rho]: states grouped together by [bm] have identical
+   successor signatures under [base], hence under the coarser [rho], so
+   [big_m rho] only ever merges whole [bm]-blocks - grouping the
+   [num_classes bm] representatives is enough, O(classes * k) instead of
+   O(n * k).  Same packed-int signature keying as [big_m]. *)
+let big_m_coarse ~next ~rho bm =
+  let n, k = dims next in
+  let kb = Partition.num_classes bm in
+  let rep = Array.make kb 0 in
+  for s = n - 1 downto 0 do
+    Array.unsafe_set rep (Partition.class_of bm s) s
+  done;
+  let width =
+    let rec go b = if 1 lsl b >= Partition.num_classes rho then b else go (b + 1) in
+    go 1
+  in
+  let group = Array.make kb 0 in
+  if k * width <= 62 then begin
+    let table = Hashtbl.create 16 in
+    for c = 0 to kb - 1 do
+      let ns = next.(Array.unsafe_get rep c) in
+      let key = ref 0 in
+      for i = 0 to k - 1 do
+        key := (!key lsl width) lor Partition.class_of rho ns.(i)
+      done;
+      group.(c) <-
+        (match Hashtbl.find_opt table !key with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length table in
+          Hashtbl.replace table !key id;
+          id)
+    done
+  end
+  else begin
+    let table = Hashtbl.create 16 in
+    for c = 0 to kb - 1 do
+      let signature =
+        Array.init k (fun i -> Partition.class_of rho next.(rep.(c)).(i))
+      in
+      group.(c) <-
+        (match Hashtbl.find_opt table signature with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length table in
+          Hashtbl.replace table signature id;
+          id)
+    done
+  end;
+  let cls = Array.make n 0 in
+  for s = 0 to n - 1 do
+    Array.unsafe_set cls s
+      (Array.unsafe_get group (Partition.class_of bm s))
+  done;
+  Partition.of_class_map cls
+
 (* m(p_{s,t}) without building the intermediate pair relation: the join of
    the pairs (delta(s,i), delta(t,i)). *)
 let m_of_state_pair ~next s t =
@@ -141,8 +296,33 @@ module Memo = struct
       PTbl.add tbl pi r;
       r
 
+  (* The memoized operators below shadow the module-level functions; keep
+     a handle on the raw [big_m] for the hinted variant's base case. *)
+  let big_m_op = big_m
   let m memo pi = lookup memo memo.m_tbl m pi
   let big_m memo rho = lookup memo memo.big_m_tbl big_m rho
+
+  (* Hinted variant for the incremental polish: on a cache miss, derive
+     [big_m rho] from the memoized [big_m base] by per-class grouping
+     ([big_m_coarse]) instead of the O(n * k) state sweep.  [base] must
+     refine [rho] (the anytime tier passes the parent's side, which every
+     closure iterate coarsens); the derived value is the same partition
+     [big_m rho] returns, so the cache stays consistent whichever path
+     filled it. *)
+  let big_m_from memo ~base rho =
+    match PTbl.find_opt memo.big_m_tbl rho with
+    | Some r ->
+      memo.hits <- memo.hits + 1;
+      r
+    | None ->
+      memo.misses <- memo.misses + 1;
+      let r =
+        if Partition.equal base rho then big_m_op ~next:memo.next rho
+        else big_m_coarse ~next:memo.next ~rho (big_m memo base)
+      in
+      PTbl.add memo.big_m_tbl rho r;
+      r
+
   let hits memo = memo.hits
   let misses memo = memo.misses
 end

@@ -228,23 +228,90 @@ let merge_classes p c d =
     canonicalize_small cls p.n
   end
 
+(* Row population count, two words per iteration. *)
+let row_popcount rows wpr c =
+  let base = c * wpr in
+  let pop = ref 0 in
+  let wi = ref 0 in
+  while !wi + 1 < wpr do
+    pop :=
+      !pop
+      + Word.Lane.popcount2
+          (Array.unsafe_get rows (base + !wi))
+          (Array.unsafe_get rows (base + !wi + 1));
+    wi := !wi + 2
+  done;
+  if !wi < wpr then pop := !pop + Word.popcount (Array.unsafe_get rows (base + !wi));
+  !pop
+
+let class_size p c =
+  if c < 0 || c >= p.count then invalid_arg "Partition.class_size: out of range";
+  row_popcount p.rows p.wpr c
+
 let split_singleton p s =
   if s < 0 || s >= p.n then
     invalid_arg "Partition.split_singleton: out of range";
   (* A singleton block cannot be refined further. *)
   let c = p.cls.(s) in
-  let base = c * p.wpr in
-  let pop = ref 0 in
-  for wi = 0 to p.wpr - 1 do
-    pop := !pop + Word.popcount (Array.unsafe_get p.rows (base + wi))
-  done;
-  if !pop <= 1 then p
+  if row_popcount p.rows p.wpr c <= 1 then p
   else begin
     (* [count] is a fresh id; count < n here since block [c] has >= 2
        members, so the fast canonicalizer applies. *)
     let cls = Array.copy p.cls in
     cls.(s) <- p.count;
     canonicalize_small cls p.n
+  end
+
+(* Batch coarsening for the incremental closure engine (Pair.close_merge):
+   [f] maps every class id onto a group representative ([f (f c) = f c]);
+   the result merges each group into one block.  Unlike [join], nothing
+   global is recomputed: unchanged groups blit their packed row straight
+   through and only dirty groups union rows, so the cost is
+   O(count * wpr) row words plus the O(n) class-map pass - never a
+   pairwise block scan.  Group numbering by smallest member class id is
+   first-occurrence canonical (class ids are themselves ordered by first
+   occurrence). *)
+let coarsen_with p f =
+  let count = p.count and wpr = p.wpr in
+  let newid = Array.make count (-1) in
+  let count' = ref 0 in
+  for c = 0 to count - 1 do
+    let r = f c in
+    if r < 0 || r >= count then
+      invalid_arg "Partition.coarsen_with: map out of range";
+    if Array.unsafe_get newid r < 0 then begin
+      Array.unsafe_set newid r !count';
+      incr count'
+    end
+  done;
+  if !count' = count then p
+  else begin
+    let count' = !count' in
+    let rows = Array.make (count' * wpr) 0 in
+    for c = 0 to count - 1 do
+      let dest = Array.unsafe_get newid (f c) * wpr in
+      let base = c * wpr in
+      let wi = ref 0 in
+      while !wi + 1 < wpr do
+        Array.unsafe_set rows (dest + !wi)
+          (Array.unsafe_get rows (dest + !wi)
+          lor Array.unsafe_get p.rows (base + !wi));
+        Array.unsafe_set rows (dest + !wi + 1)
+          (Array.unsafe_get rows (dest + !wi + 1)
+          lor Array.unsafe_get p.rows (base + !wi + 1));
+        wi := !wi + 2
+      done;
+      if !wi < wpr then
+        Array.unsafe_set rows (dest + !wi)
+          (Array.unsafe_get rows (dest + !wi)
+          lor Array.unsafe_get p.rows (base + !wi))
+    done;
+    let cls = Array.make p.n 0 in
+    for s = 0 to p.n - 1 do
+      Array.unsafe_set cls s
+        (Array.unsafe_get newid (f (Array.unsafe_get p.cls s)))
+    done;
+    intern ~rows ~n:p.n ~count:count' cls
   end
 
 (* ------------------------------------------------------------------ *)
@@ -380,14 +447,22 @@ let join_rows p q =
         let rbase = r * wpr in
         let hit = ref false in
         let wi = ref 0 in
-        while (not !hit) && !wi < wpr do
+        while (not !hit) && !wi + 1 < wpr do
           if
-            Array.unsafe_get live (rbase + !wi)
-            land Array.unsafe_get q.rows (qbase + !wi)
-            <> 0
+            Word.Lane.inter2
+              (Array.unsafe_get live (rbase + !wi))
+              (Array.unsafe_get q.rows (qbase + !wi))
+              (Array.unsafe_get live (rbase + !wi + 1))
+              (Array.unsafe_get q.rows (qbase + !wi + 1))
           then hit := true;
-          incr wi
+          wi := !wi + 2
         done;
+        if
+          (not !hit) && !wi < wpr
+          && Array.unsafe_get live (rbase + !wi)
+             land Array.unsafe_get q.rows (qbase + !wi)
+             <> 0
+        then hit := true;
         if !hit then
           if !acc < 0 then acc := r
           else begin
@@ -485,14 +560,22 @@ let subseteq p q =
             in
             let qbase = Array.unsafe_get q.cls (rep 0) * wpr in
             let wi = ref 0 in
-            while !ok && !wi < wpr do
+            while !ok && !wi + 1 < wpr do
               if
-                Array.unsafe_get p.rows (base + !wi)
-                land lnot (Array.unsafe_get q.rows (qbase + !wi))
-                <> 0
+                Word.Lane.diffsub2
+                  (Array.unsafe_get p.rows (base + !wi))
+                  (Array.unsafe_get q.rows (qbase + !wi))
+                  (Array.unsafe_get p.rows (base + !wi + 1))
+                  (Array.unsafe_get q.rows (qbase + !wi + 1))
               then ok := false;
-              incr wi
+              wi := !wi + 2
             done;
+            if
+              !ok && !wi < wpr
+              && Array.unsafe_get p.rows (base + !wi)
+                 land lnot (Array.unsafe_get q.rows (qbase + !wi))
+                 <> 0
+            then ok := false;
             incr c
           done;
           !ok

@@ -79,6 +79,20 @@ val merge_classes : t -> int -> int -> t
     one.  The downward move kernel of the stochastic search. *)
 val split_singleton : t -> int -> t
 
+(** [class_size p c] is the number of members of block [c], counted
+    word-parallel over the packed row. *)
+val class_size : t -> int -> int
+
+(** [coarsen_with p f] merges the blocks of [p] along the idempotent class
+    map [f] ([f (f c) = f c], all values in [\[0, num_classes p)]): blocks
+    [c] and [d] end up together iff [f c = f d].  This is the
+    materialization step of the incremental closure engine
+    ({!Pair.close_merge}): only dirty groups union their packed rows, clean
+    blocks are blitted through, and [coarsen_with p Fun.id == p].
+    Equivalent to (but much cheaper than) joining [p] with the
+    corresponding representative pair relations. *)
+val coarsen_with : t -> (int -> int) -> t
+
 (** [meet p q] is the coarsest common refinement - the intersection of the
     relations. *)
 val meet : t -> t -> t

@@ -86,6 +86,121 @@ let test_stats_deterministic () =
     r2.Anytime.stats.Anytime.sa_accepted
 
 (* ------------------------------------------------------------------ *)
+(* Incremental closure engine vs the full-recompute oracle             *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline contract of the delta evaluator: flipping [incremental]
+   changes nothing observable — cost, factors, fingerprint, stats. *)
+let test_incremental_matches_full () =
+  let machines =
+    [ ("dk16", suite_machine "dk16");
+      ( "planted:96x4@1",
+        match Generate.of_spec "planted:96x4@1" with
+        | Some m -> m
+        | None -> Alcotest.fail "spec should parse" ) ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let inc = Anytime.search ~config:small_config m in
+      let full =
+        Anytime.search
+          ~config:{ small_config with Anytime.incremental = false }
+          m
+      in
+      check_bool (name ^ ": incremental = full oracle") true
+        (identical inc full);
+      check_int (name ^ ": evals agree") inc.Anytime.stats.Anytime.evals
+        full.Anytime.stats.Anytime.evals;
+      check_int (name ^ ": feasible agree")
+        inc.Anytime.stats.Anytime.feasible full.Anytime.stats.Anytime.feasible)
+    machines
+
+(* Jobs invariance across the evaluator switch: the per-domain
+   transposition tables and memo caches must be invisible, so even
+   incremental jobs=4 equals the full oracle at jobs=1. *)
+let test_incremental_jobs_cross () =
+  let m = suite_machine "dk16" in
+  let full1 =
+    Anytime.search
+      ~config:{ small_config with Anytime.incremental = false }
+      m
+  in
+  List.iter
+    (fun jobs ->
+      let inc =
+        Anytime.search ~config:{ small_config with Anytime.jobs = jobs } m
+      in
+      check_bool
+        (Printf.sprintf "incremental jobs=%d = full jobs=1" jobs)
+        true (identical full1 inc))
+    [ 2; 4 ]
+
+(* The closure_* observability contract: delta evals, full fallbacks
+   (splits always recompute), dirty-class events and transposition-table
+   hits are all recorded. *)
+let test_closure_metrics () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let m = suite_machine "dk16" in
+  ignore (Anytime.search ~config:small_config m);
+  let counter name =
+    match Metrics.find name with
+    | Some (Metrics.Counter n) -> n
+    | _ -> Alcotest.failf "%s not recorded" name
+  in
+  check_bool "delta closures ran" true (counter "anytime.closure_delta" > 0);
+  check_bool "full fallbacks ran (splits)" true
+    (counter "anytime.closure_full" > 0);
+  check_bool "dirty classes counted" true (counter "anytime.closure_dirty" > 0);
+  check_bool "tt hits counted" true (counter "anytime.closure_tt_hits" > 0);
+  check_bool "every eval is delta, full, a tt hit, or degenerate" true
+    (counter "anytime.closure_delta"
+     + counter "anytime.closure_full"
+     + counter "anytime.closure_tt_hits"
+    <= counter "anytime.evals");
+  (* with the full oracle forced, no delta closures happen *)
+  Metrics.reset ();
+  ignore
+    (Anytime.search
+       ~config:{ small_config with Anytime.incremental = false }
+       m);
+  check_int "oracle path never goes delta" 0 (counter "anytime.closure_delta");
+  check_bool "oracle path counts full closures" true
+    (counter "anytime.closure_full" > 0);
+  Metrics.set_enabled false
+
+(* --split-ratio plumbing: 0 disables splits (still valid and
+   deterministic), other ratios change the consumed streams. *)
+let test_split_ratio () =
+  let m = suite_machine "dk16" in
+  let run ratio =
+    Anytime.search ~config:{ small_config with Anytime.split_ratio = ratio } m
+  in
+  let merges_only = run 0 in
+  check_bool "merges-only run is reproducible" true
+    (identical merges_only (run 0));
+  check_bool "merges-only validates" true
+    (Solver.validate m merges_only.Anytime.best = Ok ());
+  let default = run 6 and splitty = run 2 in
+  check_bool "ratio 6 = default config" true
+    (identical default (Anytime.search ~config:small_config m));
+  check_bool "ratio changes the streams" true
+    (default.Anytime.stats.Anytime.rng_fingerprint
+     <> splitty.Anytime.stats.Anytime.rng_fingerprint
+    || default.Anytime.stats.Anytime.rng_fingerprint
+       <> merges_only.Anytime.stats.Anytime.rng_fingerprint);
+  (* merges-only under the incremental engine still matches the oracle *)
+  check_bool "merges-only incremental = full" true
+    (identical merges_only
+       (Anytime.search
+          ~config:
+            { small_config with
+              Anytime.split_ratio = 0;
+              incremental = false
+            }
+          m))
+
+(* ------------------------------------------------------------------ *)
 (* Quality                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -215,6 +330,15 @@ let () =
           Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
           Alcotest.test_case "stats deterministic" `Quick
             test_stats_deterministic;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "incremental = full oracle" `Quick
+            test_incremental_matches_full;
+          Alcotest.test_case "jobs cross-invariance" `Quick
+            test_incremental_jobs_cross;
+          Alcotest.test_case "closure metrics" `Quick test_closure_metrics;
+          Alcotest.test_case "split ratio" `Quick test_split_ratio;
         ] );
       ( "quality",
         [

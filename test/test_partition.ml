@@ -619,6 +619,128 @@ let test_blocks_members_multiword =
          = List.init n (fun s -> s))
 
 (* ------------------------------------------------------------------ *)
+(* Incremental closure engine vs the from-scratch oracle               *)
+(* ------------------------------------------------------------------ *)
+
+let test_class_size_spec =
+  QCheck.Test.make ~count:300 ~name:"class_size = length of members (multi-word)"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = Partition.of_class_map (wild_class_map rng n) in
+      let ok = ref true in
+      for c = 0 to Partition.num_classes p - 1 do
+        if Partition.class_size p c <> List.length (Partition.members p c) then
+          ok := false
+      done;
+      !ok)
+
+let test_coarsen_with_spec =
+  QCheck.Test.make ~count:300
+    ~name:"coarsen_with = join of representative pair relations"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let p = Partition.of_class_map (wild_class_map rng n) in
+      let k = Partition.num_classes p in
+      (* a random idempotent class map: each class points at the smallest
+         member of its group *)
+      let groups = Array.init k (fun _ -> Rng.int rng (1 + Rng.int rng k)) in
+      let f c =
+        let g = groups.(c) in
+        let rec first i = if groups.(i) = g then i else first (i + 1) in
+        first 0
+      in
+      let got = Partition.coarsen_with p f in
+      let reps = Partition.representatives p in
+      let expected =
+        Partition.join_all ~n
+          (p
+          :: List.init k (fun c ->
+                 Partition.pair_relation ~n reps.(c) reps.(f c)))
+      in
+      Partition.equal got expected
+      && Partition.coarsen_with p (fun c -> c) == p)
+
+(* The from-scratch closure the anytime tier used before the delta
+   engine: alternating joins with m-images up to the least fixpoint. *)
+let close_pair_spec ~next pi rho =
+  let rec go pi rho =
+    let rho' = Partition.join rho (Pair.m ~next pi) in
+    let pi' = Partition.join pi (Pair.m ~next rho') in
+    if Partition.equal pi pi' && Partition.equal rho rho' then (pi, rho')
+    else go pi' rho'
+  in
+  go pi rho
+
+(* A random {e closed} symmetric pair: the precondition of close_merge. *)
+let random_closed_pair rng ~next n =
+  let pi0 = random_partition rng n in
+  let rho0 = random_partition rng n in
+  close_pair_spec ~next pi0 rho0
+
+let test_close_merge_matches_oracle =
+  QCheck.Test.make ~count:200
+    ~name:"close_merge = close_pair o merge_classes (closed parents)"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k_in = 1 + Rng.int rng 4 in
+      let next = random_next rng n k_in in
+      let pi, rho = random_closed_pair rng ~next n in
+      let on_pi = Rng.bool rng in
+      let side = if on_pi then pi else rho in
+      let k = Partition.num_classes side in
+      let c = Rng.int rng k and d = Rng.int rng k in
+      let got_pi, got_rho, dirty =
+        Pair.close_merge ~next ~pi ~rho ~on_pi c d
+      in
+      let side' = Partition.merge_classes side c d in
+      let exp_pi, exp_rho =
+        if on_pi then close_pair_spec ~next side' rho
+        else close_pair_spec ~next pi side'
+      in
+      Partition.equal got_pi exp_pi
+      && Partition.equal got_rho exp_rho
+      && dirty >= 0
+      (* a self-merge forces nothing: both sides come back physically *)
+      && (c <> d || (got_pi == pi && got_rho == rho)))
+
+let test_big_m_coarse_matches =
+  QCheck.Test.make ~count:200 ~name:"big_m_coarse from a refinement = big_m"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k_in = 1 + Rng.int rng 4 in
+      let next = random_next rng n k_in in
+      let base = random_partition rng n in
+      (* rho coarsens base by a random join *)
+      let rho = Partition.join base (random_partition rng n) in
+      let bm = Pair.big_m ~next base in
+      Partition.equal
+        (Pair.big_m_coarse ~next ~rho bm)
+        (Pair.big_m ~next rho)
+      (* base = rho degenerate case *)
+      && Partition.equal (Pair.big_m_coarse ~next ~rho:base bm) bm)
+
+let test_memo_big_m_from =
+  QCheck.Test.make ~count:200 ~name:"Memo.big_m_from = big_m (and is cached)"
+    QCheck.(pair (int_bound 100000) size_gen)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k_in = 1 + Rng.int rng 4 in
+      let next = random_next rng n k_in in
+      let base = random_partition rng n in
+      let rho = Partition.join base (random_partition rng n) in
+      let memo = Pair.Memo.create ~next in
+      let first = Pair.Memo.big_m_from memo ~base rho in
+      let again = Pair.Memo.big_m_from memo ~base rho in
+      Partition.equal first (Pair.big_m ~next rho)
+      && first == again
+      (* the plain memoized entry and the derived one share the table *)
+      && Pair.Memo.big_m memo rho == first)
+
+(* ------------------------------------------------------------------ *)
 (* Paper's fig. 6 oracle                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -714,6 +836,14 @@ let () =
           qcheck test_m_is_join_of_basis;
           Alcotest.test_case "basis properties" `Quick test_basis_properties;
           qcheck test_mm_pairs_are_mm;
+        ] );
+      ( "incremental_closure",
+        [
+          qcheck test_class_size_spec;
+          qcheck test_coarsen_with_spec;
+          qcheck test_close_merge_matches_oracle;
+          qcheck test_big_m_coarse_matches;
+          qcheck test_memo_big_m_from;
         ] );
       ( "paper_oracle",
         [

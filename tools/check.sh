@@ -106,6 +106,17 @@ fi
 dune exec tools/json_lint.exe -- --bench "$obs_dir/aq_a.json" "$obs_dir/aq_b.json"
 dune exec tools/bench_diff.exe -- "$obs_dir/aq_a.json" "$obs_dir/aq_b.json"
 
+echo "== incremental closure vs full-recompute oracle (CLI runs must agree) =="
+# The delta evaluator (--split-ratio/--full-eval live on the same command)
+# must be bit-identical to the from-scratch closure: same best, same
+# factor counts, same RNG-stream fingerprint.  Only the deterministic
+# report lines are compared - elapsed lines differ by construction.
+dune exec bin/ostr.exe -- anytime dk16 --force-stochastic --evals 400 \
+  | grep -E "stochastic tier:|best:" > "$obs_dir/anytime_incr.txt"
+dune exec bin/ostr.exe -- anytime dk16 --force-stochastic --evals 400 --full-eval \
+  | grep -E "stochastic tier:|best:" > "$obs_dir/anytime_full.txt"
+cmp "$obs_dir/anytime_incr.txt" "$obs_dir/anytime_full.txt"
+
 echo "== static lint gate (benchmark suite, --werror) =="
 # Expected-clean set: each of these machines must lint with zero errors AND
 # zero warnings; --werror turns any regression into a nonzero exit.  Keep
